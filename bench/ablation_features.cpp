@@ -1,0 +1,106 @@
+// Ablation: contribution of each Canvas feature to the headline co-run
+// (Spark-LR + natives, 25% local memory). Between the Linux 5.5 baseline
+// and full Canvas, features are added cumulatively in the paper's order
+// (§4 isolation -> §5.1 adaptive allocation -> §5.2 two-tier prefetch ->
+// §5.3 horizontal scheduling), and also removed one-at-a-time from the full
+// system (leave-one-out), exposing interactions the cumulative view hides.
+#include <cmath>
+
+#include "bench_util.h"
+
+using namespace canvas;
+using namespace canvas::bench;
+
+namespace {
+
+struct Variant {
+  std::string label;
+  core::SystemConfig cfg;
+};
+
+void Report(TablePrinter& table, const Variant& v, double scale,
+            const std::vector<SimTime>& solo) {
+  core::Experiment e(v.cfg, ManagedPlusNatives("spark-lr", scale, 0.25));
+  e.Run();
+  double geo = 1.0;
+  for (int i = 0; i < 4; ++i)
+    geo *= core::Slowdown(e.FinishTime(std::size_t(i)),
+                          solo[std::size_t(i)]);
+  geo = std::sqrt(std::sqrt(geo));
+  const auto& spark = e.system().metrics(0);
+  table.AddRow({v.label,
+                X(core::Slowdown(e.FinishTime(0), solo[0])),
+                X(core::Slowdown(e.FinishTime(2), solo[2])),
+                X(geo),
+                Pct(spark.ContributionPct()),
+                std::to_string(spark.lockfree_swapouts),
+                std::to_string(e.system().scheduler().drops())});
+}
+
+}  // namespace
+
+int main() {
+  double scale = ScaleFromEnv(0.25);
+  std::vector<std::string> names{"spark-lr", "snappy", "memcached",
+                                 "xgboost"};
+  std::vector<SimTime> solo;
+  for (auto& n : names)
+    solo.push_back(Solo(n, scale, 0.25, core::SystemConfig::Linux55()));
+
+  TablePrinter table({"variant", "spark slowdown", "memcached slowdown",
+                      "geomean slowdown", "spark contrib",
+                      "spark lock-free", "drops"});
+
+  // Cumulative build-up.
+  auto linux = core::SystemConfig::Linux55();
+  auto iso = core::SystemConfig::CanvasIsolation();
+  auto iso_alloc = iso;
+  iso_alloc.adaptive_alloc = true;
+  iso_alloc.name = "isolation+adaptive";
+  auto iso_alloc_pf = iso_alloc;
+  iso_alloc_pf.prefetcher = core::PrefetcherKind::kTwoTier;
+  iso_alloc_pf.name = "isolation+adaptive+two-tier";
+  auto full = core::SystemConfig::CanvasFull();
+
+  PrintBanner("Ablation (cumulative): Spark-LR + natives, 25% memory");
+  for (const Variant& v :
+       {Variant{"linux 5.5", linux}, Variant{"+ isolation (§4)", iso},
+        Variant{"+ adaptive alloc (§5.1)", iso_alloc},
+        Variant{"+ two-tier prefetch (§5.2)", iso_alloc_pf},
+        Variant{"+ horizontal sched (§5.3) = full", full}}) {
+    Report(table, v, scale, solo);
+  }
+  table.Print();
+
+  // Leave-one-out from full Canvas.
+  auto no_iso = full;
+  no_iso.isolated_partitions = false;
+  no_iso.isolated_caches = false;
+  no_iso.adaptive_alloc = false;  // requires isolated partitions
+  no_iso.scheduler = core::SchedulerKind::kFastswap;
+  no_iso.name = "full - isolation";
+  auto no_alloc = full;
+  no_alloc.adaptive_alloc = false;
+  no_alloc.name = "full - adaptive alloc";
+  auto no_pf = full;
+  no_pf.prefetcher = core::PrefetcherKind::kReadahead;
+  no_pf.name = "full - two-tier";
+  auto no_horiz = full;
+  no_horiz.horizontal_sched = false;
+  no_horiz.name = "full - horizontal";
+
+  TablePrinter loo({"variant", "spark slowdown", "memcached slowdown",
+                    "geomean slowdown", "spark contrib", "spark lock-free",
+                    "drops"});
+  PrintBanner("Ablation (leave-one-out from full Canvas)");
+  for (const Variant& v :
+       {Variant{"full canvas", full}, Variant{"- isolation", no_iso},
+        Variant{"- adaptive alloc", no_alloc},
+        Variant{"- two-tier prefetch", no_pf},
+        Variant{"- horizontal sched", no_horiz}}) {
+    Report(loo, v, scale, solo);
+  }
+  loo.Print();
+  std::puts("\nGeomean over the four co-running apps, vs solo Linux 5.5.");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Shared helpers for the reproduction benches (one binary per paper
+// table/figure). Every bench prints paper-style rows via TablePrinter and
+// honours CANVAS_SCALE (workload scale factor) and CANVAS_SEED from the
+// environment so the whole suite can be dialed up or down.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/experiment.h"
+#include "workload/apps.h"
+
+namespace canvas::bench {
+
+inline double ScaleFromEnv(double fallback) {
+  const char* s = std::getenv("CANVAS_SCALE");
+  return s ? std::atof(s) : fallback;
+}
+
+inline std::uint64_t SeedFromEnv() {
+  const char* s = std::getenv("CANVAS_SEED");
+  return s ? std::strtoull(s, nullptr, 10) : 7;
+}
+
+/// Cores per application, following the paper's §6 setup: managed apps 24,
+/// XGBoost 16, Memcached 4, Snappy 1.
+inline std::uint32_t PaperCores(const std::string& name) {
+  if (name == "xgboost") return 16;
+  if (name == "memcached") return 4;
+  if (name == "snappy") return 1;
+  return 24;
+}
+
+inline core::AppSpec Spec(const std::string& name, double scale,
+                          double ratio,
+                          std::uint32_t cores = 0,
+                          std::uint64_t seed = 0) {
+  workload::AppParams p;
+  p.scale = scale;
+  p.seed = seed ? seed : SeedFromEnv();
+  auto w = workload::MakeByName(name, p);
+  auto cg = workload::CgroupFor(w, ratio,
+                                cores ? cores : PaperCores(name));
+  return core::AppSpec{std::move(w), std::move(cg)};
+}
+
+/// The paper's standard co-run: one managed app plus the three natives.
+inline std::vector<core::AppSpec> ManagedPlusNatives(
+    const std::string& managed, double scale, double ratio) {
+  std::vector<core::AppSpec> apps;
+  apps.push_back(Spec(managed, scale, ratio));
+  apps.push_back(Spec("snappy", scale, ratio));
+  apps.push_back(Spec("memcached", scale, ratio));
+  apps.push_back(Spec("xgboost", scale, ratio));
+  return apps;
+}
+
+/// Run one app alone under `cfg`; returns its makespan.
+inline SimTime Solo(const std::string& name, double scale, double ratio,
+                    const core::SystemConfig& cfg) {
+  std::vector<core::AppSpec> apps;
+  apps.push_back(Spec(name, scale, ratio));
+  core::Experiment e(cfg, std::move(apps));
+  e.Run();
+  return e.FinishTime(0);
+}
+
+inline std::string X(double v) { return TablePrinter::Num(v, 2) + "x"; }
+inline std::string Pct(double v) { return TablePrinter::Num(v, 1) + "%"; }
+
+}  // namespace canvas::bench

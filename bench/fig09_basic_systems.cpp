@@ -1,0 +1,50 @@
+// Figure 9: performance of each application running INDIVIDUALLY on the
+// basic swap systems: Infiniswap, Infiniswap+Leap, Fastswap, and
+// Canvas-swap (the Fastswap port Canvas builds on, without isolation or
+// adaptive optimizations). Paper result: Canvas-swap ~ Fastswap; Infiniswap
+// slowest (it hung on XGBoost and Spark in the paper).
+#include "bench_util.h"
+
+using namespace canvas;
+using namespace canvas::bench;
+
+int main() {
+  double scale = ScaleFromEnv(0.25);
+  auto canvas_swap = core::SystemConfig::Fastswap();
+  canvas_swap.name = "canvas-swap";
+
+  struct Sys {
+    const char* label;
+    core::SystemConfig cfg;
+  };
+  std::vector<Sys> systems = {{"infiniswap", core::SystemConfig::Infiniswap()},
+                              {"inf+leap", core::SystemConfig::InfiniswapLeap()},
+                              {"fastswap", core::SystemConfig::Fastswap()},
+                              {"canvas-swap", canvas_swap}};
+
+  PrintBanner("Figure 9: individual runs on basic swap systems "
+              "(runtime, normalized to fastswap)");
+  TablePrinter table({"app", "infiniswap", "inf+leap", "fastswap",
+                      "canvas-swap"});
+  for (const std::string app :
+       {"spark-lr", "spark-km", "cassandra", "neo4j", "memcached", "xgboost",
+        "snappy"}) {
+    std::vector<double> secs;
+    for (auto& s : systems) {
+      std::vector<core::AppSpec> apps;
+      apps.push_back(Spec(app, scale, 0.25));
+      core::Experiment e(s.cfg, std::move(apps));
+      bool ok = e.Run();
+      secs.push_back(ok ? e.FinishSeconds(0) : -1.0);
+    }
+    double base = secs[2] > 0 ? secs[2] : 1.0;  // fastswap
+    std::vector<std::string> row{app};
+    for (double s : secs)
+      row.push_back(s < 0 ? "hung" : X(s / base));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::puts("\nPaper: Canvas-swap ~= Fastswap (it is the same system "
+            "ported); Infiniswap/Leap slower or hung.");
+  return 0;
+}

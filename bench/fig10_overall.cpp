@@ -1,0 +1,63 @@
+// Figure 10: overall co-run performance under 25% and 50% local memory.
+// Each group: one managed app (Spark-LR, Spark-KM, Cassandra, Neo4j) plus
+// the three natives; bars = solo Linux 5.5, co-run Linux 5.5, co-run
+// Fastswap, co-run Canvas (all optimizations). Paper result: Canvas improves
+// co-run performance up to 6.2x (avg 3.5x) at 25% and up to 3.8x (avg 1.9x)
+// at 50%.
+#include <cmath>
+
+#include "bench_util.h"
+
+using namespace canvas;
+using namespace canvas::bench;
+
+int main() {
+  double scale = ScaleFromEnv(0.25);
+
+  for (double ratio : {0.25, 0.50}) {
+    PrintBanner("Figure 10 (" + TablePrinter::Num(ratio * 100, 0) +
+                "% local memory): runtime normalized to solo Linux 5.5");
+    TablePrinter table({"group", "app", "solo", "corun linux", "corun fastswap",
+                        "corun canvas", "canvas gain vs linux"});
+    double gain_product = 1.0;
+    int gain_count = 0;
+    for (const std::string managed :
+         {"spark-lr", "spark-km", "cassandra", "neo4j"}) {
+      std::vector<std::string> names{managed, "snappy", "memcached",
+                                     "xgboost"};
+      std::vector<SimTime> solo;
+      for (auto& n : names)
+        solo.push_back(Solo(n, scale, ratio, core::SystemConfig::Linux55()));
+
+      std::vector<std::vector<SimTime>> corun;
+      for (auto mk :
+           {core::SystemConfig::Linux55, core::SystemConfig::Fastswap,
+            core::SystemConfig::CanvasFull}) {
+        core::Experiment e(mk(), ManagedPlusNatives(managed, scale, ratio));
+        e.Run();
+        std::vector<SimTime> times;
+        for (std::size_t i = 0; i < names.size(); ++i)
+          times.push_back(e.FinishTime(i));
+        corun.push_back(std::move(times));
+      }
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        double lin = core::Slowdown(corun[0][i], solo[i]);
+        double fsw = core::Slowdown(corun[1][i], solo[i]);
+        double cvs = core::Slowdown(corun[2][i], solo[i]);
+        if (cvs > 0) {
+          gain_product *= lin / cvs;
+          ++gain_count;
+        }
+        table.AddRow({i == 0 ? managed + " group" : "", names[i], "1.00x",
+                      X(lin), X(fsw), X(cvs),
+                      cvs > 0 ? X(lin / cvs) : "-"});
+      }
+    }
+    table.Print();
+    std::printf("Geomean Canvas improvement over co-run Linux: %.2fx "
+                "(paper avg: %s)\n",
+                std::pow(gain_product, 1.0 / std::max(gain_count, 1)),
+                ratio < 0.3 ? "3.5x, max 6.2x" : "1.9x, max 3.8x");
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 13: swap-entry allocation scaling with core count — Canvas's
+// adaptive reservation allocator vs Linux 5.5's cluster allocator, running
+// Memcached alone at 25% local memory with 8-48 cores. Paper result: under
+// Canvas the swap-out rate scales with cores while the (lock-path)
+// allocation rate stays low; under Linux the per-entry allocation time
+// grows super-linearly (10us @16 cores -> 130us @48) and swap-out rate
+// collapses.
+#include "bench_util.h"
+
+using namespace canvas;
+using namespace canvas::bench;
+
+namespace {
+
+struct Point {
+  double swapout_rate_kps;
+  double alloc_rate_kps;
+  double per_entry_us;
+  double per_swapout_us;  // total alloc time amortized over all swap-outs
+};
+
+Point RunOne(const core::SystemConfig& cfg, std::uint32_t cores,
+             double scale) {
+  workload::AppParams p;
+  p.scale = scale;
+  p.threads = cores;  // memcached worker per core
+  p.seed = SeedFromEnv();
+  auto w = workload::MakeMemcached(p);
+  auto cg = workload::CgroupFor(w, 0.25, cores);
+  std::vector<core::AppSpec> apps;
+  apps.push_back(core::AppSpec{std::move(w), std::move(cg)});
+  core::Experiment e(cfg, std::move(apps));
+  e.Run();
+  const auto& m = e.system().metrics(0);
+  SimTime t = m.finish_time ? m.finish_time : kSecond;
+  double mean_alloc =
+      e.system().partition(0).allocator().alloc_latency().Mean();
+  return {double(m.swapouts) * double(kSecond) / double(t) / 1e3,
+          double(m.allocations) * double(kSecond) / double(t) / 1e3,
+          mean_alloc / double(kMicrosecond),
+          m.swapouts ? double(m.alloc_time) / double(m.swapouts) /
+                           double(kMicrosecond)
+                     : 0.0};
+}
+
+}  // namespace
+
+int main() {
+  double scale = ScaleFromEnv(0.4);
+
+  PrintBanner("Figure 13: entry allocation vs core count, Memcached solo "
+              "(25% local memory)");
+  TablePrinter table({"cores", "canvas swap-out K/s", "canvas alloc K/s",
+                      "canvas amortized", "linux swap-out K/s",
+                      "linux alloc K/s", "linux amortized"});
+  for (std::uint32_t cores : {8u, 16u, 24u, 32u, 40u, 48u}) {
+    Point canvas = RunOne(core::SystemConfig::CanvasFull(), cores, scale);
+    Point linux = RunOne(core::SystemConfig::Linux55(), cores, scale);
+    table.AddRow({std::to_string(cores),
+                  TablePrinter::Num(canvas.swapout_rate_kps, 0),
+                  TablePrinter::Num(canvas.alloc_rate_kps, 0),
+                  TablePrinter::Num(canvas.per_swapout_us, 1) + "us",
+                  TablePrinter::Num(linux.swapout_rate_kps, 0),
+                  TablePrinter::Num(linux.alloc_rate_kps, 0),
+                  TablePrinter::Num(linux.per_swapout_us, 1) + "us"});
+  }
+  table.Print();
+  std::puts("\nPaper: Canvas swap-out rate grows with cores while its "
+            "alloc rate stays low (entry reuse);\nLinux per-entry time "
+            "grows super-linearly (10us @16 -> 130us @48 cores).");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 14: horizontal (priority + timeliness) RDMA scheduling
+// effectiveness for GraphX-CC co-running with the natives: (a) prefetch
+// latency reduced without hurting demand latency; (b) prefetching
+// contribution/accuracy improved. Paper result: ~5% p90 prefetch latency
+// reduction with the two-tier prefetcher (up to 9x with Leap), contribution
+// +10.7%, accuracy +5.5%, overall 7-12% runtime gain.
+#include "bench_util.h"
+
+using namespace canvas;
+using namespace canvas::bench;
+
+namespace {
+
+struct Result {
+  double demand_p50, demand_p99, prefetch_p50, prefetch_p90, prefetch_p99;
+  double contribution, accuracy, runtime_s;
+  std::uint64_t drops;
+};
+
+Result RunOne(bool horizontal, core::PrefetcherKind pf, double scale) {
+  auto cfg = core::SystemConfig::CanvasFull();
+  cfg.horizontal_sched = horizontal;
+  cfg.prefetcher = pf;
+  cfg.prefetcher_shared_state = false;
+  core::Experiment e(cfg, ManagedPlusNatives("graphx-cc", scale, 0.25));
+  e.Run();
+  const auto& nic = e.system().nic();
+  const auto& d = nic.latency(rdma::Op::kDemandIn);
+  const auto& p = nic.latency(rdma::Op::kPrefetchIn);
+  const auto& m = e.system().metrics(0);
+  return {d.Percentile(50), d.Percentile(99), p.Percentile(50),
+          p.Percentile(90), p.Percentile(99), m.ContributionPct(),
+          m.AccuracyPct(), e.FinishSeconds(0),
+          e.system().scheduler().drops()};
+}
+
+std::string Us(double ns) { return FormatTime(SimTime(ns)); }
+
+}  // namespace
+
+int main() {
+  double scale = ScaleFromEnv(0.25);
+
+  PrintBanner("Figure 14: horizontal scheduling, GraphX-CC + natives");
+  TablePrinter table({"prefetcher", "horizontal", "demand p99",
+                      "prefetch p50", "prefetch p90", "prefetch p99",
+                      "contrib", "accuracy", "drops", "graphx runtime"});
+  for (auto pf : {core::PrefetcherKind::kTwoTier,
+                  core::PrefetcherKind::kLeap}) {
+    const char* label =
+        pf == core::PrefetcherKind::kTwoTier ? "two-tier" : "leap";
+    for (bool horizontal : {false, true}) {
+      Result r = RunOne(horizontal, pf, scale);
+      table.AddRow({label, horizontal ? "on" : "off", Us(r.demand_p99),
+                    Us(r.prefetch_p50), Us(r.prefetch_p90),
+                    Us(r.prefetch_p99), Pct(r.contribution),
+                    Pct(r.accuracy), std::to_string(r.drops),
+                    TablePrinter::Num(r.runtime_s * 1000, 0) + "ms"});
+    }
+  }
+  table.Print();
+  std::puts("\nPaper: with the two-tier prefetcher, horizontal scheduling "
+            "cuts p90 prefetch latency ~5% (9x with Leap)\nwithout demand "
+            "overhead, improving contribution/accuracy by 10.7%/5.5%.");
+  return 0;
+}

@@ -1,0 +1,186 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of each substrate:
+// ablation evidence for the design choices called out in DESIGN.md §4
+// (intrusive LRU, hash-indexed swap cache, WFQ dequeue, detector updates,
+// event-queue throughput).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "mem/lru.h"
+#include "mem/swap_cache.h"
+#include "prefetch/leap.h"
+#include "prefetch/readahead.h"
+#include "runtime/runtime_info.h"
+#include "sched/fastswap.h"
+#include "sched/two_dim.h"
+#include "sim/simulator.h"
+#include "swapalloc/cluster.h"
+#include "swapalloc/freelist.h"
+
+using namespace canvas;
+
+static void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int count = 0;
+    for (int i = 0; i < 1000; ++i) sim.Schedule(SimDuration(i), [&] { ++count; });
+    sim.Run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+static void BM_LruTouch(benchmark::State& state) {
+  std::vector<mem::Page> pages(4096);
+  mem::LruLists lru(pages);
+  for (PageId i = 0; i < 4096; ++i) {
+    pages[i].state = mem::PageState::kResident;
+    lru.AddActive(i);
+  }
+  Rng rng(1);
+  for (auto _ : state) lru.Touch(rng.NextBounded(4096));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruTouch);
+
+static void BM_LruEvictionCandidate(benchmark::State& state) {
+  std::vector<mem::Page> pages(4096);
+  mem::LruLists lru(pages);
+  for (PageId i = 0; i < 4096; ++i) {
+    pages[i].state = mem::PageState::kResident;
+    lru.AddActive(i);
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    PageId v = lru.EvictionCandidate();
+    benchmark::DoNotOptimize(v);
+    lru.Touch(rng.NextBounded(4096));
+  }
+}
+BENCHMARK(BM_LruEvictionCandidate);
+
+static void BM_SwapCacheLookup(benchmark::State& state) {
+  mem::SwapCache cache("bench", 8192);
+  for (PageId p = 0; p < 4096; ++p) cache.Insert(1, p, false, false, 0);
+  Rng rng(2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cache.Lookup(1, rng.NextBounded(8192)));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwapCacheLookup);
+
+static void BM_SwapCacheInsertRemove(benchmark::State& state) {
+  mem::SwapCache cache("bench", 8192);
+  PageId p = 0;
+  for (auto _ : state) {
+    cache.Insert(1, p, false, false, 0);
+    cache.Remove(1, p);
+    ++p;
+  }
+}
+BENCHMARK(BM_SwapCacheInsertRemove);
+
+static void BM_FreelistAllocate(benchmark::State& state) {
+  sim::Simulator sim;
+  swapalloc::FreelistAllocator alloc(sim, 1u << 20, {});
+  for (auto _ : state) {
+    SwapEntryId got = kInvalidEntry;
+    alloc.Allocate(0, [&](swapalloc::AllocResult r) { got = r.entry; });
+    sim.Run();
+    alloc.Free(got);
+  }
+}
+BENCHMARK(BM_FreelistAllocate);
+
+static void BM_ClusterAllocate(benchmark::State& state) {
+  sim::Simulator sim;
+  swapalloc::ClusterAllocator alloc(sim, 1u << 20, {});
+  for (auto _ : state) {
+    SwapEntryId got = kInvalidEntry;
+    alloc.Allocate(0, [&](swapalloc::AllocResult r) { got = r.entry; });
+    sim.Run();
+    alloc.Free(got);
+  }
+}
+BENCHMARK(BM_ClusterAllocate);
+
+static void BM_ReadaheadOnFault(benchmark::State& state) {
+  prefetch::ReadaheadPrefetcher p({prefetch::ContextMode::kPerApp, 8, 1024});
+  std::vector<PageId> out;
+  PageId page = 0;
+  for (auto _ : state) {
+    out.clear();
+    p.OnFault({1, page++, 0, 0, false}, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadaheadOnFault);
+
+static void BM_LeapOnFault(benchmark::State& state) {
+  prefetch::LeapPrefetcher p({prefetch::ContextMode::kPerApp, 32, 16, 8});
+  std::vector<PageId> out;
+  Rng rng(3);
+  for (auto _ : state) {
+    out.clear();
+    p.OnFault({1, rng.NextBounded(1u << 20), 0, 0, false}, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LeapOnFault);
+
+static void BM_SummaryGraphReachable(benchmark::State& state) {
+  runtime::RuntimeInfo info;
+  Rng rng(4);
+  for (int i = 0; i < 20000; ++i)
+    info.RecordReference(rng.NextBounded(1u << 16),
+                         rng.NextBounded(1u << 16));
+  std::vector<PageId> out;
+  for (auto _ : state) {
+    info.ReachablePages(rng.NextBounded(1u << 16), 3, 32, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SummaryGraphReachable);
+
+static rdma::RequestPtr MicroReq(rdma::Op op, CgroupId cg) {
+  auto r = std::make_unique<rdma::Request>();
+  r->op = op;
+  r->cgroup = cg;
+  return r;
+}
+
+static void BM_FastswapDequeue(benchmark::State& state) {
+  sched::FastswapScheduler s;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 64; ++i)
+      s.Enqueue(MicroReq(i % 2 ? rdma::Op::kDemandIn : rdma::Op::kPrefetchIn,
+                         CgroupId(i % 4)));
+    state.ResumeTiming();
+    while (auto r = s.Dequeue(rdma::Direction::kIngress, 0))
+      benchmark::DoNotOptimize(r.get());
+  }
+}
+BENCHMARK(BM_FastswapDequeue);
+
+static void BM_TwoDimDequeue(benchmark::State& state) {
+  sched::TwoDimScheduler::Config cfg;
+  cfg.horizontal = false;
+  sched::TwoDimScheduler s(cfg);
+  for (CgroupId c = 0; c < 4; ++c) s.RegisterCgroup(c, 1.0 + c);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 64; ++i)
+      s.Enqueue(MicroReq(i % 2 ? rdma::Op::kDemandIn : rdma::Op::kPrefetchIn,
+                         CgroupId(i % 4)));
+    state.ResumeTiming();
+    while (auto r = s.Dequeue(rdma::Direction::kIngress, 0))
+      benchmark::DoNotOptimize(r.get());
+  }
+}
+BENCHMARK(BM_TwoDimDequeue);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Table 5: prefetching contribution and accuracy for Leap, the kernel
+// prefetcher, and Canvas's two-tier prefetcher when each managed app co-runs
+// with the natives on the isolated swap system. Paper result (contribution):
+// Leap 23-67%, kernel 41-68%, two-tier 45-79%; accuracy: Leap 6-36%, kernel
+// 80-96%, two-tier comparable to kernel.
+#include "bench_util.h"
+
+using namespace canvas;
+using namespace canvas::bench;
+
+int main() {
+  double scale = ScaleFromEnv(0.25);
+
+  struct Pf {
+    std::string label;
+    core::PrefetcherKind kind;
+  };
+  std::vector<Pf> prefetchers = {{"leap", core::PrefetcherKind::kLeap},
+                                 {"kernel", core::PrefetcherKind::kReadahead},
+                                 {"two-tier", core::PrefetcherKind::kTwoTier}};
+
+  PrintBanner("Table 5: prefetching contribution / accuracy on the isolated "
+              "swap system (managed app co-run with natives)");
+  TablePrinter table({"metric", "prefetcher", "spark-lr", "spark-km",
+                      "spark-tc", "neo4j"});
+  std::vector<std::vector<double>> contribution(prefetchers.size());
+  std::vector<std::vector<double>> accuracy(prefetchers.size());
+  std::vector<std::vector<double>> runtime(prefetchers.size());
+
+  const std::vector<std::string> managed_apps{"spark-lr", "spark-km",
+                                              "spark-tc", "neo4j"};
+  for (const auto& managed : managed_apps) {
+    for (std::size_t pi = 0; pi < prefetchers.size(); ++pi) {
+      auto cfg = core::SystemConfig::CanvasFull();
+      cfg.prefetcher = prefetchers[pi].kind;
+      cfg.prefetcher_shared_state = false;  // per-cgroup state (isolated)
+      core::Experiment e(cfg, ManagedPlusNatives(managed, scale, 0.25));
+      e.Run();
+      const auto& m = e.system().metrics(0);
+      contribution[pi].push_back(m.ContributionPct());
+      accuracy[pi].push_back(m.AccuracyPct());
+      runtime[pi].push_back(e.FinishSeconds(0));
+    }
+  }
+  for (std::size_t pi = 0; pi < prefetchers.size(); ++pi) {
+    std::vector<std::string> row{"contribution", prefetchers[pi].label};
+    for (double v : contribution[pi]) row.push_back(Pct(v));
+    table.AddRow(std::move(row));
+  }
+  for (std::size_t pi = 0; pi < prefetchers.size(); ++pi) {
+    std::vector<std::string> row{"accuracy", prefetchers[pi].label};
+    for (double v : accuracy[pi]) row.push_back(Pct(v));
+    table.AddRow(std::move(row));
+  }
+  for (std::size_t pi = 0; pi < prefetchers.size(); ++pi) {
+    std::vector<std::string> row{"runtime", prefetchers[pi].label};
+    for (double v : runtime[pi])
+      row.push_back(TablePrinter::Num(v * 1000, 0) + "ms");
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::puts("\nPaper: two-tier has the highest contribution (45-79%); Leap "
+            "the lowest accuracy (6-36%)\nand slows managed apps ~1.4x vs "
+            "the kernel prefetcher.");
+  return 0;
+}

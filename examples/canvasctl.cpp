@@ -1,0 +1,197 @@
+// canvasctl: command-line driver for arbitrary swap-system experiments.
+//
+// Compose any co-run from the 14 Table 2 applications, pick a system
+// preset (or toggle features), and get human tables, CSV, or JSON out —
+// the adoption surface for using this repository as a far-memory
+// swap-policy simulator rather than only as a paper reproduction.
+//
+// Usage:
+//   canvasctl [options] app[:cores] [app[:cores] ...]
+//
+// Options:
+//   --system=NAME    linux | infiniswap | leap | fastswap | isolation |
+//                    canvas (default: canvas)
+//   --ratio=R        local memory fraction of working set (default 0.25)
+//   --scale=S        workload scale factor (default 0.3)
+//   --seed=N         workload seed (default 7)
+//   --format=F       table | csv | json (default table)
+//   --no-adaptive    disable adaptive swap-entry allocation
+//   --no-horizontal  disable timeliness-based prefetch dropping
+//   --prefetcher=P   none | readahead | leap | two-tier (override preset)
+//   --list           list available applications and exit
+//
+// Examples:
+//   canvasctl spark-lr snappy memcached xgboost
+//   canvasctl --system=linux --format=csv cassandra:24 memcached:4
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/experiment.h"
+#include "core/report.h"
+#include "workload/apps.h"
+
+using namespace canvas;
+
+namespace {
+
+struct Options {
+  std::string system = "canvas";
+  double ratio = 0.25;
+  double scale = 0.3;
+  std::uint64_t seed = 7;
+  std::string format = "table";
+  bool no_adaptive = false;
+  bool no_horizontal = false;
+  std::string prefetcher;
+  std::vector<std::pair<std::string, std::uint32_t>> apps;
+};
+
+core::SystemConfig ResolveSystem(const Options& opt) {
+  core::SystemConfig cfg;
+  if (opt.system == "linux") cfg = core::SystemConfig::Linux55();
+  else if (opt.system == "infiniswap") cfg = core::SystemConfig::Infiniswap();
+  else if (opt.system == "leap") cfg = core::SystemConfig::InfiniswapLeap();
+  else if (opt.system == "fastswap") cfg = core::SystemConfig::Fastswap();
+  else if (opt.system == "isolation")
+    cfg = core::SystemConfig::CanvasIsolation();
+  else if (opt.system == "canvas") cfg = core::SystemConfig::CanvasFull();
+  else {
+    std::fprintf(stderr, "unknown system '%s'\n", opt.system.c_str());
+    std::exit(2);
+  }
+  if (opt.no_adaptive) cfg.adaptive_alloc = false;
+  if (opt.no_horizontal) cfg.horizontal_sched = false;
+  if (!opt.prefetcher.empty()) {
+    if (opt.prefetcher == "none") cfg.prefetcher = core::PrefetcherKind::kNone;
+    else if (opt.prefetcher == "readahead")
+      cfg.prefetcher = core::PrefetcherKind::kReadahead;
+    else if (opt.prefetcher == "leap")
+      cfg.prefetcher = core::PrefetcherKind::kLeap;
+    else if (opt.prefetcher == "two-tier")
+      cfg.prefetcher = core::PrefetcherKind::kTwoTier;
+    else {
+      std::fprintf(stderr, "unknown prefetcher '%s'\n",
+                   opt.prefetcher.c_str());
+      std::exit(2);
+    }
+  }
+  return cfg;
+}
+
+std::uint32_t DefaultCores(const std::string& name) {
+  if (name == "xgboost") return 16;
+  if (name == "memcached") return 4;
+  if (name == "snappy") return 1;
+  return 24;
+}
+
+bool ParseArgs(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg == "--list") {
+      for (const char* n :
+           {"spark-lr", "spark-km", "spark-pr", "spark-sg", "spark-tc",
+            "mllib-bc", "graphx-cc", "graphx-pr", "graphx-sp", "cassandra",
+            "neo4j", "xgboost", "snappy", "memcached"})
+        std::puts(n);
+      std::exit(0);
+    } else if (arg.rfind("--system=", 0) == 0) {
+      opt.system = value("--system=");
+    } else if (arg.rfind("--ratio=", 0) == 0) {
+      opt.ratio = std::atof(value("--ratio=").c_str());
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      opt.scale = std::atof(value("--scale=").c_str());
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opt.seed = std::strtoull(value("--seed=").c_str(), nullptr, 10);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      opt.format = value("--format=");
+    } else if (arg.rfind("--prefetcher=", 0) == 0) {
+      opt.prefetcher = value("--prefetcher=");
+    } else if (arg == "--no-adaptive") {
+      opt.no_adaptive = true;
+    } else if (arg == "--no-horizontal") {
+      opt.no_horizontal = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return false;
+    } else {
+      auto colon = arg.find(':');
+      std::string name = arg.substr(0, colon);
+      std::uint32_t cores = colon == std::string::npos
+                                ? DefaultCores(name)
+                                : std::uint32_t(std::atoi(
+                                      arg.substr(colon + 1).c_str()));
+      opt.apps.emplace_back(name, cores);
+    }
+  }
+  return !opt.apps.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!ParseArgs(argc, argv, opt)) {
+    std::fprintf(stderr,
+                 "usage: canvasctl [--system=...] [--ratio=R] [--scale=S] "
+                 "[--format=table|csv|json] app[:cores] ...\n"
+                 "       canvasctl --list\n");
+    return 2;
+  }
+
+  auto cfg = ResolveSystem(opt);
+  std::vector<core::AppSpec> apps;
+  for (auto& [name, cores] : opt.apps) {
+    workload::AppParams params;
+    params.scale = opt.scale;
+    params.seed = opt.seed;
+    auto w = workload::MakeByName(name, params);
+    auto cg = workload::CgroupFor(w, opt.ratio, cores);
+    apps.push_back(core::AppSpec{std::move(w), std::move(cg)});
+  }
+
+  core::Experiment exp(cfg, std::move(apps));
+  bool finished = exp.Run();
+
+  if (opt.format == "csv") {
+    core::WriteCsv(std::cout, exp.system(), cfg.name);
+  } else if (opt.format == "json") {
+    core::WriteJson(std::cout, exp.system(), cfg.name);
+  } else {
+    PrintBanner(cfg.name + (finished ? "" : "  [DID NOT FINISH]"));
+    TablePrinter t({"app", "runtime", "faults", "major", "contrib",
+                    "accuracy", "swap-outs", "lock-free", "drops"});
+    for (std::size_t i = 0; i < exp.system().app_count(); ++i) {
+      const auto& m = exp.system().metrics(i);
+      t.AddRow({m.name, FormatTime(m.finish_time),
+                std::to_string(m.faults), std::to_string(m.faults_major),
+                TablePrinter::Num(m.ContributionPct(), 1) + "%",
+                TablePrinter::Num(m.AccuracyPct(), 1) + "%",
+                std::to_string(m.swapouts),
+                std::to_string(m.lockfree_swapouts),
+                std::to_string(exp.system().scheduler().drops_for(
+                    exp.system().cgroup_of(i)))});
+    }
+    t.Print();
+    std::printf("RDMA in %.0fMB/s out %.0fMB/s, WMMR %.2f\n",
+                exp.system()
+                        .nic()
+                        .bytes_series(rdma::Direction::kIngress)
+                        .MeanRate() /
+                    1e6,
+                exp.system()
+                        .nic()
+                        .bytes_series(rdma::Direction::kEgress)
+                        .MeanRate() /
+                    1e6,
+                exp.system().Wmmr(rdma::Direction::kIngress));
+  }
+  return finished ? 0 : 1;
+}

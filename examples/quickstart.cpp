@@ -1,0 +1,59 @@
+// Quickstart: run one application on remote memory under two swap systems
+// and compare.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart [app-name] [local-ratio]
+//
+// Demonstrates the minimal Canvas API: build a workload, attach cgroup
+// limits, pick a SystemConfig, run the Experiment, read the metrics.
+#include <cstdio>
+#include <string>
+
+#include "common/table.h"
+#include "core/experiment.h"
+#include "workload/apps.h"
+
+using namespace canvas;
+
+namespace {
+
+core::AppSpec MakeApp(const std::string& name, double ratio,
+                      std::uint32_t cores, double scale) {
+  workload::AppParams params;
+  params.scale = scale;
+  auto w = workload::MakeByName(name, params);
+  auto cg = workload::CgroupFor(w, ratio, cores);
+  return core::AppSpec{std::move(w), std::move(cg)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string app = argc > 1 ? argv[1] : "memcached";
+  double ratio = argc > 2 ? std::atof(argv[2]) : 0.25;
+
+  PrintBanner("Canvas quickstart: " + app + " with " +
+              TablePrinter::Num(ratio * 100, 0) + "% local memory");
+
+  TablePrinter table({"system", "runtime", "major faults", "prefetch contrib",
+                      "prefetch accuracy", "swap-outs", "alloc time share"});
+  for (auto cfg : {core::SystemConfig::Linux55(),
+                   core::SystemConfig::CanvasFull()}) {
+    std::vector<core::AppSpec> apps;
+    apps.push_back(MakeApp(app, ratio, 8, 0.5));
+    core::Experiment exp(cfg, std::move(apps));
+    bool finished = exp.Run();
+    const auto& m = exp.system().metrics(0);
+    table.AddRow({cfg.name,
+                  finished ? FormatTime(m.finish_time) : "(did not finish)",
+                  std::to_string(m.faults_major),
+                  TablePrinter::Num(m.ContributionPct(), 1) + "%",
+                  TablePrinter::Num(m.AccuracyPct(), 1) + "%",
+                  std::to_string(m.swapouts),
+                  TablePrinter::Num(m.AllocTimeShare() * 100, 1) + "%"});
+  }
+  table.Print();
+  std::puts("\nSee examples/corun_isolation.cpp for multi-application runs.");
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "cgroup/cgroup.h"
+
+namespace canvas {
+
+std::uint64_t Cgroup::MemoryDeficit(std::uint64_t extra) const {
+  std::uint64_t want = charged_pages() + extra;
+  return want > spec_.local_mem_pages ? want - spec_.local_mem_pages : 0;
+}
+
+CgroupId CgroupRegistry::Create(CgroupSpec spec) {
+  auto id = CgroupId(groups_.size());
+  groups_.emplace_back(id, std::move(spec));
+  return id;
+}
+
+Cgroup& CgroupRegistry::Get(CgroupId id) { return groups_.at(id); }
+
+const Cgroup& CgroupRegistry::Get(CgroupId id) const {
+  return groups_.at(id);
+}
+
+}  // namespace canvas

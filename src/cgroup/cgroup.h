@@ -1,0 +1,98 @@
+// cgroup model: the resource-accounting unit Canvas extends.
+//
+// The paper adds three swap-resource constraints to cgroup: swap-partition
+// size, swap-cache budget, and RDMA bandwidth weight. This module provides
+// the bookkeeping; enforcement lives in the subsystems (partition allocator,
+// swap cache, scheduler) that consult it.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/types.h"
+
+namespace canvas {
+
+struct CgroupSpec {
+  std::string name;
+  /// Local memory budget in 4KB frames (resident pages + private swap cache
+  /// are charged against this, matching the paper's "swap cache charged to
+  /// the memory budget").
+  std::uint64_t local_mem_pages = 0;
+  /// Remote memory (swap partition) limit in entries.
+  std::uint64_t swap_entry_limit = 0;
+  /// Initial private swap-cache budget in pages (paper default: 32MB).
+  std::uint64_t swap_cache_pages = 8192;
+  /// Weight for vertical (inter-application) RDMA fair scheduling.
+  double rdma_weight = 1.0;
+  /// Cores assigned (drives simulated thread concurrency).
+  std::uint32_t cores = 1;
+};
+
+/// Runtime accounting for one cgroup.
+class Cgroup {
+ public:
+  Cgroup(CgroupId id, CgroupSpec spec) : id_(id), spec_(std::move(spec)) {}
+
+  CgroupId id() const { return id_; }
+  const CgroupSpec& spec() const { return spec_; }
+
+  // --- local memory (frames) ---
+  std::uint64_t resident_pages() const { return resident_; }
+  std::uint64_t cache_pages() const { return cache_; }
+  std::uint64_t charged_pages() const { return resident_ + cache_; }
+  bool OverMemoryLimit() const {
+    return charged_pages() >= spec_.local_mem_pages;
+  }
+  /// Frames that must be reclaimed before `extra` new charges fit.
+  std::uint64_t MemoryDeficit(std::uint64_t extra) const;
+
+  void ChargeResident() { ++resident_; }
+  void UnchargeResident() {
+    assert(resident_ > 0);
+    --resident_;
+  }
+  void ChargeCache() { ++cache_; }
+  void UnchargeCache() {
+    assert(cache_ > 0);
+    --cache_;
+  }
+
+  // --- remote memory (swap entries) ---
+  std::uint64_t remote_entries() const { return remote_; }
+  double RemoteUtilization() const {
+    return spec_.swap_entry_limit
+               ? double(remote_) / double(spec_.swap_entry_limit)
+               : 0.0;
+  }
+  void ChargeRemote() { ++remote_; }
+  void UnchargeRemote() {
+    assert(remote_ > 0);
+    --remote_;
+  }
+
+ private:
+  CgroupId id_;
+  CgroupSpec spec_;
+  std::uint64_t resident_ = 0;
+  std::uint64_t cache_ = 0;
+  std::uint64_t remote_ = 0;
+};
+
+/// Owns all cgroups of one experiment, including the special shared cgroup.
+/// Deque storage keeps Cgroup references stable across Create() calls
+/// (subsystems hold references for the experiment's lifetime).
+class CgroupRegistry {
+ public:
+  CgroupId Create(CgroupSpec spec);
+  Cgroup& Get(CgroupId id);
+  const Cgroup& Get(CgroupId id) const;
+  std::size_t size() const { return groups_.size(); }
+
+ private:
+  std::deque<Cgroup> groups_;
+};
+
+}  // namespace canvas

@@ -1,0 +1,120 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+namespace canvas {
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+void StreamingStats::Merge(const StreamingStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  std::uint64_t total = n_ + other.n_;
+  m2_ += other.m2_ +
+         delta * delta * double(n_) * double(other.n_) / double(total);
+  mean_ += delta * double(other.n_) / double(total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = total;
+}
+
+void LatencyRecorder::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double LatencyRecorder::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  double rank = p / 100.0 * double(samples_.size() - 1);
+  auto lo = std::size_t(rank);
+  auto hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = rank - double(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double LatencyRecorder::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0;
+  for (double v : samples_) s += v;
+  return s / double(samples_.size());
+}
+
+double LatencyRecorder::Max() const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  return samples_.back();
+}
+
+double LatencyRecorder::FractionBelow(double threshold) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), threshold);
+  return double(it - samples_.begin()) / double(samples_.size());
+}
+
+std::vector<std::pair<double, double>> LatencyRecorder::Cdf(int points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points <= 0) return out;
+  EnsureSorted();
+  out.reserve(std::size_t(points));
+  for (int i = 1; i <= points; ++i) {
+    double frac = double(i) / double(points);
+    auto idx = std::size_t(frac * double(samples_.size() - 1));
+    out.emplace_back(samples_[idx], frac);
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / buckets),
+      counts_(std::size_t(buckets), 0) {}
+
+void Histogram::Add(double v) {
+  int idx;
+  if (v < lo_) {
+    idx = 0;
+  } else if (v >= hi_) {
+    idx = int(counts_.size()) - 1;
+  } else {
+    idx = int((v - lo_) / width_);
+  }
+  ++counts_[std::size_t(idx)];
+  ++total_;
+}
+
+void TimeSeries::Add(SimTime t, double amount) {
+  auto idx = std::size_t(t / width_);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0.0);
+  buckets_[idx] += amount;
+}
+
+double TimeSeries::Rate(std::size_t i) const {
+  return Bucket(i) * double(kSecond) / double(width_);
+}
+
+double TimeSeries::Total() const {
+  double s = 0;
+  for (double b : buckets_) s += b;
+  return s;
+}
+
+double TimeSeries::MeanRate() const {
+  if (buckets_.empty()) return 0.0;
+  return Total() * double(kSecond) / (double(width_) * double(buckets_.size()));
+}
+
+double TimeSeries::PeakRate() const {
+  double peak = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    peak = std::max(peak, Rate(i));
+  return peak;
+}
+
+}  // namespace canvas

@@ -1,0 +1,53 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <iostream>
+
+namespace canvas {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += cells[c];
+      out.append(widths[c] - cells[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  emit_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    rule.append(widths[c] + 2, c + 1 == headers_.size() ? '-' : '-');
+  out += rule + '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::cout << ToString() << std::flush; }
+
+void PrintBanner(const std::string& title) {
+  std::cout << "\n== " << title << " ==\n";
+}
+
+}  // namespace canvas

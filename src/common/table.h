@@ -1,0 +1,31 @@
+// Plain-text table printer used by the bench harness so every reproduced
+// figure/table prints in a uniform, diff-friendly format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace canvas {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+
+  /// Render with column alignment to a string (also usable with std::cout).
+  std::string ToString() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner ("== Figure 10(a): ... ==") before each table.
+void PrintBanner(const std::string& title);
+
+}  // namespace canvas

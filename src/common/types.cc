@@ -1,0 +1,36 @@
+#include "common/types.h"
+
+#include <cstdio>
+
+namespace canvas {
+
+std::string FormatTime(SimTime t) {
+  char buf[64];
+  if (t >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", double(t) / double(kSecond));
+  } else if (t >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", double(t) / double(kMillisecond));
+  } else if (t >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", double(t) / double(kMicrosecond));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluns",
+                  static_cast<unsigned long long>(t));
+  }
+  return buf;
+}
+
+std::string FormatBytes(double bytes) {
+  char buf[64];
+  if (bytes >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fGB", bytes / 1e9);
+  } else if (bytes >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fMB", bytes / 1e6);
+  } else if (bytes >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fKB", bytes / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fB", bytes);
+  }
+  return buf;
+}
+
+}  // namespace canvas

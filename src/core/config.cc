@@ -1,0 +1,71 @@
+#include "core/config.h"
+
+namespace canvas::core {
+
+SystemConfig SystemConfig::Linux55() {
+  SystemConfig c;
+  c.name = "linux-5.5";
+  // Paper's tuned baseline: SSD-like swap model, per-VMA prefetching
+  // (per-application readahead state) and cluster-based entry allocation.
+  c.isolated_partitions = false;
+  c.isolated_caches = false;
+  c.allocator = swapalloc::AllocatorKind::kCluster;
+  c.prefetcher = PrefetcherKind::kReadahead;
+  c.prefetcher_shared_state = false;  // per-VMA policy
+  c.scheduler = SchedulerKind::kFifo;
+  return c;
+}
+
+SystemConfig SystemConfig::Infiniswap() {
+  SystemConfig c;
+  c.name = "infiniswap";
+  // Linux 4.4 era: single-lock free list, global readahead, shared FIFO.
+  c.allocator = swapalloc::AllocatorKind::kFreelist;
+  c.prefetcher = PrefetcherKind::kReadahead;
+  c.prefetcher_shared_state = true;
+  c.per_vma_readahead = false;  // pre-5.x single readahead context
+  c.scheduler = SchedulerKind::kFifo;
+  return c;
+}
+
+SystemConfig SystemConfig::InfiniswapLeap() {
+  SystemConfig c = Infiniswap();
+  c.name = "infiniswap+leap";
+  c.prefetcher = PrefetcherKind::kLeap;  // global majority vote
+  return c;
+}
+
+SystemConfig SystemConfig::Fastswap() {
+  SystemConfig c;
+  c.name = "fastswap";
+  c.allocator = swapalloc::AllocatorKind::kCluster;
+  c.prefetcher = PrefetcherKind::kReadahead;
+  c.prefetcher_shared_state = false;
+  c.scheduler = SchedulerKind::kFastswap;
+  return c;
+}
+
+SystemConfig SystemConfig::CanvasIsolation() {
+  SystemConfig c;
+  c.name = "canvas-isolation";
+  c.isolated_partitions = true;
+  c.isolated_caches = true;
+  c.allocator = swapalloc::AllocatorKind::kCluster;
+  c.adaptive_alloc = false;
+  c.prefetcher = PrefetcherKind::kReadahead;
+  c.prefetcher_shared_state = false;
+  c.scheduler = SchedulerKind::kTwoDim;
+  c.horizontal_sched = false;
+  return c;
+}
+
+SystemConfig SystemConfig::CanvasFull() {
+  SystemConfig c = CanvasIsolation();
+  c.name = "canvas";
+  c.adaptive_alloc = true;
+  c.prefetcher = PrefetcherKind::kTwoTier;
+  c.horizontal_sched = true;
+  return c;
+}
+
+}  // namespace canvas::core

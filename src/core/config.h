@@ -1,0 +1,91 @@
+// System configuration: every swap system the paper evaluates is a setting
+// of these switches over the same substrate (DESIGN.md §2).
+#pragma once
+
+#include <string>
+
+#include "rdma/nic.h"
+#include "sched/timeliness.h"
+#include "swapalloc/partition.h"
+#include "swapalloc/reservation.h"
+
+namespace canvas::core {
+
+enum class PrefetcherKind : std::uint8_t {
+  kNone,
+  kReadahead,  // kernel VMA readahead
+  kLeap,       // Leap majority-vote, aggressive fallback
+  kTwoTier,    // Canvas kernel tier + application tier
+};
+
+enum class SchedulerKind : std::uint8_t {
+  kFifo,      // single shared dispatch queue (Linux / Infiniswap)
+  kFastswap,  // sync/async priority, no fairness
+  kTwoDim,    // Canvas VQPs: vertical WFQ + horizontal priority
+};
+
+struct SystemConfig {
+  std::string name = "custom";
+
+  // --- isolation (§4) ---
+  bool isolated_partitions = false;  // per-cgroup swap partitions
+  bool isolated_caches = false;      // per-cgroup private swap caches
+
+  // --- swap entry allocation (§5.1) ---
+  swapalloc::AllocatorKind allocator = swapalloc::AllocatorKind::kFreelist;
+  bool adaptive_alloc = false;  // Canvas reservation scheme
+  swapalloc::ReservationManager::Config reservation;
+  swapalloc::FreelistAllocator::Config freelist;
+  swapalloc::ClusterAllocator::Config cluster;
+
+  // --- prefetching (§5.2) ---
+  PrefetcherKind prefetcher = PrefetcherKind::kReadahead;
+  /// Prefetcher detector state shared across apps (true for the shared swap
+  /// systems; Canvas always uses per-cgroup state).
+  bool prefetcher_shared_state = true;
+  /// Cap on outstanding prefetch requests per application (the kernel
+  /// bounds readahead the same way via the window size).
+  std::uint32_t max_inflight_prefetch = 96;
+  /// Per-VMA readahead state (the policy the paper tunes Linux 5.5 with);
+  /// false models older kernels' single readahead context (Infiniswap).
+  bool per_vma_readahead = true;
+
+  // --- RDMA scheduling (§5.3) ---
+  SchedulerKind scheduler = SchedulerKind::kFifo;
+  bool horizontal_sched = false;  // timeliness dropping + blocked-thread rescue
+  sched::TimelinessTracker::Config timeliness;
+  rdma::Nic::Config nic;
+
+  // --- fault-path cost model (ns) ---
+  SimDuration fault_entry_cost = 800;   // trap + swap-cache lookup
+  SimDuration map_cost = 600;           // map a cached page (minor fault)
+  SimDuration first_touch_cost = 900;   // zero-fill a new page
+  SimDuration evict_page_cost = 250;    // per victim: scan + unmap
+  std::uint32_t reclaim_batch = 32;     // SWAP_CLUSTER_MAX
+  /// kswapd watermark: background reclaim keeps this many frames free so
+  /// faulting threads rarely enter direct reclaim.
+  std::uint32_t kswapd_headroom = 16;
+  SimDuration kswapd_period = 500 * 1000;  // 500us
+  /// Entries stripped from clean resident pages when the partition is full
+  /// (Linux 5.5 entry-keeping release).
+  std::uint32_t strip_batch = 64;
+  /// Entry-keeping for clean pages is enabled only while the partition's
+  /// free fraction exceeds this threshold (Appendix B: "entry keeping
+  /// starts when the percentage of available swap entries exceeds this
+  /// threshold"); below it, swap-in frees the entry. Not used by the
+  /// adaptive (reservation) allocator, which manages entries itself.
+  double entry_keep_free_threshold = 0.25;
+
+  // --- presets (the systems of Figures 9-11) ---
+  static SystemConfig Linux55();
+  static SystemConfig Infiniswap();
+  static SystemConfig InfiniswapLeap();
+  static SystemConfig Fastswap();
+  /// Canvas with only the isolated swap system + vertical RDMA fairness
+  /// (the §6.3 variant).
+  static SystemConfig CanvasIsolation();
+  /// Canvas with all adaptive optimizations (§5).
+  static SystemConfig CanvasFull();
+};
+
+}  // namespace canvas::core

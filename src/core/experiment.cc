@@ -1,0 +1,26 @@
+#include "core/experiment.h"
+
+namespace canvas::core {
+
+Experiment::Experiment(SystemConfig cfg, std::vector<AppSpec> apps,
+                       SimTime deadline)
+    : deadline_(deadline) {
+  system_ = std::make_unique<SwapSystem>(sim_, std::move(cfg),
+                                         std::move(apps));
+}
+
+bool Experiment::Run() {
+  system_->Start();
+  // Advance in slices so the run can stop as soon as every application has
+  // finished (periodic maintenance events would otherwise keep the queue
+  // non-empty until the deadline).
+  constexpr SimTime kSlice = 20 * kMillisecond;
+  while (sim_.Now() < deadline_) {
+    SimTime next = std::min(deadline_, sim_.Now() + kSlice);
+    bool drained = sim_.RunUntil(next);
+    if (system_->AllFinished() || drained) break;
+  }
+  return system_->AllFinished();
+}
+
+}  // namespace canvas::core

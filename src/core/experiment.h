@@ -1,0 +1,49 @@
+// Experiment runner: builds a simulator + SwapSystem for one co-run
+// scenario, runs it to completion (or a deadline), and exposes results.
+// Every bench binary and integration test drives experiments through this
+// class, making runs reproducible from (config, app specs, seed).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/swap_system.h"
+
+namespace canvas::core {
+
+class Experiment {
+ public:
+  /// `deadline` bounds runaway configurations; results of unfinished apps
+  /// report finish_time == 0.
+  Experiment(SystemConfig cfg, std::vector<AppSpec> apps,
+             SimTime deadline = 600 * kSecond);
+
+  /// Run to completion. Returns true if all applications finished.
+  bool Run();
+
+  sim::Simulator& simulator() { return sim_; }
+  const SwapSystem& system() const { return *system_; }
+  SwapSystem& system() { return *system_; }
+
+  /// Makespan of app `i` (0 if it did not finish before the deadline).
+  SimTime FinishTime(std::size_t i) const {
+    return system_->metrics(i).finish_time;
+  }
+
+  /// Convenience: finish time in (simulated) seconds.
+  double FinishSeconds(std::size_t i) const {
+    return double(FinishTime(i)) / double(kSecond);
+  }
+
+ private:
+  sim::Simulator sim_;
+  SimTime deadline_;
+  std::unique_ptr<SwapSystem> system_;
+};
+
+/// Slowdown of `t` relative to baseline `base` (>= 1 means slower).
+inline double Slowdown(SimTime t, SimTime base) {
+  return base ? double(t) / double(base) : 0.0;
+}
+
+}  // namespace canvas::core

@@ -1,0 +1,59 @@
+// Per-application metrics collected by the swap system. Field semantics
+// follow the paper's definitions (§6.4.2): contribution = swap-cache hits on
+// prefetched pages / total faults; accuracy = prefetched pages used /
+// prefetches completed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace canvas::core {
+
+struct AppMetrics {
+  std::string name;
+  SimTime finish_time = 0;  ///< makespan: when the last thread finished
+
+  std::uint64_t accesses = 0;
+  std::uint64_t faults = 0;        ///< logical swap faults (counted once)
+  /// Demand swap-ins issued, including reissues after a blocked fault
+  /// resolves (so faults_major + faults_minor >= faults).
+  std::uint64_t faults_major = 0;
+  std::uint64_t faults_minor = 0;  ///< served from swap cache
+  std::uint64_t faults_minor_prefetched = 0;  ///< ... by a prefetched page
+  std::uint64_t first_touches = 0;
+
+  std::uint64_t prefetch_issued = 0;
+  std::uint64_t prefetch_completed = 0;
+  std::uint64_t prefetch_used = 0;       ///< mapped before release
+  std::uint64_t prefetch_wasted = 0;     ///< released unused
+  std::uint64_t prefetch_dropped = 0;    ///< dropped by the scheduler
+  std::uint64_t prefetch_discarded = 0;  ///< stale data discarded (§5.3)
+  std::uint64_t rescues = 0;             ///< blocked threads re-issued demand
+
+  std::uint64_t swapouts = 0;     ///< writebacks issued
+  std::uint64_t clean_drops = 0;  ///< evictions satisfied without writeback
+
+  std::uint64_t allocations = 0;       ///< allocator (lock-path) calls
+  std::uint64_t lockfree_swapouts = 0; ///< served by a reserved entry
+  SimDuration alloc_time = 0;          ///< total wait+hold in allocation
+  SimDuration busy_time = 0;           ///< total thread compute time
+  SimDuration fault_stall = 0;         ///< thread time blocked in faults
+
+  double ContributionPct() const {
+    return faults ? 100.0 * double(faults_minor_prefetched) / double(faults)
+                  : 0.0;
+  }
+  double AccuracyPct() const {
+    return prefetch_completed
+               ? 100.0 * double(prefetch_used) / double(prefetch_completed)
+               : 0.0;
+  }
+  double AllocTimeShare() const {
+    SimDuration denom = busy_time + fault_stall;
+    return denom ? double(alloc_time) / double(denom) : 0.0;
+  }
+};
+
+}  // namespace canvas::core

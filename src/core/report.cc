@@ -1,0 +1,86 @@
+#include "core/report.h"
+
+namespace canvas::core {
+
+namespace {
+
+const char* kCsvHeader =
+    "label,app,finish_ns,accesses,faults,faults_major,faults_minor,"
+    "minor_prefetched,first_touches,prefetch_issued,prefetch_completed,"
+    "prefetch_used,prefetch_wasted,prefetch_dropped,prefetch_discarded,"
+    "rescues,swapouts,clean_drops,allocations,lockfree_swapouts,"
+    "alloc_time_ns,busy_time_ns,fault_stall_ns,contribution_pct,"
+    "accuracy_pct,ingress_bytes,egress_bytes";
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void WriteCsv(std::ostream& os, const SwapSystem& system,
+              const std::string& label, bool header) {
+  if (header) os << kCsvHeader << '\n';
+  for (std::size_t i = 0; i < system.app_count(); ++i) {
+    const AppMetrics& m = system.metrics(i);
+    CgroupId cg = system.cgroup_of(i);
+    os << label << ',' << m.name << ',' << m.finish_time << ','
+       << m.accesses << ',' << m.faults << ',' << m.faults_major << ','
+       << m.faults_minor << ',' << m.faults_minor_prefetched << ','
+       << m.first_touches << ',' << m.prefetch_issued << ','
+       << m.prefetch_completed << ',' << m.prefetch_used << ','
+       << m.prefetch_wasted << ',' << m.prefetch_dropped << ','
+       << m.prefetch_discarded << ',' << m.rescues << ',' << m.swapouts
+       << ',' << m.clean_drops << ',' << m.allocations << ','
+       << m.lockfree_swapouts << ',' << m.alloc_time << ',' << m.busy_time
+       << ',' << m.fault_stall << ',' << m.ContributionPct() << ','
+       << m.AccuracyPct() << ','
+       << system.nic().cgroup_bytes(cg, rdma::Direction::kIngress) << ','
+       << system.nic().cgroup_bytes(cg, rdma::Direction::kEgress) << '\n';
+  }
+}
+
+void WriteJson(std::ostream& os, const SwapSystem& system,
+               const std::string& label) {
+  os << "{\n  \"label\": \"" << JsonEscape(label) << "\",\n"
+     << "  \"system\": \"" << JsonEscape(system.config().name) << "\",\n"
+     << "  \"wmmr_ingress\": "
+     << system.Wmmr(rdma::Direction::kIngress) << ",\n"
+     << "  \"scheduler_drops\": " << system.scheduler().drops() << ",\n"
+     << "  \"rdma\": {\n"
+     << "    \"ingress_mean_Bps\": "
+     << system.nic().bytes_series(rdma::Direction::kIngress).MeanRate()
+     << ",\n    \"egress_mean_Bps\": "
+     << system.nic().bytes_series(rdma::Direction::kEgress).MeanRate()
+     << ",\n    \"demand_p50_ns\": "
+     << system.nic().latency(rdma::Op::kDemandIn).Percentile(50)
+     << ",\n    \"demand_p99_ns\": "
+     << system.nic().latency(rdma::Op::kDemandIn).Percentile(99)
+     << ",\n    \"prefetch_p50_ns\": "
+     << system.nic().latency(rdma::Op::kPrefetchIn).Percentile(50)
+     << ",\n    \"prefetch_p99_ns\": "
+     << system.nic().latency(rdma::Op::kPrefetchIn).Percentile(99)
+     << "\n  },\n  \"apps\": [\n";
+  for (std::size_t i = 0; i < system.app_count(); ++i) {
+    const AppMetrics& m = system.metrics(i);
+    os << "    {\"name\": \"" << JsonEscape(m.name) << "\", \"finish_ns\": "
+       << m.finish_time << ", \"faults\": " << m.faults
+       << ", \"faults_major\": " << m.faults_major
+       << ", \"swapouts\": " << m.swapouts
+       << ", \"allocations\": " << m.allocations
+       << ", \"lockfree_swapouts\": " << m.lockfree_swapouts
+       << ", \"prefetch_issued\": " << m.prefetch_issued
+       << ", \"prefetch_used\": " << m.prefetch_used
+       << ", \"contribution_pct\": " << m.ContributionPct()
+       << ", \"accuracy_pct\": " << m.AccuracyPct() << "}"
+       << (i + 1 < system.app_count() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace canvas::core

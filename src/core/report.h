@@ -1,0 +1,24 @@
+// Structured result export: CSV and JSON serialization of experiment
+// metrics, so runs can be post-processed (plotting, regression tracking)
+// without scraping the human-readable tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "core/swap_system.h"
+
+namespace canvas::core {
+
+/// Write one CSV row per application with the full metric set. When
+/// `header` is true, a header row is emitted first. `label` tags the run
+/// (system name, scenario id, ...).
+void WriteCsv(std::ostream& os, const SwapSystem& system,
+              const std::string& label, bool header = true);
+
+/// Write the whole experiment (config echo + per-app metrics + NIC stats)
+/// as a JSON object.
+void WriteJson(std::ostream& os, const SwapSystem& system,
+               const std::string& label);
+
+}  // namespace canvas::core

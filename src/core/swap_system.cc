@@ -1,0 +1,1015 @@
+#include "core/swap_system.h"
+
+#include <cassert>
+
+namespace canvas::core {
+
+namespace {
+constexpr SimDuration kReclaimRetryDelay = 5 * kMicrosecond;
+constexpr SimDuration kAllocRetryDelay = 50 * kMicrosecond;
+constexpr SimDuration kSpuriousFaultCost = 200;
+/// Pages one direct-reclaim chain evicts before ending (keeps a small
+/// reclaim lookahead per faulting thread, like SWAP_CLUSTER_MAX batching).
+constexpr std::uint32_t kDirectReclaimBudget = 4;
+}  // namespace
+
+SwapSystem::SwapSystem(sim::Simulator& sim, SystemConfig cfg,
+                       std::vector<AppSpec> specs)
+    : sim_(sim), cfg_(std::move(cfg)) {
+  // --- cgroups (creation order makes cgroup id == app index) ---
+  std::uint64_t total_entries = 0;
+  std::uint64_t total_cache = 0;
+  for (auto& spec : specs) {
+    total_entries += spec.cgroup.swap_entry_limit;
+    total_cache += spec.cgroup.swap_cache_pages;
+  }
+
+  swapalloc::SwapPartition::Config part_cfg;
+  part_cfg.kind = cfg_.allocator;
+  part_cfg.freelist = cfg_.freelist;
+  part_cfg.cluster = cfg_.cluster;
+
+  if (!cfg_.isolated_partitions) {
+    global_partition_ = std::make_unique<swapalloc::SwapPartition>(
+        sim_, "shared", total_entries, part_cfg);
+  } else {
+    // Global partition for shared pages uses the original lock-based
+    // allocator (§4 "Handling of Shared Pages").
+    swapalloc::SwapPartition::Config shared_cfg;
+    shared_cfg.kind = swapalloc::AllocatorKind::kFreelist;
+    shared_cfg.freelist = cfg_.freelist;
+    global_partition_ = std::make_unique<swapalloc::SwapPartition>(
+        sim_, "cgroup-shared", std::max<std::uint64_t>(total_entries / 8, 4096),
+        shared_cfg);
+  }
+  if (!cfg_.isolated_caches) {
+    global_cache_ = std::make_unique<mem::SwapCache>("shared", total_cache);
+  } else {
+    // cgroup-shared cache: paper default 32MB, scaled with the experiment.
+    std::uint64_t shared_cache =
+        specs.empty() ? 8192 : specs.front().cgroup.swap_cache_pages;
+    global_cache_ = std::make_unique<mem::SwapCache>("cgroup-shared",
+                                                     shared_cache);
+  }
+
+  // --- prefetcher ---
+  switch (cfg_.prefetcher) {
+    case PrefetcherKind::kNone:
+      break;
+    case PrefetcherKind::kReadahead:
+      prefetcher_ = std::make_unique<prefetch::ReadaheadPrefetcher>(
+          prefetch::ReadaheadPrefetcher::Config{
+              cfg_.prefetcher_shared_state ? prefetch::ContextMode::kGlobal
+                                           : prefetch::ContextMode::kPerApp,
+              8, cfg_.per_vma_readahead ? PageId(1024) : PageId(0)});
+      break;
+    case PrefetcherKind::kLeap: {
+      prefetch::LeapPrefetcher::Config lc;
+      lc.mode = cfg_.prefetcher_shared_state ? prefetch::ContextMode::kGlobal
+                                             : prefetch::ContextMode::kPerApp;
+      // On a shared partition with co-runners, Leap's swap-offset fallback
+      // run lands on interleaved (unrelated) pages.
+      lc.shared_partition_fallback =
+          !cfg_.isolated_partitions && specs.size() > 1;
+      prefetcher_ = std::make_unique<prefetch::LeapPrefetcher>(lc);
+      break;
+    }
+    case PrefetcherKind::kTwoTier: {
+      auto tt = std::make_unique<prefetch::TwoTierPrefetcher>(
+          prefetch::TwoTierPrefetcher::Config{});
+      two_tier_ = tt.get();
+      prefetcher_ = std::move(tt);
+      break;
+    }
+  }
+
+  // --- scheduler + NIC ---
+  switch (cfg_.scheduler) {
+    case SchedulerKind::kFifo:
+      scheduler_ = std::make_unique<sched::FifoScheduler>();
+      break;
+    case SchedulerKind::kFastswap:
+      scheduler_ = std::make_unique<sched::FastswapScheduler>();
+      break;
+    case SchedulerKind::kTwoDim: {
+      sched::TwoDimScheduler::Config sc;
+      sc.horizontal = cfg_.horizontal_sched;
+      sc.timeliness = cfg_.timeliness;
+      auto td = std::make_unique<sched::TwoDimScheduler>(sc);
+      two_dim_ = td.get();
+      scheduler_ = std::move(td);
+      break;
+    }
+  }
+  nic_ = std::make_unique<rdma::Nic>(sim_, cfg_.nic, *scheduler_);
+  scheduler_->AttachNic(nic_.get());
+
+  // --- applications ---
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    AppSpec& spec = specs[i];
+    auto app = std::make_unique<AppState>();
+    app->index = i;
+    app->name = spec.workload.name;
+    app->managed = spec.workload.managed;
+    app->cg = cgroups_.Create(spec.cgroup);
+    assert(app->cg == CgroupId(i));
+    app->runtime = spec.workload.runtime
+                       ? spec.workload.runtime
+                       : std::make_shared<runtime::RuntimeInfo>();
+    app->pages.resize(spec.workload.footprint_pages);
+    app->shared_boundary =
+        PageId(double(spec.workload.footprint_pages) *
+               spec.workload.shared_fraction);
+    for (PageId p = 0; p < app->shared_boundary; ++p)
+      app->pages[p].shared = true;
+    app->lru = std::make_unique<mem::LruLists>(app->pages);
+
+    if (cfg_.isolated_partitions) {
+      auto own = std::make_unique<swapalloc::SwapPartition>(
+          sim_, app->name, spec.cgroup.swap_entry_limit, part_cfg);
+      app->partition = own.get();
+      owned_partitions_.push_back(std::move(own));
+    } else {
+      app->partition = global_partition_.get();
+    }
+    if (cfg_.isolated_caches) {
+      auto own = std::make_unique<mem::SwapCache>(
+          app->name, spec.cgroup.swap_cache_pages);
+      app->cache = own.get();
+      owned_caches_.push_back(std::move(own));
+    } else {
+      app->cache = global_cache_.get();
+    }
+    if (cfg_.adaptive_alloc && cfg_.isolated_partitions) {
+      app->reservation = std::make_unique<swapalloc::ReservationManager>(
+          sim_, app->pages, *app->lru, *app->partition,
+          cgroups_.Get(app->cg), cfg_.reservation);
+    }
+
+    // Threads: globally unique tids, cores packed per application.
+    CoreId base_core = next_core_;
+    std::uint32_t cores = std::max<std::uint32_t>(spec.cgroup.cores, 1);
+    next_core_ += cores;
+    for (std::size_t t = 0; t < spec.workload.threads.size(); ++t) {
+      ThreadCtx th;
+      th.tid = next_tid_++;
+      th.core = base_core + CoreId(t % cores);
+      th.stream = spec.workload.threads[t].get();
+      app->threads.push_back(th);
+      auto kind = t < spec.workload.thread_kinds.size()
+                      ? spec.workload.thread_kinds[t]
+                      : runtime::ThreadKind::kApplication;
+      app->runtime->RegisterThread(th.tid, kind);
+    }
+    owned_streams_.push_back(std::move(spec.workload.threads));
+    for (auto& k : spec.workload.keepalive)
+      owned_keepalive_.push_back(std::move(k));
+
+    app->metrics.name = app->name;
+    if (two_tier_)
+      two_tier_->RegisterApp(app->cg, app->runtime.get(), app->managed);
+    if (two_dim_)
+      two_dim_->RegisterCgroup(app->cg, spec.cgroup.rdma_weight);
+    apps_.push_back(std::move(app));
+  }
+
+  CgroupSpec shared_spec;
+  shared_spec.name = "cgroup-shared";
+  shared_spec.local_mem_pages = global_cache_->capacity();
+  shared_spec.swap_entry_limit = global_partition_->capacity();
+  shared_cg_ = cgroups_.Create(shared_spec);
+  if (two_dim_) two_dim_->RegisterCgroup(shared_cg_, 1.0);
+}
+
+SwapSystem::~SwapSystem() = default;
+
+void SwapSystem::Start() {
+  for (auto& app : apps_) {
+    if (app->reservation) app->reservation->Start();
+    for (auto& th : app->threads) {
+      // Stagger thread start by a few ns for deterministic interleaving.
+      sim_.Schedule(th.tid % 97, [this, a = app.get(), t = &th] {
+        RunThread(*a, *t);
+      });
+    }
+    sim_.Schedule(cfg_.kswapd_period, [this, a = app.get()] {
+      KswapdTick(*a);
+    });
+  }
+}
+
+void SwapSystem::KswapdTick(AppState& app) {
+  if (app.threads_done == app.threads.size()) return;  // stop ticking
+  sim_.Schedule(cfg_.kswapd_period, [this, a = &app] { KswapdTick(*a); });
+  Cgroup& cg = cgroups_.Get(app.cg);
+  // Background reclaim keeps a free-frame watermark ahead of demand so
+  // faulting threads rarely block in direct reclaim (kswapd).
+  if (cg.charged_pages() + cfg_.kswapd_headroom > cg.spec().local_mem_pages &&
+      app.active_reclaimers == 0) {
+    ++app.active_reclaimers;
+    ReclaimLoop(app, app.threads.empty() ? 0 : app.threads.front().core,
+                cfg_.reclaim_batch);
+  }
+}
+
+bool SwapSystem::AllFinished() const {
+  for (const auto& app : apps_)
+    if (app->threads_done != app->threads.size()) return false;
+  return true;
+}
+
+const AppMetrics& SwapSystem::metrics(std::size_t app) const {
+  return apps_.at(app)->metrics;
+}
+const std::string& SwapSystem::app_name(std::size_t app) const {
+  return apps_.at(app)->name;
+}
+CgroupId SwapSystem::cgroup_of(std::size_t app) const {
+  return apps_.at(app)->cg;
+}
+const Cgroup& SwapSystem::cgroup(std::size_t app) const {
+  return cgroups_.Get(apps_.at(app)->cg);
+}
+const swapalloc::SwapPartition& SwapSystem::partition(std::size_t app) const {
+  return *apps_.at(app)->partition;
+}
+const mem::SwapCache& SwapSystem::cache(std::size_t app) const {
+  return *apps_.at(app)->cache;
+}
+const swapalloc::ReservationManager* SwapSystem::reservation(
+    std::size_t app) const {
+  return apps_.at(app)->reservation.get();
+}
+
+double SwapSystem::Wmmr(rdma::Direction dir) const {
+  double lo = 0, hi = 0;
+  bool first = true;
+  for (const auto& app : apps_) {
+    double bytes = nic_->cgroup_bytes(app->cg, dir);
+    if (bytes <= 0) continue;
+    SimTime window = app->metrics.finish_time ? app->metrics.finish_time
+                                              : sim_.Now();
+    if (window == 0) continue;
+    double share = bytes / double(window) /
+                   cgroups_.Get(app->cg).spec().rdma_weight;
+    if (first) {
+      lo = hi = share;
+      first = false;
+    } else {
+      lo = std::min(lo, share);
+      hi = std::max(hi, share);
+    }
+  }
+  return hi > 0 ? lo / hi : 1.0;
+}
+
+bool SwapSystem::Quiescent() const {
+  if (!waiters_.empty()) return false;
+  for (const auto& app : apps_) {
+    if (!app->frame_waiters.empty()) return false;
+    if (app->active_reclaimers != 0) return false;
+  }
+  return true;
+}
+
+void SwapSystem::DumpState() const {
+  for (const auto& app : apps_) {
+    const Cgroup& cg = cgroups_.Get(app->cg);
+    std::size_t blocked = 0;
+    for (const auto& [k, v] : waiters_)
+      if ((k >> 48) == app->index) blocked += v.size();
+    std::fprintf(
+        stderr,
+        "[%s] threads %zu/%zu done, frame_waiters=%zu reclaimers=%u "
+        "blocked_conts=%zu charged=%llu/%llu cache=%llu/%llu "
+        "part_used=%llu/%llu lru=%llu\n",
+        app->name.c_str(), app->threads_done, app->threads.size(),
+        app->frame_waiters.size(), app->active_reclaimers, blocked,
+        (unsigned long long)cg.charged_pages(),
+        (unsigned long long)cg.spec().local_mem_pages,
+        (unsigned long long)app->cache->size(),
+        (unsigned long long)app->cache->capacity(),
+        (unsigned long long)app->partition->allocator().used(),
+        (unsigned long long)app->partition->capacity(),
+        (unsigned long long)app->lru->total());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+swapalloc::SwapPartition& SwapSystem::PartitionFor(AppState& app,
+                                                   const mem::Page& p) {
+  return p.shared ? *global_partition_ : *app.partition;
+}
+mem::SwapCache& SwapSystem::CacheFor(AppState& app, const mem::Page& p) {
+  return p.shared ? *global_cache_ : *app.cache;
+}
+Cgroup& SwapSystem::CgroupFor(AppState& app, const mem::Page& p) {
+  return p.shared && cfg_.isolated_caches ? cgroups_.Get(shared_cg_)
+                                          : cgroups_.Get(app.cg);
+}
+
+std::uint64_t SwapSystem::WaiterKey(const AppState& app, PageId page) const {
+  return (std::uint64_t(app.index) << 48) | page;
+}
+
+void SwapSystem::WakeWaiters(AppState& app, PageId page) {
+  auto it = waiters_.find(WaiterKey(app, page));
+  if (it == waiters_.end()) return;
+  auto conts = std::move(it->second);
+  waiters_.erase(it);
+  for (auto& c : conts) c();
+}
+
+void SwapSystem::MarkDirty(AppState& app, mem::Page& p) {
+  if (p.dirty) return;
+  p.dirty = true;
+  // Entry-keeping release (Appendix B): once a clean page is dirtied its
+  // kept swap entry must be released — unless the entry is a Canvas
+  // reservation, which is exactly what makes the next swap-out lock-free.
+  if (p.entry != kInvalidEntry && p.entry != p.reserved) {
+    auto& part = PartitionFor(app, p);
+    part.meta(p.entry) = swapalloc::EntryMeta{};
+    part.allocator().Free(p.entry);
+    CgroupFor(app, p).UnchargeRemote();
+    p.entry = kInvalidEntry;
+  }
+}
+
+void SwapSystem::BeginStall(ThreadCtx& th) { th.stall_started = sim_.Now(); }
+
+void SwapSystem::EndStall(AppState& app, ThreadCtx& th) {
+  app.metrics.fault_stall += sim_.Now() - th.stall_started;
+}
+
+// ---------------------------------------------------------------------------
+// Thread execution
+// ---------------------------------------------------------------------------
+
+void SwapSystem::RunThread(AppState& app, ThreadCtx& th) {
+  SimDuration elapsed = 0;
+  for (int i = 0; i < kAccessBatch; ++i) {
+    auto acc = th.stream->Next();
+    if (!acc) {
+      FinishThread(app, th, elapsed);
+      return;
+    }
+    elapsed += acc->compute_ns;
+    app.metrics.busy_time += acc->compute_ns;
+    if (acc->page >= app.pages.size()) continue;  // defensive clamp
+    mem::Page& p = app.pages[acc->page];
+    if (p.state == mem::PageState::kResident) {
+      app.lru->Touch(acc->page);
+      if (acc->write) MarkDirty(app, p);
+      ++app.metrics.accesses;
+      continue;
+    }
+    // Fault: hand off to the fault path at the access instant.
+    sim_.Schedule(elapsed, [this, a = &app, t = &th, acc = *acc] {
+      BeginStall(*t);
+      HandleFault(*a, *t, acc, /*retry=*/false, [this, a, t] {
+        EndStall(*a, *t);
+        RunThread(*a, *t);
+      });
+    });
+    return;
+  }
+  sim_.Schedule(elapsed, [this, a = &app, t = &th] { RunThread(*a, *t); });
+}
+
+void SwapSystem::FinishThread(AppState& app, ThreadCtx& th,
+                              SimDuration elapsed) {
+  sim_.Schedule(elapsed, [this, a = &app, t = &th] {
+    t->done = true;
+    t->finish = sim_.Now();
+    ++a->threads_done;
+    a->metrics.finish_time = std::max(a->metrics.finish_time, t->finish);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Fault path
+// ---------------------------------------------------------------------------
+
+void SwapSystem::HandleFault(AppState& app, ThreadCtx& th,
+                             workload::Access acc, bool retry,
+                             std::function<void()> resume) {
+  mem::Page& p = app.pages[acc.page];
+  switch (p.state) {
+    case mem::PageState::kResident: {
+      // Raced with another thread that faulted the page in.
+      app.lru->Touch(acc.page);
+      if (acc.write) MarkDirty(app, p);
+      ++app.metrics.accesses;
+      sim_.Schedule(kSpuriousFaultCost, std::move(resume));
+      return;
+    }
+    case mem::PageState::kUntouched: {
+      if (!retry) {
+        ++app.metrics.first_touches;
+      }
+      EnsureFrame(app, th.core, [this, a = &app, t = &th, acc,
+                                 page = acc.page, write = acc.write,
+                                 resume = std::move(resume)] {
+        mem::Page& pg = a->pages[page];
+        if (pg.state != mem::PageState::kUntouched) {
+          // Another thread first-touched the page while we waited.
+          HandleFault(*a, *t, acc, /*retry=*/true, resume);
+          return;
+        }
+        pg.state = mem::PageState::kResident;
+        pg.dirty = true;  // anonymous page with no backing store yet
+        (void)write;
+        cgroups_.Get(a->cg).ChargeResident();
+        a->lru->AddActive(page);
+        ++a->metrics.accesses;
+        sim_.Schedule(cfg_.first_touch_cost, resume);
+      });
+      return;
+    }
+    case mem::PageState::kSwapCache:
+      FaultOnCachedPage(app, th, acc, retry, std::move(resume));
+      return;
+    case mem::PageState::kRemote:
+      if (!retry) {
+        ++app.metrics.faults;
+      }
+      DemandSwapIn(app, th, acc, std::move(resume));
+      return;
+  }
+}
+
+void SwapSystem::FaultOnCachedPage(AppState& app, ThreadCtx& th,
+                                   workload::Access acc, bool retry,
+                                   std::function<void()> resume) {
+  mem::Page& p = app.pages[acc.page];
+  if (!retry) {
+    ++app.metrics.faults;
+    ++app.metrics.faults_minor;
+    if (p.prefetched_unused || p.in_flight_prefetch)
+      ++app.metrics.faults_minor_prefetched;
+  }
+  if (p.in_flight || p.under_writeback) {
+    // In flight (swap-in, prefetch, or writeback): block until resolution,
+    // then re-fault. The fault still feeds the pattern detectors — the
+    // kernel observes it regardless of how it resolves.
+    if (!retry)
+      IssuePrefetches(app, prefetch::FaultInfo{app.cg, acc.page, th.tid,
+                                               sim_.Now(),
+                                               /*cache_hit=*/true});
+    auto refault = [this, a = &app, t = &th, acc,
+                    resume = std::move(resume)] {
+      HandleFault(*a, *t, acc, /*retry=*/true, resume);
+    };
+    if (p.in_flight && p.in_flight_prefetch && cfg_.horizontal_sched &&
+        p.entry != kInvalidEntry) {
+      // §5.3 blocked-thread rescue: if the outstanding prefetch is already
+      // older than the timeout threshold, drop it logically and issue a
+      // demand request; otherwise arm a timeout check.
+      auto& meta = PartitionFor(app, p).meta(p.entry);
+      if (meta.prefetch_ts != kTimeNever && two_dim_) {
+        // Rescue is a last resort: the request is already in flight, so a
+        // duplicate demand only pays off well past the drop threshold.
+        SimDuration threshold =
+            4 * two_dim_->timeliness().Threshold(app.cg);
+        SimDuration elapsed = sim_.Now() - meta.prefetch_ts;
+        if (elapsed > threshold) {
+          ++app.metrics.rescues;
+          meta.valid = false;
+          meta.prefetch_ts = kTimeNever;
+          p.in_flight_prefetch = false;
+          p.prefetched_unused = false;
+          IssueRescueDemand(app, acc.page);
+        } else {
+          // Check again when the budget runs out.
+          sim_.Schedule(threshold - elapsed, [this, a = &app, page = acc.page,
+                                              expected = p.seq] {
+            mem::Page& pg = a->pages[page];
+            if (pg.seq != expected) return;  // a different incarnation now
+            if (pg.state != mem::PageState::kSwapCache || !pg.in_flight ||
+                !pg.in_flight_prefetch || pg.entry == kInvalidEntry)
+              return;
+            auto& m = PartitionFor(*a, pg).meta(pg.entry);
+            if (m.prefetch_ts == kTimeNever) return;
+            ++a->metrics.rescues;
+            m.valid = false;
+            m.prefetch_ts = kTimeNever;
+            pg.in_flight_prefetch = false;
+            pg.prefetched_unused = false;
+            IssueRescueDemand(*a, page);
+          });
+        }
+      }
+    }
+    waiters_[WaiterKey(app, acc.page)].push_back(std::move(refault));
+    return;
+  }
+  // Plain minor fault: map the cached page. The fault is still
+  // kernel-visible (the PTE was unmapped), so it feeds the prefetcher —
+  // this is how readahead windows keep growing across their own hits.
+  sim_.Schedule(cfg_.map_cost, [this, a = &app, t = &th, acc,
+                                resume = std::move(resume)] {
+    mem::Page& pg = a->pages[acc.page];
+    if (pg.state == mem::PageState::kSwapCache && !pg.in_flight &&
+        !pg.under_writeback) {
+      MapCachedPage(*a, acc.page);
+      if (acc.write) MarkDirty(*a, pg);
+      ++a->metrics.accesses;
+      IssuePrefetches(*a,
+                      prefetch::FaultInfo{a->cg, acc.page, t->tid, sim_.Now(),
+                                          /*cache_hit=*/true});
+      resume();
+    } else {
+      // Raced: re-fault.
+      HandleFault(*a, *t, acc, /*retry=*/true, resume);
+    }
+  });
+}
+
+void SwapSystem::MapCachedPage(AppState& app, PageId page) {
+  mem::Page& p = app.pages[page];
+  assert(p.state == mem::PageState::kSwapCache && !p.in_flight &&
+         !p.under_writeback);
+  CacheFor(app, p).Remove(app.cg, page);
+  CgroupFor(app, p).UnchargeCache();
+  cgroups_.Get(app.cg).ChargeResident();
+  p.state = mem::PageState::kResident;
+  ++p.seq;
+  app.lru->AddActive(page);
+  if (p.prefetched_unused) {
+    p.prefetched_unused = false;
+    ++app.metrics.prefetch_used;
+    if (p.entry != kInvalidEntry) {
+      auto& meta = PartitionFor(app, p).meta(p.entry);
+      if (meta.prefetch_ts != kTimeNever) {
+        if (two_dim_)
+          two_dim_->timeliness().Record(app.cg, sim_.Now() - meta.prefetch_ts);
+        meta.prefetch_ts = kTimeNever;
+      }
+    }
+    if (prefetcher_) prefetcher_->OnPrefetchUsed(app.cg, page);
+  }
+  // Entry-keeping threshold (Appendix B): when swap space runs low, the
+  // kernel frees the entry at swap-in instead of keeping the clean copy.
+  if (!app.reservation && p.entry != kInvalidEntry &&
+      p.entry != p.reserved) {
+    auto& part = PartitionFor(app, p);
+    double free_frac = 1.0 - part.allocator().Utilization();
+    if (free_frac < cfg_.entry_keep_free_threshold) {
+      part.meta(p.entry) = swapalloc::EntryMeta{};
+      part.allocator().Free(p.entry);
+      CgroupFor(app, p).UnchargeRemote();
+      p.entry = kInvalidEntry;
+      p.dirty = true;  // no backing copy: next eviction writes back
+    }
+  }
+  // Adaptive allocator: cancel-on-arrival, debt-matched (§5.1 time/space
+  // trade-off applied at the swap-in boundary).
+  if (app.reservation && !p.shared)
+    app.reservation->MaybeCancelOnArrival(p);
+}
+
+void SwapSystem::DemandSwapIn(AppState& app, ThreadCtx& th,
+                              workload::Access acc,
+                              std::function<void()> resume) {
+  ++app.metrics.faults_major;
+  prefetch::FaultInfo info{app.cg, acc.page, th.tid, sim_.Now(), false};
+  CoreId core = th.core;
+  // The trap/lookup cost precedes the charge + I/O issue.
+  sim_.Schedule(cfg_.fault_entry_cost, [this, a = &app, t = &th, acc, info,
+                                        core, resume = std::move(resume)] {
+    mem::Page& p = a->pages[acc.page];
+    if (p.state != mem::PageState::kRemote) {
+      // Another thread started (or finished) handling this page meanwhile.
+      HandleFault(*a, *t, acc, /*retry=*/true, resume);
+      return;
+    }
+    EnsureFrame(*a, core, [this, a, t, acc, info, resume] {
+      mem::Page& pg = a->pages[acc.page];
+      if (pg.state != mem::PageState::kRemote) {
+        HandleFault(*a, *t, acc, /*retry=*/true, resume);
+        return;
+      }
+      CgroupFor(*a, pg).ChargeCache();
+      CacheFor(*a, pg).Insert(a->cg, acc.page, /*locked=*/true,
+                              /*prefetched=*/false, sim_.Now());
+      pg.state = mem::PageState::kSwapCache;
+      pg.in_flight = true;
+      pg.in_flight_prefetch = false;
+      std::uint32_t expected = ++pg.seq;
+      if (pg.entry != kInvalidEntry)
+        PartitionFor(*a, pg).meta(pg.entry).prefetch_ts = kTimeNever;
+
+      auto req = std::make_unique<rdma::Request>();
+      req->op = rdma::Op::kDemandIn;
+      req->cgroup = pg.shared ? shared_cg_ : a->cg;
+      req->page = acc.page;
+      req->entry = pg.entry;
+      req->created = sim_.Now();
+      req->on_complete = [this, a, t, page = acc.page, acc, expected,
+                          resume](const rdma::Request&) {
+        mem::Page& pg2 = a->pages[page];
+        if (pg2.seq != expected) {
+          // The page moved on (a stale rescue unlocked it early): resolve
+          // the thread's access through a fresh fault instead.
+          HandleFault(*a, *t, acc, /*retry=*/true, resume);
+          return;
+        }
+        CacheFor(*a, pg2).Unlock(a->cg, page);
+        pg2.in_flight = false;
+        sim_.Schedule(cfg_.map_cost, [this, a, t, page, acc, expected,
+                                      resume] {
+          mem::Page& pg3 = a->pages[page];
+          if (pg3.seq == expected &&
+              pg3.state == mem::PageState::kSwapCache && !pg3.in_flight &&
+              !pg3.under_writeback) {
+            MapCachedPage(*a, page);
+            if (acc.write) MarkDirty(*a, pg3);
+            ++a->metrics.accesses;
+            WakeWaiters(*a, page);
+            resume();
+            return;
+          }
+          WakeWaiters(*a, page);
+          HandleFault(*a, *t, acc, /*retry=*/true, resume);
+        });
+      };
+      scheduler_->Enqueue(std::move(req));
+      IssuePrefetches(*a, info);
+      ShrinkCache(*a, a->cache->capacity());
+    });
+  });
+}
+
+void SwapSystem::IssuePrefetches(AppState& app,
+                                 const prefetch::FaultInfo& info) {
+  if (!prefetcher_) return;
+  prefetch_buf_.clear();
+  prefetcher_->OnFault(info, prefetch_buf_);
+  Cgroup& cg = cgroups_.Get(app.cg);
+  bool charged_over = false;
+  for (PageId cand : prefetch_buf_) {
+    if (app.prefetch_inflight >= cfg_.max_inflight_prefetch) break;
+    if (cand >= app.pages.size()) continue;
+    mem::Page& p = app.pages[cand];
+    if (p.state != mem::PageState::kRemote || p.shared) continue;
+    if (p.entry == kInvalidEntry) continue;
+    // Prefetches may transiently overshoot the memory budget by one reclaim
+    // batch (kernel watermark slack); background reclaim below pushes the
+    // usage back down by evicting LRU pages — prefetched data displacing
+    // resident pages is the cache-pollution dynamic of §3.
+    if (cg.charged_pages() + 1 >
+        cg.spec().local_mem_pages + cfg_.reclaim_batch)
+      break;
+    if (cg.charged_pages() + 1 > cg.spec().local_mem_pages)
+      charged_over = true;
+
+    cg.ChargeCache();
+    app.cache->Insert(app.cg, cand, /*locked=*/true, /*prefetched=*/true,
+                      sim_.Now());
+    p.state = mem::PageState::kSwapCache;
+    p.in_flight = true;
+    p.in_flight_prefetch = true;
+    p.prefetched_unused = true;
+    std::uint32_t expected = ++p.seq;
+    auto& pmeta = PartitionFor(app, p).meta(p.entry);
+    pmeta.prefetch_ts = sim_.Now();
+    pmeta.valid = true;
+    ++app.metrics.prefetch_issued;
+    ++app.prefetch_inflight;
+
+    auto req = std::make_unique<rdma::Request>();
+    req->op = rdma::Op::kPrefetchIn;
+    req->cgroup = app.cg;
+    req->page = cand;
+    req->entry = p.entry;
+    req->created = sim_.Now();
+    req->on_complete = [this, a = &app, cand, expected](const rdma::Request&) {
+      if (a->prefetch_inflight > 0) --a->prefetch_inflight;
+      mem::Page& pg = a->pages[cand];
+      if (pg.seq != expected) return;  // page moved on
+      if (pg.entry != kInvalidEntry) {
+        auto& m = PartitionFor(*a, pg).meta(pg.entry);
+        if (!m.valid) {
+          // A rescuing demand request took over this page (§5.3): the stale
+          // prefetch discards itself.
+          m.valid = true;
+          ++a->metrics.prefetch_discarded;
+          return;
+        }
+      }
+      if (pg.state != mem::PageState::kSwapCache || !pg.in_flight) return;
+      ++a->metrics.prefetch_completed;
+      a->cache->Unlock(a->cg, cand);
+      pg.in_flight = false;
+      pg.in_flight_prefetch = false;
+      WakeWaiters(*a, cand);
+      // Enforce the cache budget after arrival.
+      ShrinkCache(*a, a->cache->capacity());
+    };
+    req->on_drop = [this, a = &app, cand, expected](const rdma::Request&) {
+      if (a->prefetch_inflight > 0) --a->prefetch_inflight;
+      mem::Page& pg = a->pages[cand];
+      ++a->metrics.prefetch_dropped;
+      if (pg.seq != expected) return;  // a rescue demand owns the page now
+      auto key = WaiterKey(*a, cand);
+      if (waiters_.count(key)) {
+        // Threads already block on this page: convert to a demand fetch.
+        pg.in_flight_prefetch = false;
+        pg.prefetched_unused = false;
+        if (pg.entry != kInvalidEntry)
+          PartitionFor(*a, pg).meta(pg.entry).prefetch_ts = kTimeNever;
+        IssueRescueDemand(*a, cand);
+        return;
+      }
+      // Nobody needs it yet: unwind the in-flight state entirely.
+      a->cache->Remove(a->cg, cand);
+      CgroupFor(*a, pg).UnchargeCache();
+      pg.state = mem::PageState::kRemote;
+      pg.in_flight = false;
+      pg.in_flight_prefetch = false;
+      pg.prefetched_unused = false;
+      if (pg.entry != kInvalidEntry)
+        PartitionFor(*a, pg).meta(pg.entry).prefetch_ts = kTimeNever;
+      GrantFrames(*a);
+    };
+    scheduler_->Enqueue(std::move(req));
+  }
+  // kswapd analogue: bring usage back under the limit in the background.
+  if (charged_over && app.active_reclaimers == 0) {
+    ++app.active_reclaimers;
+    ReclaimLoop(app, app.threads.empty() ? 0 : app.threads.front().core,
+                cfg_.reclaim_batch);
+  }
+}
+
+void SwapSystem::IssueRescueDemand(AppState& app, PageId page) {
+  mem::Page& p = app.pages[page];
+  assert(p.state == mem::PageState::kSwapCache && p.in_flight);
+  std::uint32_t expected = ++p.seq;  // take over from the stale prefetch
+  auto req = std::make_unique<rdma::Request>();
+  req->op = rdma::Op::kDemandIn;
+  req->cgroup = app.cg;
+  req->page = page;
+  req->entry = p.entry;
+  req->created = sim_.Now();
+  req->on_complete = [this, a = &app, page, expected](const rdma::Request&) {
+    mem::Page& pg = a->pages[page];
+    if (pg.seq != expected) return;
+    if (pg.state != mem::PageState::kSwapCache || !pg.in_flight) return;
+    a->cache->Unlock(a->cg, page);
+    pg.in_flight = false;
+    pg.in_flight_prefetch = false;
+    WakeWaiters(*a, page);
+  };
+  scheduler_->Enqueue(std::move(req));
+}
+
+// ---------------------------------------------------------------------------
+// Reclaim / eviction
+// ---------------------------------------------------------------------------
+
+void SwapSystem::EnsureFrame(AppState& app, CoreId core,
+                             std::function<void()> granted) {
+  Cgroup& cg = cgroups_.Get(app.cg);
+  if (cg.charged_pages() + 1 <= cg.spec().local_mem_pages) {
+    granted();
+    return;
+  }
+  // Kernel direct reclaim: the faulting thread itself reclaims pages.
+  // Concurrent faults from many threads mean concurrent reclaim chains,
+  // which is precisely what contends on the swap-entry allocator (§3).
+  // Chains are capped at the thread count — a thread cannot run more than
+  // one direct reclaim at a time.
+  app.frame_waiters.push_back(std::move(granted));
+  if (app.active_reclaimers < app.threads.size()) {
+    ++app.active_reclaimers;
+    ReclaimLoop(app, core, kDirectReclaimBudget);
+  }
+}
+
+void SwapSystem::GrantFrames(AppState& app) {
+  Cgroup& cg = cgroups_.Get(app.cg);
+  while (!app.frame_waiters.empty() &&
+         cg.charged_pages() + 1 <= cg.spec().local_mem_pages) {
+    auto granted = std::move(app.frame_waiters.front());
+    app.frame_waiters.erase(app.frame_waiters.begin());
+    granted();  // charges synchronously
+  }
+}
+
+void SwapSystem::FinishReclaimer(AppState& app, CoreId core) {
+  assert(app.active_reclaimers > 0);
+  --app.active_reclaimers;
+  // Safety net: if waiters remain with no reclaimer running (all victims
+  // were in flight when the chains ended), restart one after a short delay.
+  if (!app.frame_waiters.empty() && app.active_reclaimers == 0 &&
+      !app.reclaim_retry_scheduled) {
+    app.reclaim_retry_scheduled = true;
+    sim_.Schedule(kReclaimRetryDelay, [this, a = &app, core] {
+      a->reclaim_retry_scheduled = false;
+      GrantFrames(*a);
+      if (!a->frame_waiters.empty()) {
+        ++a->active_reclaimers;
+        ReclaimLoop(*a, core, kDirectReclaimBudget);
+      }
+    });
+  }
+}
+
+void SwapSystem::ReclaimLoop(AppState& app, CoreId core,
+                             std::uint32_t budget) {
+  GrantFrames(app);
+  Cgroup& cg = cgroups_.Get(app.cg);
+  // Reclaim down to the kswapd watermark (high-watermark behaviour).
+  bool over_limit = cg.charged_pages() + cfg_.kswapd_headroom >
+                    cg.spec().local_mem_pages;
+  if (budget == 0 || (app.frame_waiters.empty() && !over_limit)) {
+    FinishReclaimer(app, core);
+    return;
+  }
+  // Prefer releasing clean pages the swap cache holds beyond its budget
+  // ("releasing a batch of pages to shrink the cache", §4). In shared-cache
+  // mode the LRU tail may belong to another application — releasing it
+  // frees *their* charge (cache pollution interference).
+  if (app.cache->size() > app.cache->capacity()) {
+    mem::SwapCache::Entry victim;
+    if (app.cache->PopLruUnlocked(victim)) {
+      AppState& owner =
+          victim.app < apps_.size() ? *apps_[victim.app] : app;
+      ReleaseCleanCachePage(owner, victim.page);
+      ReclaimLoop(app, core, budget - 1);
+      return;
+    }
+  }
+  PageId v = app.lru->EvictionCandidate();
+  if (v == kInvalidPage) {
+    // Nothing on the LRU: steal a clean page from the cache, else wait for
+    // in-flight writebacks.
+    mem::SwapCache::Entry victim;
+    if (app.cache->PopLruUnlocked(victim)) {
+      AppState& owner =
+          victim.app < apps_.size() ? *apps_[victim.app] : app;
+      ReleaseCleanCachePage(owner, victim.page);
+      ReclaimLoop(app, core, budget - 1);
+      return;
+    }
+    sim_.Schedule(kReclaimRetryDelay, [this, a = &app, core, budget] {
+      ReclaimLoop(*a, core, budget);
+    });
+    return;
+  }
+  mem::Page& p = app.pages[v];
+  assert(p.state == mem::PageState::kResident);
+  app.lru->Remove(v);
+  if (!p.NeedsWriteback()) {
+    // Clean page with a kept entry: drop instantly, no I/O.
+    p.state = mem::PageState::kRemote;
+    ++p.seq;
+    cgroups_.Get(app.cg).UnchargeResident();
+    ++app.metrics.clean_drops;
+    ReclaimLoop(app, core, budget - 1);
+    return;
+  }
+  // Unmap into the swap cache (locked for writeback).
+  p.state = mem::PageState::kSwapCache;
+  ++p.seq;
+  p.in_flight = false;  // writeback-locked, not swap-in flight
+  p.under_writeback = true;
+  cgroups_.Get(app.cg).UnchargeResident();
+  CgroupFor(app, p).ChargeCache();
+  CacheFor(app, p).Insert(app.cg, v, /*locked=*/true,
+                          /*prefetched=*/false, sim_.Now());
+  sim_.Schedule(cfg_.evict_page_cost, [this, a = &app, v, core, budget] {
+    AllocateEntryAndWriteback(*a, v, core, /*attempts=*/3, budget);
+  });
+}
+
+void SwapSystem::AllocateEntryAndWriteback(AppState& app, PageId victim,
+                                           CoreId core, int attempts,
+                                           std::uint32_t budget) {
+  mem::Page& p = app.pages[victim];
+  // Canvas fast path: reuse the reserved entry without any locking (§5.1).
+  if (app.reservation && !p.shared) {
+    SwapEntryId reserved = app.reservation->TakeReserved(p);
+    if (reserved != kInvalidEntry) {
+      ++app.metrics.lockfree_swapouts;
+      IssueSwapOut(app, victim, reserved);
+      ReclaimLoop(app, core, budget - 1);
+      return;
+    }
+  }
+  auto& part = PartitionFor(app, p);
+  part.allocator().Allocate(core, [this, a = &app, victim, core, attempts,
+                                   budget](swapalloc::AllocResult r) {
+    mem::Page& pg = a->pages[victim];
+    a->metrics.alloc_time += r.wait + r.hold;
+    if (r.entry == kInvalidEntry) {
+      // Partition full: reclaim kept entries / reservations, then retry.
+      std::size_t freed = 0;
+      if (a->reservation)
+        freed = a->reservation->EmergencyReclaim(cfg_.strip_batch);
+      if (freed == 0) freed = StripKeptEntries(*a, cfg_.strip_batch);
+      if (freed == 0) {
+        // Shared partition: strip from co-runners too.
+        for (auto& other : apps_) {
+          if (other.get() == a) continue;
+          if (other->partition != a->partition) continue;
+          freed += StripKeptEntries(*other, cfg_.strip_batch);
+          if (freed) break;
+        }
+      }
+      SimDuration delay = attempts > 0 ? 0 : kAllocRetryDelay;
+      int next = attempts > 0 ? attempts - 1 : 3;
+      sim_.Schedule(delay, [this, a, victim, core, next, budget] {
+        AllocateEntryAndWriteback(*a, victim, core, next, budget);
+      });
+      return;
+    }
+    ++a->metrics.allocations;
+    CgroupFor(*a, pg).ChargeRemote();
+    if (a->reservation && !pg.shared) a->reservation->Remember(pg, r.entry);
+    IssueSwapOut(*a, victim, r.entry);
+    // The writeback proceeds asynchronously; this reclaimer moves on to its
+    // next victim (allocations stay sequential per reclaiming thread).
+    ReclaimLoop(*a, core, budget - 1);
+  });
+}
+
+void SwapSystem::IssueSwapOut(AppState& app, PageId victim,
+                              SwapEntryId entry) {
+  mem::Page& p = app.pages[victim];
+  auto req = std::make_unique<rdma::Request>();
+  req->op = rdma::Op::kSwapOut;
+  req->cgroup = p.shared ? shared_cg_ : app.cg;
+  req->page = victim;
+  req->entry = entry;
+  req->created = sim_.Now();
+  req->on_complete = [this, a = &app, victim, entry](const rdma::Request&) {
+    mem::Page& pg = a->pages[victim];
+    CacheFor(*a, pg).Remove(a->cg, victim);
+    CgroupFor(*a, pg).UnchargeCache();
+    pg.state = mem::PageState::kRemote;
+    ++pg.seq;
+    pg.under_writeback = false;
+    pg.entry = entry;
+    pg.dirty = false;
+    ++a->metrics.swapouts;
+    GrantFrames(*a);
+    WakeWaiters(*a, victim);  // threads that faulted during writeback
+  };
+  scheduler_->Enqueue(std::move(req));
+}
+
+std::size_t SwapSystem::StripKeptEntries(AppState& app, std::size_t n) {
+  // Release kept entries of clean resident pages (Linux 5.5 entry-keeping
+  // under swap-space pressure, Appendix B).
+  std::size_t freed = 0;
+  PageId scanned = 0;
+  for (PageId i = 0; i < app.pages.size() && freed < n; ++i) {
+    PageId idx = (app.strip_cursor + i) % app.pages.size();
+    scanned = i + 1;
+    mem::Page& p = app.pages[idx];
+    if (p.state == mem::PageState::kResident && !p.dirty &&
+        p.entry != kInvalidEntry && p.reserved == kInvalidEntry) {
+      auto& part = PartitionFor(app, p);
+      part.meta(p.entry) = swapalloc::EntryMeta{};
+      part.allocator().Free(p.entry);
+      CgroupFor(app, p).UnchargeRemote();
+      p.entry = kInvalidEntry;
+      ++freed;
+    }
+  }
+  app.strip_cursor =
+      (app.strip_cursor + scanned) % std::max<PageId>(app.pages.size(), 1);
+  return freed;
+}
+
+void SwapSystem::ReleaseCleanCachePage(AppState& app, PageId page) {
+  mem::Page& p = app.pages[page];
+  assert(p.state == mem::PageState::kSwapCache && !p.in_flight);
+  CgroupFor(app, p).UnchargeCache();
+  p.state = mem::PageState::kRemote;
+  ++p.seq;
+  if (p.prefetched_unused) {
+    p.prefetched_unused = false;
+    ++app.metrics.prefetch_wasted;
+    if (p.entry != kInvalidEntry)
+      PartitionFor(app, p).meta(p.entry).prefetch_ts = kTimeNever;
+    if (prefetcher_) prefetcher_->OnPrefetchWasted(app.cg, page);
+  }
+  GrantFrames(app);
+}
+
+void SwapSystem::ShrinkCache(AppState& app, std::size_t target) {
+  mem::SwapCache::Entry victim;
+  while (app.cache->size() > target) {
+    if (!app.cache->PopLruUnlocked(victim)) break;
+    AppState& owner = victim.app < apps_.size() ? *apps_[victim.app] : app;
+    ReleaseCleanCachePage(owner, victim.page);
+  }
+}
+
+}  // namespace canvas::core

@@ -1,0 +1,201 @@
+// SwapSystem: the complete remote-memory swap stack for one co-run
+// experiment — Canvas's contribution plus every baseline, selected by
+// SystemConfig.
+//
+// Wiring (cf. the paper's Figure 1):
+//   application threads (simulated processes pulling from ThreadStreams)
+//     -> page table / LRU (per app)
+//     -> swap cache (per-cgroup private + global shared, or one shared)
+//     -> swap partition + entry allocator (per-cgroup or shared)
+//     -> prefetcher (readahead / Leap / two-tier)
+//     -> dispatch scheduler (FIFO / Fastswap / two-dimensional)
+//     -> simulated RDMA NIC.
+//
+// The fault-handling path reproduces the kernel sequence of §2, including
+// cgroup accounting, direct reclaim with batched eviction, entry-keeping
+// for clean pages (Appendix B), prefetch issue, and the §5.3 stale-prefetch
+// drop / blocked-thread rescue protocol.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cgroup/cgroup.h"
+#include "core/config.h"
+#include "core/metrics.h"
+#include "mem/lru.h"
+#include "mem/page.h"
+#include "mem/swap_cache.h"
+#include "prefetch/leap.h"
+#include "prefetch/readahead.h"
+#include "prefetch/two_tier.h"
+#include "rdma/nic.h"
+#include "sched/fastswap.h"
+#include "sched/fifo.h"
+#include "sched/two_dim.h"
+#include "sim/simulator.h"
+#include "swapalloc/partition.h"
+#include "swapalloc/reservation.h"
+#include "workload/workload.h"
+
+namespace canvas::core {
+
+/// One application plus its resource limits.
+struct AppSpec {
+  workload::AppWorkload workload;
+  CgroupSpec cgroup;
+};
+
+class SwapSystem {
+ public:
+  SwapSystem(sim::Simulator& sim, SystemConfig cfg,
+             std::vector<AppSpec> apps);
+  ~SwapSystem();
+  SwapSystem(const SwapSystem&) = delete;
+  SwapSystem& operator=(const SwapSystem&) = delete;
+
+  /// Launch all application threads (call once, then Simulator::Run()).
+  void Start();
+
+  /// True when every thread of every app has drained its stream.
+  bool AllFinished() const;
+
+  // --- results ---
+  std::size_t app_count() const { return apps_.size(); }
+  const AppMetrics& metrics(std::size_t app) const;
+  const std::string& app_name(std::size_t app) const;
+  CgroupId cgroup_of(std::size_t app) const;
+  /// The special cgroup that owns shared pages (§4, cgroup-shared).
+  CgroupId shared_cgroup_id() const { return shared_cg_; }
+  const Cgroup& cgroup(std::size_t app) const;
+  const rdma::Nic& nic() const { return *nic_; }
+  const sched::DispatchScheduler& scheduler() const { return *scheduler_; }
+  const swapalloc::SwapPartition& partition(std::size_t app) const;
+  const mem::SwapCache& cache(std::size_t app) const;
+  const swapalloc::ReservationManager* reservation(std::size_t app) const;
+  const SystemConfig& config() const { return cfg_; }
+
+  /// Weighted min-max ratio of per-app bandwidth over the co-run window
+  /// (§6.4.3); 1.0 = perfectly weight-proportional shares.
+  double Wmmr(rdma::Direction dir) const;
+
+  /// Debug: print per-app progress and resource state to stderr.
+  void DumpState() const;
+
+  /// True when no thread is blocked, no frame waiter is queued, and no
+  /// reclaim chain is active — the expected state after AllFinished().
+  bool Quiescent() const;
+
+ private:
+  struct ThreadCtx {
+    ThreadId tid = kInvalidThread;  // globally unique
+    CoreId core = 0;
+    workload::ThreadStream* stream = nullptr;
+    bool done = false;
+    SimTime finish = 0;
+    SimTime stall_started = 0;  // for fault_stall accounting
+  };
+
+  struct AppState {
+    std::size_t index = 0;
+    std::string name;
+    CgroupId cg = kInvalidCgroup;
+    bool managed = false;
+    PageId shared_boundary = 0;  // pages [0, boundary) are shared
+    std::vector<mem::Page> pages;
+    std::unique_ptr<mem::LruLists> lru;
+    swapalloc::SwapPartition* partition = nullptr;  // own or shared
+    mem::SwapCache* cache = nullptr;                // own or shared
+    std::unique_ptr<swapalloc::ReservationManager> reservation;
+    std::shared_ptr<runtime::RuntimeInfo> runtime;
+    std::vector<ThreadCtx> threads;
+    std::size_t threads_done = 0;
+    AppMetrics metrics;
+    // Direct-reclaim machinery: each faulting thread runs its own reclaim
+    // chain (kernel direct reclaim), so concurrent faults from many threads
+    // contend on the entry allocator exactly as in §3.
+    std::vector<std::function<void()>> frame_waiters;
+    std::uint32_t active_reclaimers = 0;
+    bool reclaim_retry_scheduled = false;
+    PageId strip_cursor = 0;
+    std::uint32_t prefetch_inflight = 0;
+  };
+
+  // --- thread execution ---
+  void RunThread(AppState& app, ThreadCtx& th);
+  void FinishThread(AppState& app, ThreadCtx& th, SimDuration elapsed);
+  /// Background reclaim keeping a free-frame watermark (kswapd analogue).
+  void KswapdTick(AppState& app);
+
+  // --- fault path ---
+  void HandleFault(AppState& app, ThreadCtx& th, workload::Access acc,
+                   bool retry, std::function<void()> resume);
+  void FaultOnCachedPage(AppState& app, ThreadCtx& th, workload::Access acc,
+                         bool retry, std::function<void()> resume);
+  void MapCachedPage(AppState& app, PageId page);
+  void DemandSwapIn(AppState& app, ThreadCtx& th, workload::Access acc,
+                    std::function<void()> resume);
+  void IssuePrefetches(AppState& app, const prefetch::FaultInfo& info);
+  void IssueRescueDemand(AppState& app, PageId page);
+
+  // --- reclaim / eviction ---
+  void EnsureFrame(AppState& app, CoreId core, std::function<void()> granted);
+  void GrantFrames(AppState& app);
+  /// One direct-reclaim pass by one (simulated) thread: evicts up to
+  /// `budget` pages, allocating swap entries sequentially.
+  void ReclaimLoop(AppState& app, CoreId core, std::uint32_t budget);
+  /// Evict one dirty page: allocate an entry (async), then write back.
+  void AllocateEntryAndWriteback(AppState& app, PageId victim, CoreId core,
+                                 int attempts, std::uint32_t budget);
+  void IssueSwapOut(AppState& app, PageId victim, SwapEntryId entry);
+  std::size_t StripKeptEntries(AppState& app, std::size_t n);
+  void FinishReclaimer(AppState& app, CoreId core);
+
+  // --- helpers ---
+  swapalloc::SwapPartition& PartitionFor(AppState& app, const mem::Page& p);
+  mem::SwapCache& CacheFor(AppState& app, const mem::Page& p);
+  Cgroup& CgroupFor(AppState& app, const mem::Page& p);
+  void MarkDirty(AppState& app, mem::Page& p);
+  void ReleaseCleanCachePage(AppState& app, PageId page);
+  void ShrinkCache(AppState& app, std::size_t target);
+  std::uint64_t WaiterKey(const AppState& app, PageId page) const;
+  void WakeWaiters(AppState& app, PageId page);
+  void BeginStall(ThreadCtx& th);
+  void EndStall(AppState& app, ThreadCtx& th);
+
+  sim::Simulator& sim_;
+  SystemConfig cfg_;
+  CgroupRegistry cgroups_;
+  std::vector<std::unique_ptr<AppState>> apps_;
+  std::vector<std::unique_ptr<swapalloc::SwapPartition>> owned_partitions_;
+  std::vector<std::unique_ptr<mem::SwapCache>> owned_caches_;
+  std::vector<std::vector<std::unique_ptr<workload::ThreadStream>>>
+      owned_streams_;
+  std::vector<std::shared_ptr<void>> owned_keepalive_;
+
+  // Shared-mode resources (also used for shared pages in isolated mode).
+  std::unique_ptr<swapalloc::SwapPartition> global_partition_;
+  std::unique_ptr<mem::SwapCache> global_cache_;
+  CgroupId shared_cg_ = kInvalidCgroup;
+
+  std::unique_ptr<prefetch::Prefetcher> prefetcher_;
+  prefetch::TwoTierPrefetcher* two_tier_ = nullptr;  // borrowed view
+  std::unique_ptr<sched::DispatchScheduler> scheduler_;
+  sched::TwoDimScheduler* two_dim_ = nullptr;  // borrowed view
+  std::unique_ptr<rdma::Nic> nic_;
+
+  std::unordered_map<std::uint64_t, std::vector<std::function<void()>>>
+      waiters_;
+  std::vector<PageId> prefetch_buf_;
+  std::uint32_t next_core_ = 0;
+  ThreadId next_tid_ = 0;
+
+  /// Accesses executed per thread dispatch before yielding an event (keeps
+  /// the event count proportional to faults, not accesses).
+  static constexpr int kAccessBatch = 2048;
+};
+
+}  // namespace canvas::core

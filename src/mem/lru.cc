@@ -1,0 +1,111 @@
+#include "mem/lru.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace canvas::mem {
+
+void LruLists::PushHead(List& l, LruList which, PageId id) {
+  Page& p = pages_[id];
+  if (p.list != LruList::kNone) {
+    std::fprintf(stderr,
+                 "LRU double-add: page=%llu state=%d list=%d in_flight=%d "
+                 "wb=%d pf=%d dirty=%d\n",
+                 (unsigned long long)id, int(p.state), int(p.list),
+                 int(p.in_flight), int(p.under_writeback),
+                 int(p.in_flight_prefetch), int(p.dirty));
+    std::abort();
+  }
+  p.list = which;
+  p.lru_prev = kInvalidPage;
+  p.lru_next = l.head;
+  if (l.head != kInvalidPage) pages_[l.head].lru_prev = id;
+  l.head = id;
+  if (l.tail == kInvalidPage) l.tail = id;
+  ++l.count;
+}
+
+void LruLists::Unlink(List& l, PageId id) {
+  Page& p = pages_[id];
+  if (p.lru_prev != kInvalidPage)
+    pages_[p.lru_prev].lru_next = p.lru_next;
+  else
+    l.head = p.lru_next;
+  if (p.lru_next != kInvalidPage)
+    pages_[p.lru_next].lru_prev = p.lru_prev;
+  else
+    l.tail = p.lru_prev;
+  p.lru_prev = p.lru_next = kInvalidPage;
+  p.list = LruList::kNone;
+  assert(l.count > 0);
+  --l.count;
+}
+
+void LruLists::AddActive(PageId id) { PushHead(active_, LruList::kActive, id); }
+
+void LruLists::Remove(PageId id) {
+  Page& p = pages_[id];
+  if (p.list == LruList::kNone) return;
+  Unlink(ListFor(p.list), id);
+}
+
+void LruLists::Touch(PageId id) {
+  Page& p = pages_[id];
+  if (p.list == LruList::kInactive) {
+    if (p.referenced) {
+      // Second access while inactive: promote (mark_page_accessed()).
+      Unlink(inactive_, id);
+      p.referenced = false;
+      PushHead(active_, LruList::kActive, id);
+      return;
+    }
+    p.referenced = true;
+    return;
+  }
+  p.referenced = true;
+}
+
+void LruLists::Rebalance() {
+  // Keep the inactive list at >= 1/3 of resident pages so eviction always
+  // has aged candidates, mirroring inactive_is_low() in the kernel.
+  std::uint64_t resident = total();
+  while (inactive_.count * 3 < resident && active_.count > 1) {
+    PageId victim = active_.tail;
+    Page& p = pages_[victim];
+    Unlink(active_, victim);
+    p.referenced = false;  // demotion clears the referenced bit
+    PushHead(inactive_, LruList::kInactive, victim);
+  }
+}
+
+PageId LruLists::EvictionCandidate() {
+  Rebalance();
+  // Second-chance scan, bounded so a fully referenced list still yields.
+  for (int pass = 0; pass < 8; ++pass) {
+    PageId victim = inactive_.tail;
+    if (victim == kInvalidPage) break;
+    Page& p = pages_[victim];
+    if (p.referenced) {
+      Unlink(inactive_, victim);
+      p.referenced = false;
+      PushHead(active_, LruList::kActive, victim);
+      Rebalance();
+      continue;
+    }
+    return victim;
+  }
+  if (inactive_.tail != kInvalidPage) return inactive_.tail;
+  return active_.tail;  // last resort: evict from active
+}
+
+void LruLists::ScanActiveHead(std::size_t n, std::vector<PageId>& out) const {
+  out.clear();
+  PageId cur = active_.head;
+  while (cur != kInvalidPage && out.size() < n) {
+    out.push_back(cur);
+    cur = pages_[cur].lru_next;
+  }
+}
+
+}  // namespace canvas::mem

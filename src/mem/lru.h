@@ -1,0 +1,66 @@
+// Two-list (active/inactive) page reclaim model, following the Linux anon
+// LRU design closely enough for the paper's mechanisms to apply:
+//  - new and re-faulted pages enter the active list head;
+//  - a balancing pass demotes cold active-tail pages so the inactive list
+//    stays at roughly 1/3 of resident pages;
+//  - eviction takes from the inactive tail with a second-chance pass over
+//    the referenced bit;
+//  - the Canvas hot-page detector (§5.1) scans the active-list head.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/page.h"
+
+namespace canvas::mem {
+
+class LruLists {
+ public:
+  explicit LruLists(std::vector<Page>& pages) : pages_(pages) {}
+
+  /// Insert a (newly resident) page at the active head.
+  void AddActive(PageId id);
+
+  /// Remove a page from whichever list holds it (no-op if none).
+  void Remove(PageId id);
+
+  /// Record an access to a resident page: sets the referenced bit and
+  /// promotes inactive+referenced pages, like mark_page_accessed().
+  void Touch(PageId id);
+
+  /// Pick the next eviction victim (inactive tail with second chance, after
+  /// rebalancing). Returns kInvalidPage when both lists are empty. The
+  /// victim is NOT removed; callers unmap it and then call Remove().
+  PageId EvictionCandidate();
+
+  /// Copy the first `n` pages from the active-list head into `out`
+  /// (hot-page detection scan).
+  void ScanActiveHead(std::size_t n, std::vector<PageId>& out) const;
+
+  std::uint64_t active_count() const { return active_.count; }
+  std::uint64_t inactive_count() const { return inactive_.count; }
+  std::uint64_t total() const { return active_.count + inactive_.count; }
+
+ private:
+  struct List {
+    PageId head = kInvalidPage;
+    PageId tail = kInvalidPage;
+    std::uint64_t count = 0;
+  };
+
+  List& ListFor(LruList which) {
+    return which == LruList::kActive ? active_ : inactive_;
+  }
+
+  void PushHead(List& l, LruList which, PageId id);
+  void Unlink(List& l, PageId id);
+  void Rebalance();
+
+  std::vector<Page>& pages_;
+  List active_;
+  List inactive_;
+};
+
+}  // namespace canvas::mem

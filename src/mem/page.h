@@ -1,0 +1,72 @@
+// Per-page metadata (the simulation's `struct page` + PTE combined).
+//
+// Each application owns a dense vector of Page records indexed by PageId.
+// The Canvas adaptive allocator stores its reserved swap-entry ID directly
+// in this metadata, mirroring the paper's "write the entry ID into the page
+// metadata (struct page)".
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace canvas::mem {
+
+enum class PageState : std::uint8_t {
+  kUntouched,  // never accessed; first touch allocates a zeroed frame
+  kResident,   // mapped, occupies a frame, linked into an LRU list
+  kSwapCache,  // unmapped but present in a swap cache (frame charged to cache)
+  kRemote,     // only copy lives in the swap partition
+};
+
+enum class LruList : std::uint8_t { kNone, kActive, kInactive };
+
+struct Page {
+  PageState state = PageState::kUntouched;
+  LruList list = LruList::kNone;
+
+  /// Dirtied since the last writeback (or since swap-in).
+  bool dirty = false;
+  /// Referenced bit, set on access and consumed by LRU aging.
+  bool referenced = false;
+  /// Mapped by more than one process; handled via the global partition/cache.
+  bool shared = false;
+  /// Swap-in (or prefetch) currently in flight for this page.
+  bool in_flight = false;
+  /// Writeback RDMA in flight (page sits locked in the swap cache).
+  bool under_writeback = false;
+  /// The in-flight request is a prefetch (vs a demand read).
+  bool in_flight_prefetch = false;
+  /// Page currently sits in a swap cache due to a *prefetch* and has not yet
+  /// been mapped; used for contribution/accuracy accounting.
+  bool prefetched_unused = false;
+
+  /// Swap entry holding the current (or last written) remote copy;
+  /// kInvalidEntry if the page has no remote copy.
+  SwapEntryId entry = kInvalidEntry;
+  /// Canvas reservation: entry permanently paired with this page while the
+  /// reservation holds (equals `entry` when both are set).
+  SwapEntryId reserved = kInvalidEntry;
+
+  /// Hot-page detection (§5.1): count of consecutive active-list scans that
+  /// found this page near the head, and the scan generation that last saw it
+  /// (used to detect "consecutive").
+  std::uint8_t scan_hits = 0;
+  std::uint32_t last_scan_gen = 0;
+
+  /// Incarnation counter: bumped whenever the page changes residence
+  /// (mapped, released, evicted, re-fetched). In-flight swap-in completions
+  /// capture the value at issue time and discard themselves if the page has
+  /// moved on — the simulation analogue of the kernel's page-lock +
+  /// swap-cache revalidation.
+  std::uint32_t seq = 0;
+
+  /// Intrusive LRU linkage (indices into the owning app's page vector).
+  PageId lru_prev = kInvalidPage;
+  PageId lru_next = kInvalidPage;
+
+  bool HasRemoteCopy() const { return entry != kInvalidEntry; }
+  bool NeedsWriteback() const { return dirty || entry == kInvalidEntry; }
+};
+
+}  // namespace canvas::mem

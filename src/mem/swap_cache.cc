@@ -1,0 +1,56 @@
+#include "mem/swap_cache.h"
+
+#include <cassert>
+
+namespace canvas::mem {
+
+bool SwapCache::Contains(CgroupId app, PageId page) const {
+  return Lookup(app, page) != nullptr;
+}
+
+const SwapCache::Entry* SwapCache::Lookup(CgroupId app, PageId page) const {
+  ++lookups_;
+  auto it = index_.find(Key{app, page});
+  if (it == index_.end()) return nullptr;
+  ++hits_;
+  return &*it->second;
+}
+
+void SwapCache::Insert(CgroupId app, PageId page, bool locked, bool prefetched,
+                       SimTime now) {
+  assert(!Contains(app, page));
+  lru_.push_front(Entry{app, page, locked, prefetched, now});
+  index_[Key{app, page}] = lru_.begin();
+  ++inserts_;
+}
+
+void SwapCache::Unlock(CgroupId app, PageId page) {
+  auto it = index_.find(Key{app, page});
+  assert(it != index_.end());
+  it->second->locked = false;
+  // Refresh: arrival counts as recency.
+  lru_.splice(lru_.begin(), lru_, it->second);
+}
+
+bool SwapCache::Remove(CgroupId app, PageId page) {
+  auto it = index_.find(Key{app, page});
+  if (it == index_.end()) return false;
+  lru_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+bool SwapCache::PopLruUnlocked(Entry& out) {
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    if (!it->locked) {
+      out = *it;
+      index_.erase(Key{it->app, it->page});
+      lru_.erase(std::next(it).base());
+      ++shrunk_;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace canvas::mem

@@ -1,0 +1,93 @@
+// Swap cache: the staging buffer between local memory and the swap
+// partition.
+//
+// Holds unmapped pages that (a) were just swapped in or prefetched, or
+// (b) are being written back during eviction. In Linux there is one swap
+// cache (radix trees over swap-entry blocks) shared by all applications;
+// Canvas gives each cgroup a private cache plus one global cache for shared
+// pages. Both roles are instances of this class — isolation is expressed by
+// who owns the instance.
+//
+// Pages arrive `locked` while their RDMA transfer is in flight; only
+// unlocked pages are eligible for capacity shrinking. An internal LRU
+// provides the shrink order.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace canvas::mem {
+
+class SwapCache {
+ public:
+  struct Entry {
+    CgroupId app;
+    PageId page;
+    bool locked;
+    bool prefetched;  // inserted by the prefetcher (vs demand / writeback)
+    SimTime inserted;
+  };
+
+  SwapCache(std::string name, std::uint64_t capacity_pages)
+      : name_(std::move(name)), capacity_(capacity_pages) {}
+
+  const std::string& name() const { return name_; }
+  std::uint64_t capacity() const { return capacity_; }
+  void set_capacity(std::uint64_t pages) { capacity_ = pages; }
+  std::uint64_t size() const { return lru_.size(); }
+  bool OverCapacity() const { return size() > capacity_; }
+
+  bool Contains(CgroupId app, PageId page) const;
+  /// Returns the entry or nullptr. Does not affect LRU order.
+  const Entry* Lookup(CgroupId app, PageId page) const;
+
+  /// Insert a page (must not already be present).
+  void Insert(CgroupId app, PageId page, bool locked, bool prefetched,
+              SimTime now);
+
+  /// Mark an in-flight page's data as arrived; refreshes LRU position.
+  void Unlock(CgroupId app, PageId page);
+
+  /// Remove a page (mapped into the process, writeback finished, or
+  /// released). Returns false if absent.
+  bool Remove(CgroupId app, PageId page);
+
+  /// Pop the least-recently-inserted *unlocked* entry, or return false.
+  /// Used by the shrink path; the caller transitions the page state.
+  bool PopLruUnlocked(Entry& out);
+
+  // --- statistics ---
+  std::uint64_t lookups() const { return lookups_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t inserts() const { return inserts_; }
+  std::uint64_t shrunk() const { return shrunk_; }
+
+ private:
+  using LruList = std::list<Entry>;
+  struct Key {
+    CgroupId app;
+    PageId page;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>()(
+          (std::uint64_t(k.app) << 48) ^ k.page);
+    }
+  };
+
+  std::string name_;
+  std::uint64_t capacity_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<Key, LruList::iterator, KeyHash> index_;
+  mutable std::uint64_t lookups_ = 0;
+  mutable std::uint64_t hits_ = 0;
+  std::uint64_t inserts_ = 0;
+  std::uint64_t shrunk_ = 0;
+};
+
+}  // namespace canvas::mem

@@ -1,0 +1,52 @@
+// Prefetcher interface.
+//
+// The fault handler calls OnFault for every swap fault (both demand misses
+// and swap-cache hits feed pattern detection, as in the kernel). The
+// prefetcher returns candidate pages; the core filters out pages that are
+// not remote and issues prefetch RDMA requests for the rest.
+//
+// Context granularity is the central interference mechanism of the paper's
+// Figure 3: in a shared swap system the detector state is global, so
+// interleaved faults from co-running applications destroy each other's
+// patterns; in Canvas each cgroup has its own prefetcher state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace canvas::prefetch {
+
+struct FaultInfo {
+  CgroupId app = kInvalidCgroup;
+  PageId page = kInvalidPage;
+  ThreadId thread = kInvalidThread;
+  SimTime now = 0;
+  /// True if the fault was served from the swap cache (minor), false for a
+  /// demand swap-in (major).
+  bool cache_hit = false;
+};
+
+/// How detector state is keyed.
+enum class ContextMode : std::uint8_t {
+  kGlobal,  // one state shared by all applications (Linux shared swap)
+  kPerApp,  // one state per cgroup (Canvas isolation)
+};
+
+class Prefetcher {
+ public:
+  virtual ~Prefetcher() = default;
+
+  /// Observe a fault; append prefetch candidates to `out` (not cleared).
+  virtual void OnFault(const FaultInfo& fault, std::vector<PageId>& out) = 0;
+
+  /// Feedback: a page this prefetcher requested was used (mapped) /
+  /// released unused. Default: ignored.
+  virtual void OnPrefetchUsed(CgroupId /*app*/, PageId /*page*/) {}
+  virtual void OnPrefetchWasted(CgroupId /*app*/, PageId /*page*/) {}
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace canvas::prefetch

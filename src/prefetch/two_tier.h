@@ -1,0 +1,102 @@
+// Canvas two-tier adaptive prefetcher (§5.2).
+//
+// Kernel tier: a per-cgroup VMA readahead instance (cheap, runs on the
+// faulting core). Its effectiveness is monitored per application: if fewer
+// than `ineffective_threshold` pages were prefetched at each of the last N
+// (=3) faults, the faulting addresses start being forwarded — via the
+// modified userfaultfd channel — to the application tier. Forwarding stops
+// as soon as the kernel tier is effective again.
+//
+// Application tier (runs in the language runtime): chooses between two
+// semantic analyses per fault, following the paper's policy:
+//   (2) thread-based — if the application runs many threads AND the fault
+//       falls inside a registered large array, the per-*user-thread* fault
+//       stream is analyzed with Leap's majority vote (GC/JIT threads are
+//       filtered out via the runtime's thread map);
+//   (1) reference-based — otherwise, prefetch the pages reachable within 3
+//       hops of the faulting page's group in the write-barrier summary
+//       graph.
+// Native applications get only (2), with kernel threads used directly.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "prefetch/prefetcher.h"
+#include "prefetch/readahead.h"
+#include "runtime/runtime_info.h"
+
+namespace canvas::prefetch {
+
+class TwoTierPrefetcher : public Prefetcher {
+ public:
+  struct Config {
+    std::uint32_t kernel_max_window = 8;
+    /// A fault is "ineffective" if the kernel tier produced fewer
+    /// candidates than this.
+    std::uint32_t ineffective_threshold = 1;
+    /// Consecutive ineffective faults before forwarding starts (paper N=3).
+    std::uint32_t consecutive_faults = 3;
+    /// "Many threads" bar for choosing the thread-based analysis.
+    std::size_t many_threads = 8;
+    int ref_hops = 3;
+    std::size_t ref_max_pages = 32;
+    std::uint32_t thread_history = 16;
+    std::uint32_t thread_max_window = 8;
+    /// Accuracy gate: the app tier pauses when fewer than this fraction of
+    /// its recent prefetches were used (semantic patterns absent), and
+    /// re-probes every `reprobe_interval` forwarded faults.
+    double min_accuracy = 0.40;
+    std::uint32_t accuracy_min_samples = 64;
+    std::uint32_t reprobe_interval = 1024;
+  };
+
+  explicit TwoTierPrefetcher(Config cfg);
+
+  /// Attach an application's runtime model. `managed` enables the
+  /// reference-based analysis (JVM-style runtimes); native apps get only
+  /// the thread-based analysis.
+  void RegisterApp(CgroupId app, const runtime::RuntimeInfo* info,
+                   bool managed);
+
+  void OnFault(const FaultInfo& fault, std::vector<PageId>& out) override;
+  void OnPrefetchUsed(CgroupId app, PageId page) override;
+  void OnPrefetchWasted(CgroupId app, PageId page) override;
+  const char* name() const override { return "two-tier"; }
+
+  bool IsForwarding(CgroupId app) const;
+  std::uint64_t forwarded_faults() const { return forwarded_; }
+  std::uint64_t thread_tier_prefetches() const { return thread_pf_; }
+  std::uint64_t ref_tier_prefetches() const { return ref_pf_; }
+
+ private:
+  struct AppState {
+    const runtime::RuntimeInfo* info = nullptr;
+    bool managed = false;
+    std::uint32_t ineffective_streak = 0;
+    bool forwarding = false;
+    // Accuracy tracking (decayed counters).
+    double used = 0;
+    double wasted = 0;
+    std::uint32_t since_probe = 0;
+  };
+  struct ThreadState {
+    PageId last_page = kInvalidPage;
+    std::deque<std::int64_t> deltas;
+    std::uint32_t window = 1;
+  };
+
+  void AppTier(AppState& st, const FaultInfo& fault,
+               std::vector<PageId>& out);
+  void ThreadBased(const FaultInfo& fault, std::vector<PageId>& out);
+
+  Config cfg_;
+  ReadaheadPrefetcher kernel_tier_;
+  std::unordered_map<CgroupId, AppState> apps_;
+  std::unordered_map<ThreadId, ThreadState> thread_states_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t thread_pf_ = 0;
+  std::uint64_t ref_pf_ = 0;
+};
+
+}  // namespace canvas::prefetch

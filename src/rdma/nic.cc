@@ -1,0 +1,77 @@
+#include "rdma/nic.h"
+
+#include <cmath>
+#include <utility>
+
+namespace canvas::rdma {
+
+Nic::Nic(sim::Simulator& sim, Config cfg, RequestSource& source)
+    : sim_(sim), cfg_(cfg), source_(source),
+      dir_series_{TimeSeries(cfg.series_bucket), TimeSeries(cfg.series_bucket)} {}
+
+void Nic::Kick(Direction dir) { Pump(dir); }
+
+SimDuration Nic::EstimateServiceDelay(Direction dir, SimTime now) const {
+  const Lane& lane = lanes_[std::size_t(dir)];
+  SimDuration queue_wait =
+      lane.busy_until > now ? lane.busy_until - now : 0;
+  auto ser = SimDuration(double(kPageSize) / cfg_.bandwidth_bytes_per_sec *
+                         double(kSecond));
+  return queue_wait + ser + cfg_.base_latency;
+}
+
+const TimeSeries* Nic::cgroup_series(CgroupId cg, Direction dir) const {
+  auto it = cg_series_.find({cg, dir});
+  return it == cg_series_.end() ? nullptr : &it->second;
+}
+
+double Nic::cgroup_bytes(CgroupId cg, Direction dir) const {
+  auto it = cg_bytes_.find({cg, dir});
+  return it == cg_bytes_.end() ? 0.0 : it->second;
+}
+
+void Nic::Pump(Direction dir) {
+  Lane& lane = lanes_[std::size_t(dir)];
+  if (lane.pump_scheduled) return;
+  SimTime now = sim_.Now();
+  if (lane.busy_until > now) {
+    // Lane occupied: re-pump when it frees. Scheduling decisions stay
+    // late-bound because the actual Dequeue happens at that instant.
+    lane.pump_scheduled = true;
+    sim_.ScheduleAt(lane.busy_until, [this, dir] {
+      lanes_[std::size_t(dir)].pump_scheduled = false;
+      Pump(dir);
+    });
+    return;
+  }
+  RequestPtr req = source_.Dequeue(dir, now);
+  if (!req) return;
+
+  req->dispatched = now;
+  auto ser = SimDuration(double(req->bytes) / cfg_.bandwidth_bytes_per_sec *
+                         double(kSecond));
+  lane.busy_until = now + ser;
+  SimTime completion = lane.busy_until + cfg_.base_latency;
+
+  // Account bandwidth at serialization time.
+  dir_series_[std::size_t(dir)].Add(now, double(req->bytes));
+  auto key = std::make_pair(req->cgroup, dir);
+  auto [it, inserted] = cg_series_.try_emplace(key, cfg_.series_bucket);
+  it->second.Add(now, double(req->bytes));
+  cg_bytes_[key] += double(req->bytes);
+
+  sim_.ScheduleAt(completion, [this, r = req.release()]() mutable {
+    RequestPtr owned(r);
+    owned->completed = sim_.Now();
+    latency_[std::size_t(owned->op)].Add(
+        double(owned->completed - owned->created));
+    ++completed_[std::size_t(owned->op)];
+    if (owned->on_complete) owned->on_complete(*owned);
+  });
+
+  // Immediately try to fill the lane again (schedules a wake-up at
+  // busy_until via the branch above).
+  Pump(dir);
+}
+
+}  // namespace canvas::rdma

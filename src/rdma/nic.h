@@ -1,0 +1,92 @@
+// Simulated RDMA NIC.
+//
+// The NIC models a full-duplex link (one ingress lane for swap-ins, one
+// egress lane for swap-outs), each with a serialization rate equal to the
+// configured bandwidth, plus a fixed base latency covering PCIe DMA, wire
+// and remote-side processing. Requests are pulled from a RequestSource (the
+// dispatch scheduler) one at a time *when the lane frees*, so scheduling
+// decisions are late-binding: a demand request arriving while prefetches are
+// queued is dispatched ahead of them — exactly the property the paper's
+// schedulers differ on.
+//
+// The NIC is also the metrics point for per-op latency recorders and
+// per-cgroup bandwidth time series (paper Figures 5, 6, 14).
+#pragma once
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "common/stats.h"
+#include "rdma/request.h"
+#include "sim/simulator.h"
+
+namespace canvas::rdma {
+
+/// Interface the dispatch scheduler exposes to the NIC.
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+  /// Pop the next request to serve in `dir`, or nullptr if none eligible.
+  virtual RequestPtr Dequeue(Direction dir, SimTime now) = 0;
+};
+
+class Nic {
+ public:
+  struct Config {
+    /// Effective per-direction data rate. Defaults to ~4.8 GB/s, matching a
+    /// 40 Gbps ConnectX-3 with protocol overheads (the paper observed a
+    /// 4.5 GB/s peak).
+    double bandwidth_bytes_per_sec = 4.8e9;
+    /// Fixed one-way request latency (DMA + wire + remote memory).
+    SimDuration base_latency = 3 * kMicrosecond;
+    /// Width of bandwidth accounting buckets.
+    SimDuration series_bucket = 100 * kMillisecond;
+  };
+
+  Nic(sim::Simulator& sim, Config cfg, RequestSource& source);
+
+  /// Notify the NIC that the source may have new work in `dir`.
+  void Kick(Direction dir);
+
+  /// Estimated queueing+service delay if a request were dispatched on `dir`
+  /// now (used by the horizontal scheduler's timeliness estimator).
+  SimDuration EstimateServiceDelay(Direction dir, SimTime now) const;
+
+  const Config& config() const { return cfg_; }
+
+  // --- metrics ---
+  const LatencyRecorder& latency(Op op) const {
+    return latency_[std::size_t(op)];
+  }
+  /// Bytes transferred per direction over time (total across cgroups).
+  const TimeSeries& bytes_series(Direction dir) const {
+    return dir_series_[std::size_t(dir)];
+  }
+  /// Per-cgroup per-direction byte series (for WMMR / per-app bandwidth).
+  const TimeSeries* cgroup_series(CgroupId cg, Direction dir) const;
+  double cgroup_bytes(CgroupId cg, Direction dir) const;
+  std::uint64_t completed_count(Op op) const {
+    return completed_[std::size_t(op)];
+  }
+
+ private:
+  struct Lane {
+    SimTime busy_until = 0;
+    bool pump_scheduled = false;
+  };
+
+  void Pump(Direction dir);
+
+  sim::Simulator& sim_;
+  Config cfg_;
+  RequestSource& source_;
+  std::array<Lane, 2> lanes_;
+  std::array<LatencyRecorder, 3> latency_;
+  std::array<TimeSeries, 2> dir_series_;
+  std::array<std::uint64_t, 3> completed_{};
+  std::map<std::pair<CgroupId, Direction>, TimeSeries> cg_series_;
+  std::map<std::pair<CgroupId, Direction>, double> cg_bytes_;
+};
+
+}  // namespace canvas::rdma

@@ -1,0 +1,36 @@
+#include "sched/fastswap.h"
+
+namespace canvas::sched {
+
+void FastswapScheduler::Enqueue(rdma::RequestPtr req) {
+  auto dir = rdma::DirectionOf(req->op);
+  switch (req->op) {
+    case rdma::Op::kDemandIn: demand_.push_back(std::move(req)); break;
+    case rdma::Op::kPrefetchIn: prefetch_.push_back(std::move(req)); break;
+    case rdma::Op::kSwapOut: swapout_.push_back(std::move(req)); break;
+  }
+  KickNic(dir);
+}
+
+rdma::RequestPtr FastswapScheduler::Dequeue(rdma::Direction dir, SimTime) {
+  if (dir == rdma::Direction::kEgress) {
+    if (swapout_.empty()) return nullptr;
+    rdma::RequestPtr req = std::move(swapout_.front());
+    swapout_.pop_front();
+    return req;
+  }
+  // Sync queue strictly first.
+  if (!demand_.empty()) {
+    rdma::RequestPtr req = std::move(demand_.front());
+    demand_.pop_front();
+    return req;
+  }
+  if (!prefetch_.empty()) {
+    rdma::RequestPtr req = std::move(prefetch_.front());
+    prefetch_.pop_front();
+    return req;
+  }
+  return nullptr;
+}
+
+}  // namespace canvas::sched

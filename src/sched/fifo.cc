@@ -1,0 +1,19 @@
+#include "sched/fifo.h"
+
+namespace canvas::sched {
+
+void FifoScheduler::Enqueue(rdma::RequestPtr req) {
+  auto dir = rdma::DirectionOf(req->op);
+  queues_[std::size_t(dir)].push_back(std::move(req));
+  KickNic(dir);
+}
+
+rdma::RequestPtr FifoScheduler::Dequeue(rdma::Direction dir, SimTime) {
+  auto& q = queues_[std::size_t(dir)];
+  if (q.empty()) return nullptr;
+  rdma::RequestPtr req = std::move(q.front());
+  q.pop_front();
+  return req;
+}
+
+}  // namespace canvas::sched

@@ -1,0 +1,23 @@
+// Single shared FIFO dispatch queue per direction: the Linux / Infiniswap
+// baseline. Demand and prefetch requests from all applications interleave
+// in arrival order, so an aggressive prefetcher head-of-line-blocks
+// everyone's demand faults.
+#pragma once
+
+#include <deque>
+
+#include "sched/scheduler.h"
+
+namespace canvas::sched {
+
+class FifoScheduler : public DispatchScheduler {
+ public:
+  void Enqueue(rdma::RequestPtr req) override;
+  rdma::RequestPtr Dequeue(rdma::Direction dir, SimTime now) override;
+  const char* name() const override { return "fifo"; }
+
+ private:
+  std::deque<rdma::RequestPtr> queues_[2];
+};
+
+}  // namespace canvas::sched

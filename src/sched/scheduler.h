@@ -1,0 +1,54 @@
+// RDMA dispatch scheduler interface.
+//
+// The fault/eviction paths push requests into the scheduler (the paper's
+// VQPs); the NIC pulls one request per free lane (the paper's per-core
+// PQPs: demand swap-in, prefetch swap-in, swap-out — collapsed here into
+// the ingress/egress lanes plus the op tag on each request, which preserves
+// the scheduling-relevant structure: who gets the next slot, and whether
+// demand preempts queued prefetches).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "rdma/nic.h"
+#include "rdma/request.h"
+
+namespace canvas::sched {
+
+class DispatchScheduler : public rdma::RequestSource {
+ public:
+  ~DispatchScheduler() override = default;
+
+  /// Accept a request for future dispatch. Implementations must KickNic().
+  virtual void Enqueue(rdma::RequestPtr req) = 0;
+
+  virtual const char* name() const = 0;
+
+  /// Wire up the NIC after construction (scheduler and NIC reference each
+  /// other; the NIC is built second).
+  void AttachNic(rdma::Nic* nic) { nic_ = nic; }
+
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t drops_for(CgroupId cg) const {
+    auto it = drops_per_cg_.find(cg);
+    return it == drops_per_cg_.end() ? 0 : it->second;
+  }
+
+ protected:
+  void KickNic(rdma::Direction dir) {
+    if (nic_) nic_->Kick(dir);
+  }
+  void RecordDrop(const rdma::Request& req) {
+    ++drops_;
+    ++drops_per_cg_[req.cgroup];
+    if (req.on_drop) req.on_drop(req);
+  }
+  rdma::Nic* nic_ = nullptr;
+
+ private:
+  std::uint64_t drops_ = 0;
+  std::unordered_map<CgroupId, std::uint64_t> drops_per_cg_;
+};
+
+}  // namespace canvas::sched

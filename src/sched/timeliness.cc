@@ -1,0 +1,32 @@
+#include "sched/timeliness.h"
+
+namespace canvas::sched {
+
+void TimelinessTracker::Record(CgroupId cg, SimDuration dt) {
+  State& st = states_[cg];
+  if (st.ring.size() < cfg_.window) {
+    st.ring.push_back(dt);
+  } else {
+    st.ring[st.next] = dt;
+    st.next = (st.next + 1) % cfg_.window;
+  }
+  ++st.count;
+}
+
+SimDuration TimelinessTracker::Threshold(CgroupId cg) const {
+  auto it = states_.find(cg);
+  if (it == states_.end() || it->second.ring.empty())
+    return cfg_.initial_threshold;
+  std::vector<SimDuration> sorted = it->second.ring;
+  std::sort(sorted.begin(), sorted.end());
+  auto idx = std::size_t(cfg_.quantile * double(sorted.size() - 1));
+  SimDuration t = sorted[idx];
+  return std::clamp(t, cfg_.floor, cfg_.ceiling);
+}
+
+std::uint64_t TimelinessTracker::samples(CgroupId cg) const {
+  auto it = states_.find(cg);
+  return it == states_.end() ? 0 : it->second.count;
+}
+
+}  // namespace canvas::sched

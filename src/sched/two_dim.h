@@ -1,0 +1,76 @@
+// Canvas two-dimensional RDMA scheduler (§4, §5.3).
+//
+// Vertical dimension (across applications): weighted max-min fair queueing
+// with virtual clocks per direction. Each cgroup owns a VQP set (demand /
+// prefetch / swap-out queues); at each free NIC slot the scheduler serves
+// the backlogged cgroup with the smallest virtual finish tag, so bandwidth
+// shares converge to the configured weights while unconsumed bandwidth is
+// redistributed to backlogged cgroups automatically (work conservation).
+//
+// Horizontal dimension (within an application): demand requests are served
+// strictly before prefetches, and — when `horizontal` is enabled — stale
+// prefetches are dropped: a prefetch whose estimated arrival time exceeds
+// the cgroup's estimated timeliness threshold can no longer be useful, so
+// it is discarded to return bandwidth to critical requests. The drop
+// callback lets the swap system unwind the page's in-flight state (and
+// rescue threads blocked on it by reissuing a demand request, §5.3).
+//
+// With `horizontal=false` this is the "isolation only" configuration of
+// §6.3: vertical fairness plus Fastswap-style sync/async priority.
+#pragma once
+
+#include <deque>
+#include <map>
+
+#include "sched/scheduler.h"
+#include "sched/timeliness.h"
+
+namespace canvas::sched {
+
+class TwoDimScheduler : public DispatchScheduler {
+ public:
+  struct Config {
+    bool horizontal = true;  // timeliness-based prefetch dropping
+    TimelinessTracker::Config timeliness;
+  };
+
+  TwoDimScheduler() : TwoDimScheduler(Config{}) {}
+  explicit TwoDimScheduler(const Config& cfg)
+      : cfg_(cfg), timeliness_(cfg.timeliness) {}
+
+  /// Declare a cgroup with its fair-share weight (must precede Enqueue).
+  void RegisterCgroup(CgroupId cg, double weight);
+
+  void Enqueue(rdma::RequestPtr req) override;
+  rdma::RequestPtr Dequeue(rdma::Direction dir, SimTime now) override;
+  const char* name() const override { return "two-dim"; }
+
+  TimelinessTracker& timeliness() { return timeliness_; }
+  const TimelinessTracker& timeliness() const { return timeliness_; }
+
+ private:
+  struct Vqp {
+    double weight = 1.0;
+    std::deque<rdma::RequestPtr> demand;
+    std::deque<rdma::RequestPtr> prefetch;
+    std::deque<rdma::RequestPtr> swapout;
+    double finish[2] = {0, 0};  // virtual finish tag per direction
+
+    bool Backlogged(rdma::Direction dir) const {
+      return dir == rdma::Direction::kEgress
+                 ? !swapout.empty()
+                 : !(demand.empty() && prefetch.empty());
+    }
+  };
+
+  /// Pop per horizontal policy from `vqp` (direction `dir`); may drop stale
+  /// prefetches. Returns nullptr if everything eligible was dropped.
+  rdma::RequestPtr PopHorizontal(Vqp& vqp, rdma::Direction dir, SimTime now);
+
+  Config cfg_;
+  TimelinessTracker timeliness_;
+  std::map<CgroupId, Vqp> vqps_;
+  double vclock_[2] = {0, 0};
+};
+
+}  // namespace canvas::sched

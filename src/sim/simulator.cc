@@ -1,0 +1,37 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace canvas::sim {
+
+void Simulator::ScheduleAt(SimTime when, Callback fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast as the element is
+  // popped immediately after (standard drain idiom).
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+bool Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) Step();
+  if (queue_.empty()) return true;
+  now_ = deadline;
+  return false;
+}
+
+}  // namespace canvas::sim

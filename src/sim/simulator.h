@@ -1,0 +1,71 @@
+// Discrete-event simulation engine.
+//
+// The entire Canvas reproduction runs on one deterministic virtual clock.
+// Components schedule closures at future instants; Simulator::Run() drains
+// the event queue in (time, insertion-sequence) order, so two events at the
+// same instant fire in the order they were scheduled — this removes all
+// nondeterminism from the model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace canvas::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  SimTime Now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` nanoseconds from now.
+  void Schedule(SimDuration delay, Callback fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Schedule `fn` at an absolute instant (must be >= Now()).
+  void ScheduleAt(SimTime when, Callback fn);
+
+  /// Run until the event queue is empty.
+  void Run();
+
+  /// Run until the clock would pass `deadline` (events at exactly `deadline`
+  /// still fire). Returns true if the queue drained before the deadline.
+  bool RunUntil(SimTime deadline);
+
+  /// Execute the single next event. Returns false if the queue is empty.
+  bool Step();
+
+  /// Number of events executed so far (for tests and runaway detection).
+  std::uint64_t events_executed() const { return executed_; }
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace canvas::sim

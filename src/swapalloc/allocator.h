@@ -1,0 +1,77 @@
+// Swap-entry allocator interface.
+//
+// Every swap-out must obtain a swap entry; the strategies below reproduce
+// the designs the paper measures against each other:
+//   - FreelistAllocator: single-lock free-list scan (Linux <= 5.5 default,
+//     Infiniswap-era kernels).
+//   - ClusterAllocator: per-core cluster allocation (Intel patch [48],
+//     merged in 5.8) with core-collision behaviour at high core counts.
+//   - BatchAllocator: batched refill under one lock (Intel patch [46]);
+//     combined with clusters this is the "Linux 5.14" configuration of
+//     Appendix B.
+// The Canvas adaptive reservation scheme (§5.1) is not an allocator: it is a
+// bypass layer (ReservationManager) that eliminates most allocator calls.
+//
+// Allocation is asynchronous in simulated time because it may queue on a
+// SimMutex; completion delivers the entry plus the wait/hold breakdown that
+// feeds the "time spent on swap entry allocation" metrics (Fig. 15).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace canvas::swapalloc {
+
+struct AllocResult {
+  SwapEntryId entry = kInvalidEntry;  // kInvalidEntry => partition full
+  SimDuration wait = 0;               // time queued on allocation locks
+  SimDuration hold = 0;               // time inside critical sections
+};
+
+class SwapEntryAllocator {
+ public:
+  using Done = std::function<void(AllocResult)>;
+
+  virtual ~SwapEntryAllocator() = default;
+
+  /// Allocate one entry on behalf of `core`; `done` fires when the
+  /// allocation path (including lock queueing) completes.
+  virtual void Allocate(CoreId core, Done done) = 0;
+
+  /// Return an entry to the free pool (synchronous; freeing is cheap and
+  /// not a contention point in the paper).
+  virtual void Free(SwapEntryId entry) = 0;
+
+  virtual std::uint64_t capacity() const = 0;
+  virtual std::uint64_t used() const = 0;
+  double Utilization() const {
+    return capacity() ? double(used()) / double(capacity()) : 0.0;
+  }
+
+  // --- shared statistics ---
+  std::uint64_t allocations() const { return allocations_; }
+  SimDuration total_alloc_time() const { return total_alloc_time_; }
+  const LatencyRecorder& alloc_latency() const { return alloc_latency_; }
+  const TimeSeries& alloc_series() const { return alloc_series_; }
+
+ protected:
+  void RecordAlloc(SimTime now, const AllocResult& r) {
+    ++allocations_;
+    total_alloc_time_ += r.wait + r.hold;
+    alloc_latency_.Add(double(r.wait + r.hold));
+    alloc_series_.Add(now, 1.0);
+  }
+
+ private:
+  std::uint64_t allocations_ = 0;
+  SimDuration total_alloc_time_ = 0;
+  LatencyRecorder alloc_latency_;
+  TimeSeries alloc_series_{100 * kMillisecond};
+};
+
+}  // namespace canvas::swapalloc

@@ -1,0 +1,197 @@
+#include "swapalloc/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace canvas::swapalloc {
+
+ClusterAllocator::ClusterAllocator(sim::Simulator& sim, std::uint64_t capacity,
+                                   Config cfg)
+    : sim_(sim), capacity_(capacity), cfg_(cfg), rng_(cfg.rng_seed),
+      global_mutex_(sim, cfg.contention_alpha) {
+  auto num_clusters =
+      std::uint32_t((capacity + cfg.cluster_size - 1) / cfg.cluster_size);
+  clusters_.resize(num_clusters);
+  for (std::uint32_t c = 0; c < num_clusters; ++c) {
+    Cluster& cl = clusters_[c];
+    std::uint64_t lo = std::uint64_t(c) * cfg.cluster_size;
+    std::uint64_t hi = std::min<std::uint64_t>(lo + cfg.cluster_size, capacity);
+    cl.free.reserve(hi - lo);
+    for (std::uint64_t e = hi; e-- > lo;) cl.free.push_back(e);
+    cl.mutex = std::make_unique<sim::SimMutex>(sim, cfg.contention_alpha);
+    cl.in_free_list = true;
+    free_clusters_.push_back(c);
+  }
+  core_cluster_.assign(256, kNoCluster);
+  core_cache_.resize(256);
+}
+
+std::uint64_t ClusterAllocator::CollidingClusters() const {
+  std::uint64_t n = 0;
+  for (const Cluster& c : clusters_)
+    if (c.owners > 1) ++n;
+  return n;
+}
+
+void ClusterAllocator::DetachCore(CoreId core) {
+  std::uint32_t ci = core_cluster_[core];
+  if (ci == kNoCluster) return;
+  assert(clusters_[ci].owners > 0);
+  --clusters_[ci].owners;
+  core_cluster_[core] = kNoCluster;
+}
+
+void ClusterAllocator::Allocate(CoreId core, Done done) {
+  if (core >= core_cluster_.size()) {
+    core_cluster_.resize(core + 1, kNoCluster);
+    core_cache_.resize(core + 1);
+  }
+  // Batched entries from a previous lock acquisition are handed out without
+  // touching any lock.
+  if (!core_cache_[core].empty()) {
+    SwapEntryId e = core_cache_[core].back();
+    core_cache_[core].pop_back();
+    sim_.Schedule(cfg_.cache_pop_cost, [this, e, done = std::move(done)] {
+      AllocResult r;
+      r.entry = e;
+      r.hold = cfg_.cache_pop_cost;
+      RecordAlloc(sim_.Now(), r);
+      done(r);
+    });
+    return;
+  }
+  // si->lock: brief global critical section on every allocation path
+  // (availability counters), before the per-cluster work.
+  global_mutex_.Execute(cfg_.si_lock_hold, [this, core,
+                                            done = std::move(done)](
+                                               SimDuration wait,
+                                               SimDuration hold) mutable {
+    std::uint32_t ci = core_cluster_[core];
+    if (ci != kNoCluster && !clusters_[ci].free.empty()) {
+      AllocateFromCluster(core, ci, std::move(done), wait, hold);
+      return;
+    }
+    SwitchCluster(core, [wait, hold, done = std::move(done)](
+                            AllocResult r) mutable {
+      r.wait += wait;
+      r.hold += hold;
+      done(r);
+    });
+  });
+}
+
+void ClusterAllocator::AllocateFromCluster(CoreId core, std::uint32_t ci,
+                                           Done done, SimDuration prior_wait,
+                                           SimDuration prior_hold) {
+  Cluster& cl = clusters_[ci];
+  // A cluster shared by several cores costs more per allocation: its free
+  // slots are interleaved with other cores' allocations, and the scan
+  // lengthens further as the partition fills (fewer free slots to find).
+  SimDuration hold = cfg_.cluster_hold;
+  if (cl.owners > 1) {
+    double util = Utilization();
+    double factor =
+        1.0 + cfg_.util_scan_coeff * (1.0 / std::max(0.02, 1.0 - util) - 1.0);
+    hold = std::min(SimDuration(double(cfg_.shared_scan_hold) * factor),
+                    cfg_.max_hold);
+  }
+  if (cfg_.batch_size > 1)
+    hold = SimDuration(double(hold) *
+                       (1.0 + cfg_.batch_scan_coeff * (cfg_.batch_size - 1)));
+  cl.mutex->Execute(hold, [this, core, ci, prior_wait, prior_hold,
+                           done = std::move(done)](SimDuration wait,
+                                                   SimDuration hold_actual) {
+    Cluster& cl2 = clusters_[ci];
+    AllocResult r;
+    r.wait = prior_wait + wait;
+    r.hold = prior_hold + hold_actual;
+    if (!cl2.free.empty()) {
+      r.entry = cl2.free.back();
+      cl2.free.pop_back();
+      ++used_;
+      // Batch patch: scan additional free entries while holding the lock and
+      // stash them in the per-core cache for lock-free handout later.
+      auto& cache = core_cache_[core];
+      while (cfg_.batch_size > 1 && cache.size() + 1 < cfg_.batch_size &&
+             !cl2.free.empty()) {
+        cache.push_back(cl2.free.back());
+        cl2.free.pop_back();
+        ++used_;
+      }
+      RecordAlloc(sim_.Now(), r);
+      done(r);
+      return;
+    }
+    // Raced with another core that drained the cluster: switch and retry.
+    DetachCore(core);
+    // Carry the accumulated cost through the retry.
+    SwitchCluster(core, [r, done = std::move(done)](AllocResult r2) mutable {
+      r2.wait += r.wait;
+      r2.hold += r.hold;
+      done(r2);
+    });
+  });
+}
+
+std::uint32_t ClusterAllocator::PickSharedCluster() {
+  // Random probing, as in the patch: pick a random cluster with free space.
+  for (int probe = 0; probe < 16; ++probe) {
+    auto ci = std::uint32_t(rng_.NextBounded(clusters_.size()));
+    if (!clusters_[ci].free.empty()) return ci;
+  }
+  // Linear fallback scan.
+  for (std::uint32_t ci = 0; ci < clusters_.size(); ++ci)
+    if (!clusters_[ci].free.empty()) return ci;
+  return kNoCluster;
+}
+
+void ClusterAllocator::SwitchCluster(CoreId core, Done done) {
+  global_mutex_.Execute(cfg_.global_hold, [this, core, done = std::move(done)](
+                                              SimDuration wait,
+                                              SimDuration hold) mutable {
+    // A concurrent allocation from this core may have attached a cluster
+    // while we queued on the global lock: use it instead of switching.
+    std::uint32_t cur = core_cluster_[core];
+    if (cur != kNoCluster && !clusters_[cur].free.empty()) {
+      AllocateFromCluster(core, cur, std::move(done), wait, hold);
+      return;
+    }
+    DetachCore(core);
+    std::uint32_t ci;
+    if (!free_clusters_.empty()) {
+      ci = free_clusters_.back();
+      free_clusters_.pop_back();
+      clusters_[ci].in_free_list = false;
+    } else {
+      ci = PickSharedCluster();
+      ++fallbacks_;
+    }
+    if (ci == kNoCluster) {
+      AllocResult r;  // partition full
+      r.wait = wait;
+      r.hold = hold;
+      done(r);
+      return;
+    }
+    core_cluster_[core] = ci;
+    ++clusters_[ci].owners;
+    AllocateFromCluster(core, ci, std::move(done), wait, hold);
+  });
+}
+
+void ClusterAllocator::Free(SwapEntryId entry) {
+  assert(used_ > 0);
+  --used_;
+  auto ci = std::uint32_t(entry / cfg_.cluster_size);
+  Cluster& cl = clusters_[ci];
+  cl.free.push_back(entry);
+  // A fully-free, unowned cluster returns to the free-cluster list.
+  std::uint64_t lo = std::uint64_t(ci) * cfg_.cluster_size;
+  std::uint64_t hi = std::min<std::uint64_t>(lo + cfg_.cluster_size, capacity_);
+  if (cl.owners == 0 && !cl.in_free_list && cl.free.size() == hi - lo) {
+    cl.in_free_list = true;
+    free_clusters_.push_back(ci);
+  }
+}
+
+}  // namespace canvas::swapalloc

@@ -1,0 +1,94 @@
+// Per-core cluster allocator (Intel patch [48], Linux 5.8+).
+//
+// The partition is divided into 256-entry clusters. Each core owns a current
+// cluster and allocates from it under that cluster's (fine-grained) lock;
+// when the cluster is exhausted the core takes a short global lock to grab a
+// new one. When no fully-free clusters remain, cores are assigned random
+// partially-free clusters and begin *colliding* — several cores sharing one
+// cluster lock. The paper (Appendix B, Fig. 16) shows this makes per-entry
+// allocation cost grow super-linearly beyond ~24 cores; that behaviour
+// emerges here from the shared SimMutexes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/sim_mutex.h"
+#include "swapalloc/allocator.h"
+
+namespace canvas::swapalloc {
+
+class ClusterAllocator : public SwapEntryAllocator {
+ public:
+  struct Config {
+    std::uint32_t cluster_size = 256;
+    /// Critical section for an allocation within an owned cluster.
+    SimDuration cluster_hold = 400;  // 0.4us
+    /// Critical section for taking the global lock to switch clusters.
+    SimDuration global_hold = 800;  // 0.8us
+    /// Extra scan time when falling back to a shared, fragmented cluster.
+    SimDuration shared_scan_hold = 2 * kMicrosecond;
+    /// Every allocation briefly takes the swap_info lock (si->lock /
+    /// swap_avail_lock) for counter updates even on the per-core cluster
+    /// fast path — the serializer that makes per-entry cost grow
+    /// super-linearly with core count in Figures 13(b)/16(b).
+    SimDuration si_lock_hold = 250;
+    /// Mild scan lengthening as the partition fills; the dominant cost is
+    /// contention, not utilization (clusters keep free-slot counters).
+    double util_scan_coeff = 0.1;
+    SimDuration max_hold = 60 * kMicrosecond;
+    double contention_alpha = 0.25;
+    std::uint64_t rng_seed = 42;
+    /// Entries grabbed per lock acquisition (Intel batch patch [46]).
+    /// 1 disables batching; the "Linux 5.14" configuration uses 8-64.
+    std::uint32_t batch_size = 1;
+    /// Extra scan time per additional batched entry while holding the lock.
+    double batch_scan_coeff = 0.08;
+    /// Cost of popping a pre-batched entry from the per-core cache.
+    SimDuration cache_pop_cost = 60;
+  };
+
+  ClusterAllocator(sim::Simulator& sim, std::uint64_t capacity, Config cfg);
+
+  void Allocate(CoreId core, Done done) override;
+  void Free(SwapEntryId entry) override;
+
+  std::uint64_t capacity() const override { return capacity_; }
+  std::uint64_t used() const override { return used_; }
+
+  /// Number of clusters currently assigned to more than one core (the
+  /// collision metric of Appendix B).
+  std::uint64_t CollidingClusters() const;
+  std::uint64_t fallback_allocations() const { return fallbacks_; }
+
+ private:
+  struct Cluster {
+    std::vector<SwapEntryId> free;
+    std::unique_ptr<sim::SimMutex> mutex;
+    std::uint32_t owners = 0;  // cores currently assigned here
+    bool in_free_list = false;
+  };
+
+  static constexpr std::uint32_t kNoCluster = 0xFFFFFFFFu;
+
+  void AllocateFromCluster(CoreId core, std::uint32_t ci, Done done,
+                           SimDuration prior_wait, SimDuration prior_hold);
+  void SwitchCluster(CoreId core, Done done);
+  std::uint32_t PickSharedCluster();
+  void DetachCore(CoreId core);
+
+  sim::Simulator& sim_;
+  std::uint64_t capacity_;
+  Config cfg_;
+  Rng rng_;
+  sim::SimMutex global_mutex_;
+  std::vector<Cluster> clusters_;
+  std::vector<std::uint32_t> free_clusters_;  // fully-free, unassigned
+  std::vector<std::uint32_t> core_cluster_;   // per-core current cluster
+  std::vector<std::vector<SwapEntryId>> core_cache_;  // batched entries
+  std::uint64_t used_ = 0;
+  std::uint64_t fallbacks_ = 0;
+};
+
+}  // namespace canvas::swapalloc

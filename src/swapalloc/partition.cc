@@ -1,0 +1,28 @@
+#include "swapalloc/partition.h"
+
+namespace canvas::swapalloc {
+
+SwapPartition::SwapPartition(sim::Simulator& sim, std::string name,
+                             std::uint64_t capacity, Config cfg)
+    : name_(std::move(name)), capacity_(capacity), meta_(capacity) {
+  switch (cfg.kind) {
+    case AllocatorKind::kFreelist:
+      allocator_ =
+          std::make_unique<FreelistAllocator>(sim, capacity, cfg.freelist);
+      break;
+    case AllocatorKind::kCluster: {
+      auto c = cfg.cluster;
+      c.batch_size = 1;
+      allocator_ = std::make_unique<ClusterAllocator>(sim, capacity, c);
+      break;
+    }
+    case AllocatorKind::kClusterBatch: {
+      auto c = cfg.cluster;
+      if (c.batch_size <= 1) c.batch_size = 16;
+      allocator_ = std::make_unique<ClusterAllocator>(sim, capacity, c);
+      break;
+    }
+  }
+}
+
+}  // namespace canvas::swapalloc

@@ -1,0 +1,434 @@
+#include "workload/apps.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "workload/patterns.h"
+
+namespace canvas::workload {
+
+namespace {
+
+PageId Scaled(double base, double scale) {
+  return PageId(std::max(base * scale, 256.0));
+}
+
+std::uint64_t ScaledN(double base, double scale) {
+  return std::uint64_t(std::max(base * scale, 64.0));
+}
+
+/// Incremental AppWorkload assembly.
+struct Builder {
+  AppWorkload w;
+  Rng seeds;
+
+  Builder(std::string name, bool managed, PageId footprint,
+          double shared_fraction, std::uint64_t seed)
+      : seeds(seed ^ 0xC0FFEE) {
+    w.name = std::move(name);
+    w.managed = managed;
+    w.footprint_pages = footprint;
+    w.shared_fraction = shared_fraction;
+    w.runtime = std::make_shared<runtime::RuntimeInfo>();
+  }
+
+  std::uint64_t Seed() { return seeds.Next(); }
+
+  std::shared_ptr<HeapGraph> Graph(Region r, std::uint32_t degree) {
+    auto g = std::make_shared<HeapGraph>(r, degree, Seed(), w.runtime.get());
+    w.keepalive.push_back(g);
+    return g;
+  }
+
+  void Worker(std::unique_ptr<ThreadStream> s) {
+    w.threads.push_back(std::move(s));
+    w.thread_kinds.push_back(runtime::ThreadKind::kApplication);
+  }
+
+  void Gc(std::unique_ptr<ThreadStream> s) {
+    w.threads.push_back(std::move(s));
+    w.thread_kinds.push_back(runtime::ThreadKind::kGc);
+  }
+
+  void AddGcThreads(const std::shared_ptr<HeapGraph>& g, std::uint32_t n,
+                    Region metadata, std::uint32_t cycles,
+                    std::uint64_t trace, std::uint64_t idle) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      GcStream::Params gp;
+      gp.graph = g.get();
+      gp.metadata = metadata;
+      gp.cycles = cycles;
+      gp.trace_accesses_per_cycle = trace;
+      gp.idle_accesses_per_cycle = idle;
+      gp.seed = Seed();
+      Gc(std::make_unique<GcStream>(gp));
+    }
+  }
+
+  AppWorkload Take() { return std::move(w); }
+};
+
+/// Partition a region into `n` equal worker partitions.
+Region PartitionOf(Region r, std::uint32_t i, std::uint32_t n) {
+  PageId chunk = r.len / n;
+  PageId start = r.start + PageId(i) * chunk;
+  PageId len = (i + 1 == n) ? r.end() - start : chunk;
+  return Region{start, len};
+}
+
+/// Spark-family template: epochal scans over RDD partitions (large arrays)
+/// mixed with object-graph traversal, plus GC threads over the whole heap.
+AppWorkload SparkLike(const char* name, AppParams p, double scan_mix,
+                      std::uint32_t passes, double write_frac,
+                      double zipf_mix_theta, PageId base_footprint,
+                      std::uint32_t chase_degree) {
+  std::uint32_t workers = p.threads ? p.threads : 24;
+  PageId footprint = Scaled(double(base_footprint), p.scale);
+  Builder b(name, /*managed=*/true, footprint, 0.02, p.seed);
+
+  Region heap{PageId(double(footprint) * 0.02), 0};
+  heap.len = footprint - heap.start;
+  Region rdd{heap.start, PageId(double(heap.len) * 0.8)};
+  Region objects{rdd.end(), heap.end() - rdd.end()};
+  auto graph = b.Graph(heap, chase_degree);
+
+  for (std::uint32_t t = 0; t < workers; ++t) {
+    Region part = PartitionOf(rdd, t, workers);
+    b.w.runtime->RegisterLargeArray(part.start, part.len);
+
+    SequentialScanStream::Params sp;
+    sp.region = part;
+    sp.stride = 1;
+    sp.passes = passes;
+    sp.compute_ns = 200;
+    sp.write_fraction = write_frac;
+    sp.seed = b.Seed();
+    auto scan = std::make_unique<SequentialScanStream>(sp);
+
+    std::unique_ptr<ThreadStream> side;
+    std::uint64_t side_accesses =
+        ScaledN(double(part.len) * passes * (1.0 - scan_mix), 1.0);
+    if (zipf_mix_theta > 0) {
+      ZipfStream::Params zp;
+      zp.region = objects;
+      zp.accesses = side_accesses;
+      zp.theta = zipf_mix_theta;
+      zp.compute_ns = 220;
+      zp.write_fraction = write_frac;
+      zp.seed = b.Seed();
+      side = std::make_unique<ZipfStream>(zp);
+    } else {
+      PointerChaseStream::Params cp;
+      cp.graph = graph.get();
+      cp.accesses = side_accesses;
+      cp.compute_ns = 250;
+      cp.write_fraction = write_frac * 0.5;
+      cp.seed = b.Seed();
+      side = std::make_unique<PointerChaseStream>(cp);
+    }
+    b.Worker(std::make_unique<MixStream>(std::move(scan), std::move(side),
+                                         scan_mix, b.Seed()));
+  }
+  b.AddGcThreads(graph, 4, Region{0, PageId(double(footprint) * 0.02)},
+                 /*cycles=*/4, ScaledN(4000, p.scale), ScaledN(3000, p.scale));
+  return b.Take();
+}
+
+/// Graph-analytics template (Spark PR/TC, GraphX, Neo4j core): dominated by
+/// pointer chasing with a small scan component.
+AppWorkload GraphLike(const char* name, AppParams p, std::uint32_t workers,
+                      std::uint32_t gc_threads, PageId base_footprint,
+                      double chase_mix, std::uint64_t walk_per_thread,
+                      double restart, std::uint32_t degree) {
+  PageId footprint = Scaled(double(base_footprint), p.scale);
+  Builder b(name, /*managed=*/true, footprint, 0.02, p.seed);
+  workers = p.threads ? p.threads : workers;
+
+  Region heap{PageId(double(footprint) * 0.02), 0};
+  heap.len = footprint - heap.start;
+  auto graph = b.Graph(heap, degree);
+
+  for (std::uint32_t t = 0; t < workers; ++t) {
+    PointerChaseStream::Params cp;
+    cp.graph = graph.get();
+    cp.accesses = ScaledN(double(walk_per_thread), p.scale);
+    cp.restart_prob = restart;
+    cp.compute_ns = 260;
+    cp.write_fraction = 0.08;
+    cp.seed = b.Seed();
+    auto chase = std::make_unique<PointerChaseStream>(cp);
+
+    Region part = PartitionOf(heap, t, workers);
+    SequentialScanStream::Params sp;
+    sp.region = part;
+    sp.passes = 2;
+    sp.compute_ns = 200;
+    sp.write_fraction = 0.05;
+    sp.seed = b.Seed();
+    auto scan = std::make_unique<SequentialScanStream>(sp);
+
+    b.Worker(std::make_unique<MixStream>(std::move(chase), std::move(scan),
+                                         chase_mix, b.Seed()));
+  }
+  b.AddGcThreads(graph, gc_threads,
+                 Region{0, PageId(double(footprint) * 0.02)},
+                 /*cycles=*/4, ScaledN(4000, p.scale), ScaledN(3000, p.scale));
+  return b.Take();
+}
+
+}  // namespace
+
+AppWorkload MakeSparkLR(AppParams p) {
+  return SparkLike("spark-lr", p, /*scan_mix=*/0.88, /*passes=*/6,
+                   /*write=*/0.25, /*zipf_theta=*/0.0, 40960, 3);
+}
+
+AppWorkload MakeSparkKM(AppParams p) {
+  return SparkLike("spark-km", p, /*scan_mix=*/0.78, /*passes=*/6,
+                   /*write=*/0.15, /*zipf_theta=*/0.9, 40960, 3);
+}
+
+AppWorkload MakeSparkSG(AppParams p) {
+  return SparkLike("spark-sg", p, /*scan_mix=*/0.45, /*passes=*/3,
+                   /*write=*/0.6, /*zipf_theta=*/0.8, 36864, 3);
+}
+
+AppWorkload MakeMllibBC(AppParams p) {
+  return SparkLike("mllib-bc", p, /*scan_mix=*/0.92, /*passes=*/5,
+                   /*write=*/0.1, /*zipf_theta=*/0.0, 36864, 3);
+}
+
+AppWorkload MakeSparkPR(AppParams p) {
+  return GraphLike("spark-pr", p, 24, 4, 40960, 0.8, 9000, 0.02, 3);
+}
+
+AppWorkload MakeSparkTC(AppParams p) {
+  return GraphLike("spark-tc", p, 24, 4, 36864, 0.85, 9000, 0.05, 4);
+}
+
+AppWorkload MakeGraphxCC(AppParams p) {
+  return GraphLike("graphx-cc", p, 24, 4, 49152, 0.8, 10000, 0.02, 3);
+}
+
+AppWorkload MakeGraphxPR(AppParams p) {
+  return GraphLike("graphx-pr", p, 24, 4, 49152, 0.75, 10000, 0.02, 3);
+}
+
+AppWorkload MakeGraphxSP(AppParams p) {
+  return GraphLike("graphx-sp", p, 24, 4, 40960, 0.85, 8000, 0.04, 3);
+}
+
+AppWorkload MakeCassandra(AppParams p) {
+  std::uint32_t workers = p.threads ? p.threads : 24;
+  PageId footprint = Scaled(36864, p.scale);
+  Builder b("cassandra", /*managed=*/true, footprint, 0.02, p.seed);
+  Region heap{PageId(double(footprint) * 0.02), 0};
+  heap.len = footprint - heap.start;
+  Region data{heap.start, PageId(double(heap.len) * 0.85)};
+  Region log{data.end(), heap.end() - data.end()};
+  auto graph = b.Graph(heap, 3);
+  for (std::uint32_t t = 0; t < workers; ++t) {
+    ZipfStream::Params zp;
+    zp.region = data;
+    zp.accesses = ScaledN(9000, p.scale);
+    zp.theta = 0.99;
+    zp.compute_ns = 240;
+    zp.write_fraction = 0.5;  // 5M reads / 5M inserts
+    zp.seed = b.Seed();
+    auto kv = std::make_unique<ZipfStream>(zp);
+    PointerChaseStream::Params cp;  // memtable/index object traversal
+    cp.graph = graph.get();
+    cp.accesses = ScaledN(2500, p.scale);
+    cp.compute_ns = 260;
+    cp.write_fraction = 0.2;
+    cp.seed = b.Seed();
+    auto chase = std::make_unique<PointerChaseStream>(cp);
+    b.Worker(std::make_unique<MixStream>(std::move(kv), std::move(chase),
+                                         0.75, b.Seed()));
+  }
+  // Commit-log writer: sequential appends.
+  SequentialScanStream::Params lp;
+  lp.region = log;
+  lp.passes = 4;
+  lp.compute_ns = 180;
+  lp.write_fraction = 1.0;
+  lp.seed = b.Seed();
+  b.Worker(std::make_unique<SequentialScanStream>(lp));
+  b.AddGcThreads(graph, 4, Region{0, PageId(double(footprint) * 0.02)}, 4,
+                 ScaledN(4000, p.scale), ScaledN(3000, p.scale));
+  return b.Take();
+}
+
+AppWorkload MakeNeo4j(AppParams p) {
+  // Holds much of its graph data locally; swaps less than Spark (§3).
+  std::uint32_t workers = p.threads ? p.threads : 24;
+  PageId footprint = Scaled(28672, p.scale);
+  Builder b("neo4j", /*managed=*/true, footprint, 0.02, p.seed);
+  Region heap{PageId(double(footprint) * 0.02), 0};
+  heap.len = footprint - heap.start;
+  // Hot cache region (page cache of the store files) + colder graph heap.
+  Region hot{heap.start, PageId(double(heap.len) * 0.35)};
+  auto graph = b.Graph(heap, 3);
+  for (std::uint32_t t = 0; t < workers; ++t) {
+    ZipfStream::Params zp;
+    zp.region = hot;
+    zp.accesses = ScaledN(7000, p.scale);
+    zp.theta = 1.1;
+    zp.compute_ns = 300;
+    zp.write_fraction = 0.05;
+    zp.seed = b.Seed();
+    auto hot_s = std::make_unique<ZipfStream>(zp);
+    PointerChaseStream::Params cp;
+    cp.graph = graph.get();
+    cp.accesses = ScaledN(3500, p.scale);
+    cp.restart_prob = 0.03;
+    cp.compute_ns = 320;
+    cp.write_fraction = 0.05;
+    cp.seed = b.Seed();
+    auto chase = std::make_unique<PointerChaseStream>(cp);
+    b.Worker(std::make_unique<MixStream>(std::move(hot_s), std::move(chase),
+                                         0.6, b.Seed()));
+  }
+  b.AddGcThreads(graph, 2, Region{0, PageId(double(footprint) * 0.02)}, 3,
+                 ScaledN(3000, p.scale), ScaledN(3000, p.scale));
+  return b.Take();
+}
+
+AppWorkload MakeXgboost(AppParams p) {
+  std::uint32_t workers = p.threads ? p.threads : 16;
+  PageId footprint = Scaled(28672, p.scale);
+  Builder b("xgboost", /*managed=*/false, footprint, 0.01, p.seed);
+  Region data{PageId(double(footprint) * 0.01), 0};
+  data.len = footprint - data.start;
+  b.w.runtime->RegisterLargeArray(data.start, data.len);
+  for (std::uint32_t t = 0; t < workers; ++t) {
+    // Each thread walks its feature block with a fixed stride: a clean
+    // per-thread strided pattern that interleaves into noise at the shared
+    // detector.
+    Region part = PartitionOf(data, t, workers);
+    SequentialScanStream::Params sp;
+    sp.region = part;
+    sp.stride = 4;
+    sp.passes = 16;
+    sp.compute_ns = 220;
+    sp.write_fraction = 0.05;
+    sp.seed = b.Seed();
+    auto strided = std::make_unique<SequentialScanStream>(sp);
+    // Gradient/histogram updates: small uniform component.
+    UniformStream::Params up;
+    up.region = part;
+    up.accesses = ScaledN(1200, p.scale);
+    up.compute_ns = 200;
+    up.write_fraction = 0.5;
+    up.seed = b.Seed();
+    auto grad = std::make_unique<UniformStream>(up);
+    b.Worker(std::make_unique<MixStream>(std::move(strided), std::move(grad),
+                                         0.9, b.Seed()));
+  }
+  return b.Take();
+}
+
+AppWorkload MakeSnappy(AppParams p) {
+  PageId footprint = Scaled(28672, p.scale);
+  Builder b("snappy", /*managed=*/false, footprint, 0.01, p.seed);
+  Region input{PageId(double(footprint) * 0.01), 0};
+  input.len = PageId(double(footprint) * 0.75);
+  Region output{input.end(), footprint - input.end()};
+  b.w.runtime->RegisterLargeArray(input.start, input.len);
+  SequentialScanStream::Params in_p;
+  in_p.region = input;
+  in_p.passes = 3;
+  in_p.compute_ns = 300;  // compression work per page
+  in_p.write_fraction = 0.0;
+  in_p.seed = b.Seed();
+  SequentialScanStream::Params out_p;
+  out_p.region = output;
+  out_p.passes = 3;
+  out_p.compute_ns = 250;
+  out_p.write_fraction = 1.0;
+  out_p.seed = b.Seed();
+  // Compressed output is ~4x smaller: rare output touches between input
+  // scans keep the dominant pattern sequential.
+  b.Worker(std::make_unique<MixStream>(
+      std::make_unique<SequentialScanStream>(in_p),
+      std::make_unique<SequentialScanStream>(out_p), 0.88, b.Seed()));
+  return b.Take();
+}
+
+AppWorkload MakeMemcached(AppParams p) {
+  std::uint32_t workers = p.threads ? p.threads : 4;
+  PageId footprint = Scaled(24576, p.scale);
+  Builder b("memcached", /*managed=*/false, footprint, 0.01, p.seed);
+  Region data{PageId(double(footprint) * 0.01), 0};
+  data.len = footprint - data.start;
+  for (std::uint32_t t = 0; t < workers; ++t) {
+    ZipfStream::Params zp;
+    zp.region = data;
+    zp.accesses = ScaledN(60000.0 / workers + 8000, p.scale);
+    zp.theta = 0.99;
+    zp.compute_ns = 120;  // low compute: swap-bound
+    zp.write_fraction = 0.1;  // 45M gets / 5M sets
+    zp.seed = b.Seed();
+    b.Worker(std::make_unique<ZipfStream>(zp));
+  }
+  return b.Take();
+}
+
+AppWorkload MakeByName(const std::string& name, AppParams p) {
+  if (name == "spark-lr") return MakeSparkLR(p);
+  if (name == "spark-km") return MakeSparkKM(p);
+  if (name == "spark-pr") return MakeSparkPR(p);
+  if (name == "spark-sg") return MakeSparkSG(p);
+  if (name == "spark-tc") return MakeSparkTC(p);
+  if (name == "mllib-bc") return MakeMllibBC(p);
+  if (name == "graphx-cc") return MakeGraphxCC(p);
+  if (name == "graphx-pr") return MakeGraphxPR(p);
+  if (name == "graphx-sp") return MakeGraphxSP(p);
+  if (name == "cassandra") return MakeCassandra(p);
+  if (name == "neo4j") return MakeNeo4j(p);
+  if (name == "xgboost") return MakeXgboost(p);
+  if (name == "snappy") return MakeSnappy(p);
+  if (name == "memcached") return MakeMemcached(p);
+  throw std::invalid_argument("unknown application: " + name);
+}
+
+const std::vector<std::string>& ManagedAppNames() {
+  static const std::vector<std::string> names = {
+      "cassandra", "neo4j",     "spark-pr",  "spark-km", "spark-lr",
+      "spark-sg",  "spark-tc",  "mllib-bc",  "graphx-cc", "graphx-pr",
+      "graphx-sp"};
+  return names;
+}
+
+CgroupSpec CgroupFor(const AppWorkload& w, double local_ratio,
+                     std::uint32_t cores, double rdma_weight) {
+  CgroupSpec spec;
+  spec.name = w.name;
+  spec.local_mem_pages =
+      std::max<std::uint64_t>(std::uint64_t(double(w.footprint_pages) *
+                                            local_ratio), 512);
+  // Local + remote slightly above the working set (§6 Setup), so the
+  // adaptive allocator's reservation-cancellation path is exercised. The
+  // slack must exceed the swap-cache size: pages staged in the swap cache
+  // hold both a frame and a swap entry, so entry capacity has to cover
+  // (footprint - resident) + cache-in-flight.
+  std::uint64_t total = std::uint64_t(double(w.footprint_pages) * 1.12);
+  spec.swap_entry_limit = total > spec.local_mem_pages
+                              ? total - spec.local_mem_pages
+                              : 1024;
+  std::uint64_t remote_steady =
+      w.footprint_pages > spec.local_mem_pages
+          ? w.footprint_pages - spec.local_mem_pages
+          : 0;
+  std::uint64_t slack = spec.swap_entry_limit > remote_steady
+                            ? spec.swap_entry_limit - remote_steady
+                            : 512;
+  spec.swap_cache_pages = std::clamp<std::uint64_t>(
+      std::min<std::uint64_t>(w.footprint_pages / 16, slack / 2), 256, 8192);
+  spec.rdma_weight =
+      rdma_weight > 0 ? rdma_weight : double(spec.swap_entry_limit) / 4096.0;
+  spec.cores = cores;
+  return spec;
+}
+
+}  // namespace canvas::workload

@@ -1,0 +1,67 @@
+// The application models of the paper's Table 2.
+//
+// Each factory builds an AppWorkload whose thread structure, footprint,
+// access-pattern class and dirtiness follow the paper's characterization:
+//
+//   Managed (JVM): Spark PageRank/KMeans/LogReg/SkewedGroupby/TriangleCnt,
+//     MLlib Bayes, GraphX CC/PR/SSSP, Cassandra, Neo4j — many worker
+//     threads plus GC threads, reference-heavy heaps (summary-graph ground
+//     truth), epochal RDD scans for the Spark family.
+//   Native: XGBoost (16 threads, strided column scans), Snappy (1 thread,
+//     pure sequential), Memcached (4 threads, Zipfian key-value).
+//
+// `scale` multiplies footprints and access counts so benches can trade
+// fidelity for runtime; defaults target a few hundred thousand faults per
+// co-run experiment.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cgroup/cgroup.h"
+#include "workload/workload.h"
+
+namespace canvas::workload {
+
+struct AppParams {
+  double scale = 1.0;
+  /// Worker thread override (0 = app default). Used by the Memcached
+  /// core-scaling experiments (Figures 13/16).
+  std::uint32_t threads = 0;
+  std::uint64_t seed = 1;
+};
+
+// --- managed applications ---
+AppWorkload MakeSparkLR(AppParams p = {});   // SLR: Logistic Regression
+AppWorkload MakeSparkKM(AppParams p = {});   // SKM: KMeans
+AppWorkload MakeSparkPR(AppParams p = {});   // SPR: PageRank
+AppWorkload MakeSparkSG(AppParams p = {});   // SSG: Skewed Groupby
+AppWorkload MakeSparkTC(AppParams p = {});   // GTC: Triangle Counting
+AppWorkload MakeMllibBC(AppParams p = {});   // MBC: Bayes Classifiers
+AppWorkload MakeGraphxCC(AppParams p = {});  // GCC: Connected Components
+AppWorkload MakeGraphxPR(AppParams p = {});  // GPR: PageRank
+AppWorkload MakeGraphxSP(AppParams p = {});  // GSP: Shortest Path
+AppWorkload MakeCassandra(AppParams p = {});
+AppWorkload MakeNeo4j(AppParams p = {});
+
+// --- native applications ---
+AppWorkload MakeXgboost(AppParams p = {});
+AppWorkload MakeSnappy(AppParams p = {});
+AppWorkload MakeMemcached(AppParams p = {});
+
+/// Factory lookup by the short names used in the paper/benches
+/// ("spark-lr", "cassandra", "memcached", ...).
+AppWorkload MakeByName(const std::string& name, AppParams p = {});
+
+/// All eleven managed-application names (Table 3's co-runner set).
+const std::vector<std::string>& ManagedAppNames();
+
+/// Build the cgroup limits of §6: `local_ratio` of the working set stays
+/// local (paper: 0.25 / 0.50); the swap partition is sized so local +
+/// remote is slightly above the working set (reservation cancellation
+/// triggers); swap-cache budget defaults to the scaled 32MB equivalent.
+CgroupSpec CgroupFor(const AppWorkload& w, double local_ratio,
+                     std::uint32_t cores, double rdma_weight = 0.0);
+
+}  // namespace canvas::workload

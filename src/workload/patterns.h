@@ -1,0 +1,194 @@
+// Access-pattern primitives composed by the application models (apps.h).
+//
+// Each primitive is a deterministic ThreadStream over a page Region. The
+// pointer-chasing primitives operate on a HeapGraph, which doubles as the
+// ground truth fed to the managed runtime's summary graph — the same edges
+// the workload will traverse are the edges a write barrier would have
+// recorded, so application-tier reference prefetching can be evaluated
+// honestly.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "runtime/runtime_info.h"
+#include "workload/workload.h"
+
+namespace canvas::workload {
+
+struct Region {
+  PageId start = 0;
+  PageId len = 0;
+  PageId end() const { return start + len; }
+};
+
+/// Repeated passes over a region with a fixed stride (array scans). Per-page
+/// sampling keeps the simulation page-granular: one access per page touched.
+class SequentialScanStream : public ThreadStream {
+ public:
+  struct Params {
+    Region region;
+    std::int64_t stride = 1;
+    std::uint32_t passes = 1;
+    std::uint32_t compute_ns = 150;
+    double write_fraction = 0.0;
+    std::uint64_t seed = 1;
+  };
+  explicit SequentialScanStream(Params p);
+  std::optional<Access> Next() override;
+
+ private:
+  Params p_;
+  Rng rng_;
+  std::uint32_t pass_ = 0;
+  PageId offset_ = 0;  // within region, in stride units
+};
+
+/// Zipfian random access over a region (key-value workloads).
+class ZipfStream : public ThreadStream {
+ public:
+  struct Params {
+    Region region;
+    std::uint64_t accesses = 0;
+    double theta = 0.99;
+    std::uint32_t compute_ns = 150;
+    double write_fraction = 0.1;
+    std::uint64_t seed = 1;
+  };
+  explicit ZipfStream(Params p);
+  std::optional<Access> Next() override;
+
+ private:
+  Params p_;
+  Rng rng_;
+  ZipfianGenerator zipf_;
+  std::uint64_t done_ = 0;
+  std::vector<PageId> perm_;  // decorrelate rank from page position
+};
+
+/// Uniform random access over a region.
+class UniformStream : public ThreadStream {
+ public:
+  struct Params {
+    Region region;
+    std::uint64_t accesses = 0;
+    std::uint32_t compute_ns = 150;
+    double write_fraction = 0.1;
+    std::uint64_t seed = 1;
+  };
+  explicit UniformStream(Params p);
+  std::optional<Access> Next() override;
+
+ private:
+  Params p_;
+  Rng rng_;
+  std::uint64_t done_ = 0;
+};
+
+/// Pointer-linked heap over a page region. Each page holds objects with
+/// out-references to a few other pages; the same edges are recorded into
+/// the RuntimeInfo summary graph (write-barrier ground truth).
+class HeapGraph {
+ public:
+  HeapGraph(Region region, std::uint32_t out_degree, std::uint64_t seed,
+            runtime::RuntimeInfo* info);
+
+  const Region& region() const { return region_; }
+  /// Random out-neighbour of `page`.
+  PageId Step(PageId page, Rng& rng) const;
+  /// All out-neighbours of `page` (degree() entries).
+  const PageId* Neighbors(PageId page) const;
+  std::uint32_t degree() const { return degree_; }
+
+ private:
+  Region region_;
+  std::uint32_t degree_;
+  std::vector<PageId> edges_;  // degree_ edges per page, flattened
+};
+
+/// Pointer-order traversal over a HeapGraph (graph analytics / object
+/// traversal). By default a bounded DFS following every out-reference in
+/// order — the access order of PageRank-style edge iteration, which a
+/// semantic (reference-based) prefetcher can anticipate but a low-level
+/// (sequential/strided) detector cannot. With `random_walk` set, each step
+/// picks one random out-edge instead (the paper's §5.1 "worst case":
+/// unpredictable for every prefetcher). Restarts at a random page with
+/// `restart_prob` (new traversal root).
+class PointerChaseStream : public ThreadStream {
+ public:
+  struct Params {
+    const HeapGraph* graph = nullptr;
+    std::uint64_t accesses = 0;
+    double restart_prob = 0.02;
+    bool random_walk = false;
+    std::uint32_t compute_ns = 250;
+    double write_fraction = 0.05;
+    std::uint64_t seed = 1;
+  };
+  explicit PointerChaseStream(Params p);
+  std::optional<Access> Next() override;
+
+ private:
+  Params p_;
+  Rng rng_;
+  PageId current_;
+  std::vector<PageId> stack_;  // DFS worklist
+  std::uint64_t done_ = 0;
+};
+
+/// GC model: alternating cycles of full-heap traversal (pointer order —
+/// unprefetchable by low-level detectors) and idle periods touching only a
+/// small metadata region.
+class GcStream : public ThreadStream {
+ public:
+  struct Params {
+    const HeapGraph* graph = nullptr;
+    Region metadata;             // small always-hot region
+    std::uint32_t cycles = 4;
+    std::uint64_t trace_accesses_per_cycle = 4000;
+    std::uint64_t idle_accesses_per_cycle = 4000;
+    std::uint32_t trace_compute_ns = 200;
+    std::uint32_t idle_compute_ns = 800;
+    std::uint64_t seed = 1;
+  };
+  explicit GcStream(Params p);
+  std::optional<Access> Next() override;
+
+ private:
+  Params p_;
+  Rng rng_;
+  PageId current_;
+  std::uint32_t cycle_ = 0;
+  std::uint64_t in_cycle_ = 0;
+};
+
+/// Concatenation of phases (epochal behaviour: one region per epoch).
+class PhasedStream : public ThreadStream {
+ public:
+  explicit PhasedStream(std::vector<std::unique_ptr<ThreadStream>> phases)
+      : phases_(std::move(phases)) {}
+  std::optional<Access> Next() override;
+
+ private:
+  std::vector<std::unique_ptr<ThreadStream>> phases_;
+  std::size_t idx_ = 0;
+};
+
+/// Mixes two streams with a given probability of drawing from the first.
+class MixStream : public ThreadStream {
+ public:
+  MixStream(std::unique_ptr<ThreadStream> a, std::unique_ptr<ThreadStream> b,
+            double p_first, std::uint64_t seed)
+      : a_(std::move(a)), b_(std::move(b)), p_(p_first), rng_(seed) {}
+  std::optional<Access> Next() override;
+
+ private:
+  std::unique_ptr<ThreadStream> a_;
+  std::unique_ptr<ThreadStream> b_;
+  double p_;
+  Rng rng_;
+};
+
+}  // namespace canvas::workload

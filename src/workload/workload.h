@@ -1,0 +1,67 @@
+// Workload model: applications as structured memory-access generators.
+//
+// Canvas's mechanisms react to the swap-relevant behaviour of applications:
+// fault rate, access-pattern class (array scan / strided / Zipfian /
+// pointer-chasing), thread structure (worker vs GC threads), dirtiness, and
+// epochal working-set shifts. An AppWorkload captures exactly those
+// dimensions: one ThreadStream per simulated kernel thread, plus the
+// RuntimeInfo a managed runtime would expose (thread map, summary graph,
+// large-array registry).
+//
+// Streams are pull-based and deterministic: the simulated thread asks for
+// the next access; per-access compute time models the application's
+// computation density (low = swap-bound, high = compute-bound).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "runtime/runtime_info.h"
+
+namespace canvas::workload {
+
+struct Access {
+  PageId page = 0;
+  bool write = false;
+  /// Compute time the thread spends before/with this access.
+  std::uint32_t compute_ns = 100;
+};
+
+/// One simulated thread's access sequence.
+class ThreadStream {
+ public:
+  virtual ~ThreadStream() = default;
+  /// Next access, or nullopt when the thread's work is finished.
+  virtual std::optional<Access> Next() = 0;
+};
+
+/// A complete application: its threads, footprint, and runtime model.
+struct AppWorkload {
+  std::string name;
+  /// Runs on a managed runtime (enables reference-based app-tier
+  /// prefetching).
+  bool managed = false;
+  /// Total virtual pages the app touches.
+  PageId footprint_pages = 0;
+  /// Leading fraction of the footprint mapped by multiple processes
+  /// (shared libraries / shared memory) and therefore handled through the
+  /// global swap partition and cache.
+  double shared_fraction = 0.0;
+
+  std::vector<std::unique_ptr<ThreadStream>> threads;
+  /// Parallel to `threads`: worker vs GC/auxiliary.
+  std::vector<runtime::ThreadKind> thread_kinds;
+  /// Semantic ground truth for the app-tier prefetcher. Always present;
+  /// for native apps it carries only the thread map.
+  std::shared_ptr<runtime::RuntimeInfo> runtime;
+
+  /// Keeps shared structures (heap graphs etc.) alive as long as the
+  /// streams that reference them.
+  std::vector<std::shared_ptr<void>> keepalive;
+};
+
+}  // namespace canvas::workload

@@ -1,0 +1,97 @@
+// Unit tests for cgroup accounting.
+#include <gtest/gtest.h>
+
+#include "cgroup/cgroup.h"
+
+namespace canvas {
+namespace {
+
+CgroupSpec Spec(std::uint64_t mem = 100, std::uint64_t swap = 200) {
+  CgroupSpec s;
+  s.name = "t";
+  s.local_mem_pages = mem;
+  s.swap_entry_limit = swap;
+  return s;
+}
+
+TEST(Cgroup, ChargeAndUncharge) {
+  Cgroup cg(0, Spec());
+  cg.ChargeResident();
+  cg.ChargeResident();
+  cg.ChargeCache();
+  EXPECT_EQ(cg.resident_pages(), 2u);
+  EXPECT_EQ(cg.cache_pages(), 1u);
+  EXPECT_EQ(cg.charged_pages(), 3u);
+  cg.UnchargeResident();
+  cg.UnchargeCache();
+  EXPECT_EQ(cg.charged_pages(), 1u);
+}
+
+TEST(Cgroup, OverMemoryLimit) {
+  Cgroup cg(0, Spec(3));
+  EXPECT_FALSE(cg.OverMemoryLimit());
+  cg.ChargeResident();
+  cg.ChargeResident();
+  EXPECT_FALSE(cg.OverMemoryLimit());
+  cg.ChargeCache();
+  EXPECT_TRUE(cg.OverMemoryLimit());
+}
+
+TEST(Cgroup, MemoryDeficit) {
+  Cgroup cg(0, Spec(10));
+  for (int i = 0; i < 8; ++i) cg.ChargeResident();
+  EXPECT_EQ(cg.MemoryDeficit(1), 0u);
+  EXPECT_EQ(cg.MemoryDeficit(2), 0u);
+  EXPECT_EQ(cg.MemoryDeficit(5), 3u);
+}
+
+TEST(Cgroup, RemoteAccountingAndUtilization) {
+  Cgroup cg(0, Spec(10, 4));
+  EXPECT_DOUBLE_EQ(cg.RemoteUtilization(), 0.0);
+  cg.ChargeRemote();
+  cg.ChargeRemote();
+  cg.ChargeRemote();
+  EXPECT_DOUBLE_EQ(cg.RemoteUtilization(), 0.75);
+  cg.UnchargeRemote();
+  EXPECT_EQ(cg.remote_entries(), 2u);
+}
+
+TEST(Cgroup, ZeroSwapLimitUtilizationIsZero) {
+  Cgroup cg(0, Spec(10, 0));
+  EXPECT_DOUBLE_EQ(cg.RemoteUtilization(), 0.0);
+}
+
+TEST(CgroupRegistry, SequentialIds) {
+  CgroupRegistry reg;
+  EXPECT_EQ(reg.Create(Spec()), 0u);
+  EXPECT_EQ(reg.Create(Spec()), 1u);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(CgroupRegistry, ReferencesStableAcrossCreate) {
+  // Subsystems hold Cgroup& for the experiment lifetime; Create() must not
+  // invalidate them (regression test for the deque storage).
+  CgroupRegistry reg;
+  CgroupId first = reg.Create(Spec());
+  Cgroup& ref = reg.Get(first);
+  for (int i = 0; i < 100; ++i) reg.Create(Spec());
+  ref.ChargeResident();
+  EXPECT_EQ(reg.Get(first).resident_pages(), 1u);
+  EXPECT_EQ(&ref, &reg.Get(first));
+}
+
+TEST(CgroupRegistry, SpecPreserved) {
+  CgroupRegistry reg;
+  auto spec = Spec(123, 456);
+  spec.rdma_weight = 2.5;
+  spec.cores = 12;
+  CgroupId id = reg.Create(spec);
+  const Cgroup& cg = reg.Get(id);
+  EXPECT_EQ(cg.spec().local_mem_pages, 123u);
+  EXPECT_EQ(cg.spec().swap_entry_limit, 456u);
+  EXPECT_DOUBLE_EQ(cg.spec().rdma_weight, 2.5);
+  EXPECT_EQ(cg.spec().cores, 12u);
+}
+
+}  // namespace
+}  // namespace canvas

@@ -1,0 +1,238 @@
+// Unit tests for src/common: RNG, statistics, table printing, formatting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/types.h"
+
+namespace canvas {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.Next() == b.Next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.NextBounded(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.NextInRange(3, 5));
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{3, 4, 5}));
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequencyRoughlyMatches) {
+  Rng r(11);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += r.NextBool(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.Fork();
+  // The child stream should not reproduce the parent's next values.
+  Rng b(5);
+  b.Next();  // advance like parent
+  EXPECT_NE(child.Next(), b.Next());
+}
+
+TEST(Zipfian, ValuesWithinDomain) {
+  Rng r(3);
+  ZipfianGenerator z(100, 0.99);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.Next(r), 100u);
+}
+
+TEST(Zipfian, SkewPrefersLowRanks) {
+  Rng r(3);
+  ZipfianGenerator z(1000, 0.99);
+  std::uint64_t head = 0, total = 100000;
+  for (std::uint64_t i = 0; i < total; ++i)
+    if (z.Next(r) < 100) ++head;  // top 10% of ranks
+  // Zipf(0.99): top 10% of keys draw well over half the accesses.
+  EXPECT_GT(double(head) / double(total), 0.5);
+}
+
+TEST(Zipfian, ThetaZeroIsNearUniform) {
+  Rng r(3);
+  ZipfianGenerator z(10, 0.01);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[z.Next(r)];
+  for (int c : counts) EXPECT_NEAR(c / 100000.0, 0.1, 0.05);
+}
+
+TEST(Shuffle, IsPermutation) {
+  Rng r(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  Shuffle(v, r);
+  auto copy = v;
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, sorted);
+}
+
+TEST(StreamingStats, MeanAndStddev) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StreamingStats, MergeMatchesCombined) {
+  StreamingStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    a.Add(i);
+    all.Add(i);
+  }
+  for (int i = 50; i < 120; ++i) {
+    b.Add(i * 1.5);
+    all.Add(i * 1.5);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a, b;
+  a.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(LatencyRecorder, PercentilesOnKnownData) {
+  LatencyRecorder r;
+  for (int i = 1; i <= 100; ++i) r.Add(i);
+  EXPECT_NEAR(r.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(r.Percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(r.Percentile(50), 50.5, 1.0);
+  EXPECT_NEAR(r.Percentile(99), 99.0, 1.1);
+}
+
+TEST(LatencyRecorder, EmptyIsZero) {
+  LatencyRecorder r;
+  EXPECT_EQ(r.Percentile(50), 0.0);
+  EXPECT_EQ(r.Mean(), 0.0);
+  EXPECT_EQ(r.FractionBelow(1.0), 0.0);
+}
+
+TEST(LatencyRecorder, FractionBelow) {
+  LatencyRecorder r;
+  for (int i = 1; i <= 10; ++i) r.Add(i);
+  EXPECT_DOUBLE_EQ(r.FractionBelow(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(r.FractionBelow(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(r.FractionBelow(100.0), 1.0);
+}
+
+TEST(LatencyRecorder, CdfMonotonic) {
+  LatencyRecorder r;
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) r.Add(double(rng.NextBounded(10000)));
+  auto cdf = r.Cdf(50);
+  ASSERT_EQ(cdf.size(), 50u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0, 100, 10);
+  h.Add(5);    // bucket 0
+  h.Add(95);   // bucket 9
+  h.Add(-10);  // clamps to 0
+  h.Add(500);  // clamps to 9
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.BucketLow(1), 10.0);
+}
+
+TEST(TimeSeries, BucketsAccumulate) {
+  TimeSeries ts(100);  // 100ns buckets
+  ts.Add(0, 5);
+  ts.Add(50, 5);
+  ts.Add(150, 3);
+  EXPECT_EQ(ts.num_buckets(), 2u);
+  EXPECT_DOUBLE_EQ(ts.Bucket(0), 10.0);
+  EXPECT_DOUBLE_EQ(ts.Bucket(1), 3.0);
+  EXPECT_DOUBLE_EQ(ts.Total(), 13.0);
+}
+
+TEST(TimeSeries, RateScalesToPerSecond) {
+  TimeSeries ts(kMillisecond);
+  ts.Add(0, 1000.0);  // 1000 bytes in 1ms -> 1MB/s
+  EXPECT_DOUBLE_EQ(ts.Rate(0), 1e6);
+  EXPECT_DOUBLE_EQ(ts.PeakRate(), 1e6);
+}
+
+TEST(TimeSeries, MeanRateOverExtent) {
+  TimeSeries ts(kMillisecond);
+  ts.Add(0, 100.0);
+  ts.Add(3 * kMillisecond, 100.0);  // 4 buckets, 200 total
+  EXPECT_DOUBLE_EQ(ts.MeanRate(), 200.0 * 1000.0 / 4.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "2"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+}
+
+TEST(Format, Time) {
+  EXPECT_EQ(FormatTime(500), "500ns");
+  EXPECT_EQ(FormatTime(1500), "1.500us");
+  EXPECT_EQ(FormatTime(2 * kMillisecond), "2.000ms");
+  EXPECT_EQ(FormatTime(3 * kSecond), "3.000s");
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(2048), "2.05KB");
+  EXPECT_EQ(FormatBytes(3.5e9), "3.50GB");
+}
+
+}  // namespace
+}  // namespace canvas

@@ -1,0 +1,184 @@
+// Unit tests for the memory substrate: LRU lists and swap cache.
+#include <gtest/gtest.h>
+
+#include "mem/lru.h"
+#include "mem/swap_cache.h"
+
+namespace canvas::mem {
+namespace {
+
+class LruTest : public ::testing::Test {
+ protected:
+  LruTest() : pages_(64), lru_(pages_) {}
+
+  void MakeResident(PageId id) {
+    pages_[id].state = PageState::kResident;
+    lru_.AddActive(id);
+  }
+
+  std::vector<Page> pages_;
+  LruLists lru_;
+};
+
+TEST_F(LruTest, AddAndCount) {
+  MakeResident(1);
+  MakeResident(2);
+  EXPECT_EQ(lru_.active_count(), 2u);
+  EXPECT_EQ(lru_.total(), 2u);
+  EXPECT_EQ(pages_[1].list, LruList::kActive);
+}
+
+TEST_F(LruTest, RemoveUnlinksPage) {
+  MakeResident(1);
+  MakeResident(2);
+  lru_.Remove(1);
+  EXPECT_EQ(lru_.total(), 1u);
+  EXPECT_EQ(pages_[1].list, LruList::kNone);
+  lru_.Remove(1);  // idempotent
+  EXPECT_EQ(lru_.total(), 1u);
+}
+
+TEST_F(LruTest, EvictionPrefersOldest) {
+  for (PageId i = 0; i < 12; ++i) MakeResident(i);
+  // Rebalancing demotes the oldest (tail) pages to inactive; eviction takes
+  // the inactive tail = page 0.
+  EXPECT_EQ(lru_.EvictionCandidate(), 0u);
+}
+
+TEST_F(LruTest, TouchProtectsFromEviction) {
+  for (PageId i = 0; i < 12; ++i) MakeResident(i);
+  PageId victim1 = lru_.EvictionCandidate();  // demotes a batch to inactive
+  EXPECT_EQ(victim1, 0u);
+  // Referencing page 0 twice while inactive promotes it back to active.
+  lru_.Touch(0);
+  lru_.Touch(0);
+  EXPECT_EQ(pages_[0].list, LruList::kActive);
+  EXPECT_NE(lru_.EvictionCandidate(), 0u);
+}
+
+TEST_F(LruTest, SecondChanceClearsReferenced) {
+  for (PageId i = 0; i < 12; ++i) MakeResident(i);
+  lru_.EvictionCandidate();  // populate inactive
+  // Single touch on an inactive page sets referenced without promoting.
+  lru_.Touch(0);
+  EXPECT_EQ(pages_[0].list, LruList::kInactive);
+  EXPECT_TRUE(pages_[0].referenced);
+  // Eviction gives it a second chance: promoted, referenced cleared.
+  PageId v = lru_.EvictionCandidate();
+  EXPECT_NE(v, 0u);
+  EXPECT_EQ(pages_[0].list, LruList::kActive);
+}
+
+TEST_F(LruTest, RebalanceKeepsInactiveShare) {
+  for (PageId i = 0; i < 30; ++i) MakeResident(i);
+  lru_.EvictionCandidate();  // triggers rebalance
+  EXPECT_GE(lru_.inactive_count() * 3, lru_.total());
+}
+
+TEST_F(LruTest, EmptyListsYieldInvalid) {
+  EXPECT_EQ(lru_.EvictionCandidate(), kInvalidPage);
+}
+
+TEST_F(LruTest, SinglePageEvictable) {
+  MakeResident(5);
+  EXPECT_EQ(lru_.EvictionCandidate(), 5u);
+}
+
+TEST_F(LruTest, ScanActiveHeadReturnsMostRecent) {
+  for (PageId i = 0; i < 10; ++i) MakeResident(i);
+  std::vector<PageId> head;
+  lru_.ScanActiveHead(3, head);
+  // Most recently added first.
+  EXPECT_EQ(head, (std::vector<PageId>{9, 8, 7}));
+}
+
+TEST_F(LruTest, ScanClampsToListSize) {
+  MakeResident(1);
+  std::vector<PageId> head;
+  lru_.ScanActiveHead(100, head);
+  EXPECT_EQ(head.size(), 1u);
+}
+
+TEST(SwapCacheTest, InsertLookupRemove) {
+  SwapCache c("t", 10);
+  c.Insert(1, 100, false, false, 0);
+  EXPECT_TRUE(c.Contains(1, 100));
+  EXPECT_FALSE(c.Contains(1, 101));
+  EXPECT_FALSE(c.Contains(2, 100));  // keyed by (app, page)
+  EXPECT_TRUE(c.Remove(1, 100));
+  EXPECT_FALSE(c.Contains(1, 100));
+  EXPECT_FALSE(c.Remove(1, 100));
+}
+
+TEST(SwapCacheTest, HitMissStatistics) {
+  SwapCache c("t", 10);
+  c.Insert(1, 100, false, false, 0);
+  std::uint64_t pre_hits = c.hits();  // release builds skip debug asserts
+  std::uint64_t pre_lookups = c.lookups();
+  c.Lookup(1, 100);
+  c.Lookup(1, 999);
+  EXPECT_EQ(c.hits() - pre_hits, 1u);
+  EXPECT_EQ(c.lookups() - pre_lookups, 2u);
+  EXPECT_EQ(c.inserts(), 1u);
+}
+
+TEST(SwapCacheTest, LockedEntriesSkippedByShrink) {
+  SwapCache c("t", 10);
+  c.Insert(1, 1, /*locked=*/true, false, 0);
+  c.Insert(1, 2, /*locked=*/false, false, 1);
+  SwapCache::Entry victim;
+  ASSERT_TRUE(c.PopLruUnlocked(victim));
+  EXPECT_EQ(victim.page, 2u);
+  EXPECT_FALSE(c.PopLruUnlocked(victim));  // only the locked one remains
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(SwapCacheTest, PopTakesLeastRecent) {
+  SwapCache c("t", 10);
+  for (PageId p = 0; p < 5; ++p) c.Insert(1, p, false, false, SimTime(p));
+  SwapCache::Entry victim;
+  ASSERT_TRUE(c.PopLruUnlocked(victim));
+  EXPECT_EQ(victim.page, 0u);  // first inserted = LRU tail
+}
+
+TEST(SwapCacheTest, UnlockRefreshesRecency) {
+  SwapCache c("t", 10);
+  c.Insert(1, 1, /*locked=*/true, false, 0);
+  c.Insert(1, 2, false, false, 1);
+  c.Unlock(1, 1);  // arrival: page 1 becomes most recent
+  SwapCache::Entry victim;
+  ASSERT_TRUE(c.PopLruUnlocked(victim));
+  EXPECT_EQ(victim.page, 2u);
+}
+
+TEST(SwapCacheTest, PrefetchFlagPreserved) {
+  SwapCache c("t", 10);
+  c.Insert(3, 7, true, /*prefetched=*/true, 42);
+  const SwapCache::Entry* e = c.Lookup(3, 7);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->prefetched);
+  EXPECT_TRUE(e->locked);
+  EXPECT_EQ(e->inserted, 42u);
+}
+
+TEST(SwapCacheTest, OverCapacityFlag) {
+  SwapCache c("t", 2);
+  c.Insert(1, 1, false, false, 0);
+  c.Insert(1, 2, false, false, 0);
+  EXPECT_FALSE(c.OverCapacity());
+  c.Insert(1, 3, false, false, 0);
+  EXPECT_TRUE(c.OverCapacity());
+  c.set_capacity(5);
+  EXPECT_FALSE(c.OverCapacity());
+}
+
+TEST(SwapCacheTest, ShrunkCounter) {
+  SwapCache c("t", 10);
+  c.Insert(1, 1, false, false, 0);
+  SwapCache::Entry victim;
+  c.PopLruUnlocked(victim);
+  EXPECT_EQ(c.shrunk(), 1u);
+}
+
+}  // namespace
+}  // namespace canvas::mem

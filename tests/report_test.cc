@@ -1,0 +1,84 @@
+// Tests for the CSV/JSON result exporters.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "workload/apps.h"
+
+namespace canvas::core {
+namespace {
+
+std::unique_ptr<Experiment> RunSmall() {
+  workload::AppParams p;
+  p.scale = 0.08;
+  std::vector<AppSpec> apps;
+  for (const char* n : {"memcached", "snappy"}) {
+    auto w = workload::MakeByName(n, p);
+    auto cg = workload::CgroupFor(w, 0.25, 4);
+    apps.push_back(AppSpec{std::move(w), std::move(cg)});
+  }
+  auto e = std::make_unique<Experiment>(SystemConfig::CanvasFull(),
+                                        std::move(apps));
+  EXPECT_TRUE(e->Run());
+  return e;
+}
+
+TEST(Report, CsvHasHeaderAndOneRowPerApp) {
+  auto e = RunSmall();
+  std::ostringstream os;
+  WriteCsv(os, e->system(), "run1");
+  std::string s = os.str();
+  // Header + 2 app rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);
+  EXPECT_EQ(s.rfind("label,app,finish_ns", 0), 0u);
+  EXPECT_NE(s.find("run1,memcached,"), std::string::npos);
+  EXPECT_NE(s.find("run1,snappy,"), std::string::npos);
+}
+
+TEST(Report, CsvHeaderSuppressed) {
+  auto e = RunSmall();
+  std::ostringstream os;
+  WriteCsv(os, e->system(), "x", /*header=*/false);
+  EXPECT_EQ(os.str().rfind("x,memcached", 0), 0u);
+}
+
+TEST(Report, CsvColumnCountConsistent) {
+  auto e = RunSmall();
+  std::ostringstream os;
+  WriteCsv(os, e->system(), "x");
+  std::istringstream is(os.str());
+  std::string line;
+  std::getline(is, line);
+  auto commas = std::count(line.begin(), line.end(), ',');
+  while (std::getline(is, line))
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), commas);
+}
+
+TEST(Report, JsonContainsAppsAndStats) {
+  auto e = RunSmall();
+  std::ostringstream os;
+  WriteJson(os, e->system(), "jrun");
+  std::string s = os.str();
+  EXPECT_NE(s.find("\"label\": \"jrun\""), std::string::npos);
+  EXPECT_NE(s.find("\"system\": \"canvas\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\": \"memcached\""), std::string::npos);
+  EXPECT_NE(s.find("\"wmmr_ingress\""), std::string::npos);
+  EXPECT_NE(s.find("\"demand_p99_ns\""), std::string::npos);
+  // Balanced braces / brackets (cheap well-formedness proxy).
+  EXPECT_EQ(std::count(s.begin(), s.end(), '{'),
+            std::count(s.begin(), s.end(), '}'));
+  EXPECT_EQ(std::count(s.begin(), s.end(), '['),
+            std::count(s.begin(), s.end(), ']'));
+}
+
+TEST(Report, JsonEscapesQuotes) {
+  auto e = RunSmall();
+  std::ostringstream os;
+  WriteJson(os, e->system(), "with\"quote");
+  EXPECT_NE(os.str().find("with\\\"quote"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace canvas::core

@@ -1,0 +1,161 @@
+// Unit tests for the discrete-event engine and the contention-modeling
+// mutex.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/sim_mutex.h"
+#include "sim/simulator.h"
+
+namespace canvas::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30u);
+}
+
+TEST(Simulator, SameInstantFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sim.Schedule(5, [&, i] { order.push_back(i); });
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(Simulator, NestedSchedulingFromCallbacks) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.Schedule(10, [&] {
+    times.push_back(sim.Now());
+    sim.Schedule(5, [&] { times.push_back(sim.Now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
+  Simulator sim;
+  bool ran = false;
+  sim.Schedule(7, [&] {
+    sim.Schedule(0, [&] {
+      ran = true;
+      EXPECT_EQ(sim.Now(), 7u);
+    });
+  });
+  sim.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  for (SimTime t = 10; t <= 100; t += 10) sim.Schedule(t, [&] { ++count; });
+  bool drained = sim.RunUntil(50);
+  EXPECT_FALSE(drained);
+  EXPECT_EQ(count, 5);  // events at 10..50 inclusive
+  EXPECT_EQ(sim.Now(), 50u);
+  drained = sim.RunUntil(1000);
+  EXPECT_TRUE(drained);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+  sim.Schedule(1, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(SimMutex, UncontendedRunsImmediately) {
+  Simulator sim;
+  SimMutex m(sim);
+  SimDuration wait = 999, hold = 0;
+  m.Execute(100, [&](SimDuration w, SimDuration h) {
+    wait = w;
+    hold = h;
+  });
+  sim.Run();
+  EXPECT_EQ(wait, 0u);
+  EXPECT_EQ(hold, 100u);
+  EXPECT_EQ(sim.Now(), 100u);
+}
+
+TEST(SimMutex, FifoQueueing) {
+  Simulator sim;
+  SimMutex m(sim, /*alpha=*/0.0);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    m.Execute(10, [&, i](SimDuration, SimDuration) { order.push_back(i); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(sim.Now(), 50u);  // alpha 0: 5 x 10ns serialized
+  EXPECT_EQ(m.acquisitions(), 5u);
+}
+
+TEST(SimMutex, WaitTimesGrowWithQueuePosition) {
+  Simulator sim;
+  SimMutex m(sim, 0.0);
+  std::vector<SimDuration> waits;
+  for (int i = 0; i < 4; ++i)
+    m.Execute(10, [&](SimDuration w, SimDuration) { waits.push_back(w); });
+  sim.Run();
+  ASSERT_EQ(waits.size(), 4u);
+  EXPECT_EQ(waits[0], 0u);
+  for (std::size_t i = 1; i < waits.size(); ++i)
+    EXPECT_GT(waits[i], waits[i - 1]);
+}
+
+TEST(SimMutex, ContentionInflatesHoldTime) {
+  // With alpha > 0, a request granted while others wait holds longer than
+  // its base time (cacheline bouncing model).
+  Simulator sim;
+  SimMutex m(sim, /*alpha=*/0.5);
+  std::vector<SimDuration> holds;
+  for (int i = 0; i < 3; ++i)
+    m.Execute(100, [&](SimDuration, SimDuration h) { holds.push_back(h); });
+  sim.Run();
+  ASSERT_EQ(holds.size(), 3u);
+  // The first request is granted before the others enqueue (0 waiters);
+  // the second is granted while the third still waits: 100*(1+0.5) = 150.
+  EXPECT_EQ(holds[0], 100u);
+  EXPECT_EQ(holds[1], 150u);
+  EXPECT_EQ(holds[2], 100u);
+}
+
+TEST(SimMutex, TotalWaitAccumulates) {
+  Simulator sim;
+  SimMutex m(sim, 0.0);
+  for (int i = 0; i < 3; ++i) m.Execute(10, nullptr);
+  sim.Run();
+  // Waits: 0 + 10 + 20.
+  EXPECT_EQ(m.total_wait(), 30u);
+  EXPECT_EQ(m.wait_stats().count(), 3u);
+}
+
+TEST(SimMutex, ReleasedMutexServesLaterRequests) {
+  Simulator sim;
+  SimMutex m(sim, 0.0);
+  SimTime second_done = 0;
+  m.Execute(10, nullptr);
+  sim.Schedule(100, [&] {
+    m.Execute(10, [&](SimDuration w, SimDuration) {
+      EXPECT_EQ(w, 0u);  // mutex long free
+      second_done = sim.Now();
+    });
+  });
+  sim.Run();
+  EXPECT_EQ(second_done, 110u);
+  EXPECT_FALSE(m.held());
+}
+
+}  // namespace
+}  // namespace canvas::sim

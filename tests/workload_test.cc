@@ -1,0 +1,415 @@
+// Unit tests for workload pattern primitives and the Table 2 application
+// models.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cgroup/cgroup.h"
+#include "workload/apps.h"
+#include "workload/patterns.h"
+
+namespace canvas::workload {
+namespace {
+
+TEST(SequentialScan, VisitsEveryPageInOrder) {
+  SequentialScanStream::Params p;
+  p.region = {100, 10};
+  p.passes = 1;
+  SequentialScanStream s(p);
+  for (PageId i = 0; i < 10; ++i) {
+    auto a = s.Next();
+    ASSERT_TRUE(a);
+    EXPECT_EQ(a->page, 100 + i);
+  }
+  EXPECT_FALSE(s.Next());
+}
+
+TEST(SequentialScan, MultiplePassesRestart) {
+  SequentialScanStream::Params p;
+  p.region = {0, 4};
+  p.passes = 3;
+  SequentialScanStream s(p);
+  int count = 0;
+  while (s.Next()) ++count;
+  EXPECT_EQ(count, 12);
+}
+
+TEST(SequentialScan, StrideSkipsPages) {
+  SequentialScanStream::Params p;
+  p.region = {0, 16};
+  p.stride = 4;
+  p.passes = 1;
+  SequentialScanStream s(p);
+  std::vector<PageId> pages;
+  while (auto a = s.Next()) pages.push_back(a->page);
+  EXPECT_EQ(pages, (std::vector<PageId>{0, 4, 8, 12}));
+}
+
+TEST(SequentialScan, NegativeStrideDescends) {
+  SequentialScanStream::Params p;
+  p.region = {0, 8};
+  p.stride = -2;
+  p.passes = 1;
+  SequentialScanStream s(p);
+  std::vector<PageId> pages;
+  while (auto a = s.Next()) pages.push_back(a->page);
+  EXPECT_EQ(pages, (std::vector<PageId>{7, 5, 3, 1}));
+}
+
+TEST(SequentialScan, WriteFractionRoughlyHonored) {
+  SequentialScanStream::Params p;
+  p.region = {0, 1000};
+  p.passes = 10;
+  p.write_fraction = 0.25;
+  SequentialScanStream s(p);
+  int writes = 0, total = 0;
+  while (auto a = s.Next()) {
+    writes += a->write;
+    ++total;
+  }
+  EXPECT_NEAR(double(writes) / total, 0.25, 0.03);
+}
+
+TEST(Zipf, AllAccessesWithinRegion) {
+  ZipfStream::Params p;
+  p.region = {500, 100};
+  p.accesses = 5000;
+  ZipfStream s(p);
+  int count = 0;
+  while (auto a = s.Next()) {
+    EXPECT_GE(a->page, 500u);
+    EXPECT_LT(a->page, 600u);
+    ++count;
+  }
+  EXPECT_EQ(count, 5000);
+}
+
+TEST(Zipf, SkewConcentratesOnFewPages) {
+  ZipfStream::Params p;
+  p.region = {0, 1000};
+  p.accesses = 20000;
+  p.theta = 0.99;
+  ZipfStream s(p);
+  std::map<PageId, int> counts;
+  while (auto a = s.Next()) ++counts[a->page];
+  std::vector<int> sorted;
+  for (auto& [pg, c] : counts) sorted.push_back(c);
+  std::sort(sorted.rbegin(), sorted.rend());
+  int top100 = 0, total = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i < 100) top100 += sorted[i];
+    total += sorted[i];
+  }
+  EXPECT_GT(double(top100) / total, 0.5);
+}
+
+TEST(Zipf, DeterministicWithSeed) {
+  ZipfStream::Params p;
+  p.region = {0, 100};
+  p.accesses = 100;
+  p.seed = 42;
+  ZipfStream a(p), b(p);
+  for (int i = 0; i < 100; ++i) {
+    auto x = a.Next(), y = b.Next();
+    ASSERT_TRUE(x && y);
+    EXPECT_EQ(x->page, y->page);
+    EXPECT_EQ(x->write, y->write);
+  }
+}
+
+TEST(Uniform, CoverageAndTermination) {
+  UniformStream::Params p;
+  p.region = {0, 50};
+  p.accesses = 5000;
+  UniformStream s(p);
+  std::set<PageId> seen;
+  int count = 0;
+  while (auto a = s.Next()) {
+    seen.insert(a->page);
+    ++count;
+  }
+  EXPECT_EQ(count, 5000);
+  EXPECT_GT(seen.size(), 45u);  // nearly all pages touched
+}
+
+TEST(HeapGraph, EdgesStayInRegion) {
+  Region r{1000, 500};
+  HeapGraph g(r, 3, 7, nullptr);
+  Rng rng(1);
+  PageId cur = 1000;
+  for (int i = 0; i < 1000; ++i) {
+    cur = g.Step(cur, rng);
+    EXPECT_GE(cur, 1000u);
+    EXPECT_LT(cur, 1500u);
+  }
+}
+
+TEST(HeapGraph, PopulatesRuntimeInfo) {
+  runtime::RuntimeInfo info;
+  HeapGraph g({0, 256}, 3, 7, &info);
+  EXPECT_GT(info.edge_count(), 50u);
+}
+
+TEST(HeapGraph, NeighborsMatchStep) {
+  Region r{0, 64};
+  HeapGraph g(r, 4, 7, nullptr);
+  Rng rng(2);
+  const PageId* nbrs = g.Neighbors(10);
+  for (int i = 0; i < 50; ++i) {
+    PageId next = g.Step(10, rng);
+    bool found = false;
+    for (std::uint32_t d = 0; d < g.degree(); ++d)
+      if (nbrs[d] == next) found = true;
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(PointerChase, DfsFollowsRecordedEdges) {
+  runtime::RuntimeInfo info;
+  HeapGraph g({0, 256}, 3, 7, &info);
+  PointerChaseStream::Params p;
+  p.graph = &g;
+  p.accesses = 500;
+  p.restart_prob = 0.0;
+  PointerChaseStream s(p);
+  auto prev = s.Next();
+  ASSERT_TRUE(prev);
+  int followed = 0, total = 0;
+  while (auto a = s.Next()) {
+    // Each visited page is a recorded out-neighbour of some recent page
+    // (DFS worklist); verify reachability via the 1-hop group graph from
+    // the previous access most of the time.
+    ++total;
+    const PageId* nbrs = g.Neighbors(prev->page);
+    for (std::uint32_t d = 0; d < g.degree(); ++d)
+      if (nbrs[d] == a->page) {
+        ++followed;
+        break;
+      }
+    prev = a;
+  }
+  // DFS: a large share of steps go to a direct out-neighbour.
+  EXPECT_GT(double(followed) / total, 0.3);
+}
+
+TEST(PointerChase, RandomWalkMode) {
+  HeapGraph g({0, 128}, 3, 7, nullptr);
+  PointerChaseStream::Params p;
+  p.graph = &g;
+  p.accesses = 100;
+  p.random_walk = true;
+  PointerChaseStream s(p);
+  int count = 0;
+  while (s.Next()) ++count;
+  EXPECT_EQ(count, 100);
+}
+
+TEST(GcStream, AlternatesTraceAndIdle) {
+  HeapGraph g({100, 128}, 3, 7, nullptr);
+  GcStream::Params p;
+  p.graph = &g;
+  p.metadata = {0, 8};
+  p.cycles = 2;
+  p.trace_accesses_per_cycle = 50;
+  p.idle_accesses_per_cycle = 50;
+  GcStream s(p);
+  int in_heap = 0, in_meta = 0;
+  while (auto a = s.Next()) {
+    if (a->page >= 100)
+      ++in_heap;
+    else
+      ++in_meta;
+  }
+  EXPECT_EQ(in_heap, 100);
+  EXPECT_EQ(in_meta, 100);
+}
+
+TEST(GcStream, TraceAccessesAreWrites) {
+  HeapGraph g({100, 64}, 3, 7, nullptr);
+  GcStream::Params p;
+  p.graph = &g;
+  p.metadata = {0, 8};
+  p.cycles = 1;
+  p.trace_accesses_per_cycle = 20;
+  p.idle_accesses_per_cycle = 0;
+  GcStream s(p);
+  while (auto a = s.Next()) EXPECT_TRUE(a->write);  // marking writes
+}
+
+TEST(Phased, ConcatenatesStreams) {
+  SequentialScanStream::Params p1;
+  p1.region = {0, 3};
+  p1.passes = 1;
+  SequentialScanStream::Params p2;
+  p2.region = {100, 2};
+  p2.passes = 1;
+  std::vector<std::unique_ptr<ThreadStream>> phases;
+  phases.push_back(std::make_unique<SequentialScanStream>(p1));
+  phases.push_back(std::make_unique<SequentialScanStream>(p2));
+  PhasedStream s(std::move(phases));
+  std::vector<PageId> pages;
+  while (auto a = s.Next()) pages.push_back(a->page);
+  EXPECT_EQ(pages, (std::vector<PageId>{0, 1, 2, 100, 101}));
+}
+
+TEST(Mix, DrainsBothStreams) {
+  SequentialScanStream::Params p1;
+  p1.region = {0, 10};
+  p1.passes = 1;
+  SequentialScanStream::Params p2;
+  p2.region = {100, 10};
+  p2.passes = 1;
+  MixStream s(std::make_unique<SequentialScanStream>(p1),
+              std::make_unique<SequentialScanStream>(p2), 0.5, 3);
+  int count = 0;
+  while (s.Next()) ++count;
+  EXPECT_EQ(count, 20);
+}
+
+// --- application factories ---
+
+TEST(Apps, AllFourteenConstruct) {
+  for (const char* name :
+       {"spark-lr", "spark-km", "spark-pr", "spark-sg", "spark-tc",
+        "mllib-bc", "graphx-cc", "graphx-pr", "graphx-sp", "cassandra",
+        "neo4j", "xgboost", "snappy", "memcached"}) {
+    AppParams p;
+    p.scale = 0.1;
+    auto w = MakeByName(name, p);
+    EXPECT_EQ(w.name, name);
+    EXPECT_GT(w.footprint_pages, 0u);
+    EXPECT_FALSE(w.threads.empty());
+    EXPECT_EQ(w.threads.size(), w.thread_kinds.size());
+    ASSERT_NE(w.runtime, nullptr);
+  }
+}
+
+TEST(Apps, UnknownNameThrows) {
+  EXPECT_THROW(MakeByName("nginx", {}), std::invalid_argument);
+}
+
+TEST(Apps, ManagedAppsHaveGcThreads) {
+  AppParams p;
+  p.scale = 0.1;
+  for (const char* name : {"spark-lr", "cassandra", "neo4j", "graphx-cc"}) {
+    auto w = MakeByName(name, p);
+    EXPECT_TRUE(w.managed);
+    int gc = 0;
+    for (auto k : w.thread_kinds)
+      if (k == runtime::ThreadKind::kGc) ++gc;
+    EXPECT_GT(gc, 0) << name;
+  }
+}
+
+TEST(Apps, NativeAppsHaveNoGcThreads) {
+  AppParams p;
+  p.scale = 0.1;
+  for (const char* name : {"xgboost", "snappy", "memcached"}) {
+    auto w = MakeByName(name, p);
+    EXPECT_FALSE(w.managed);
+    for (auto k : w.thread_kinds)
+      EXPECT_EQ(k, runtime::ThreadKind::kApplication);
+  }
+}
+
+TEST(Apps, ThreadCountsMatchPaper) {
+  AppParams p;
+  p.scale = 0.1;
+  EXPECT_EQ(MakeMemcached(p).threads.size(), 4u);
+  EXPECT_EQ(MakeXgboost(p).threads.size(), 16u);
+  EXPECT_EQ(MakeSnappy(p).threads.size(), 1u);
+  EXPECT_GE(MakeSparkLR(p).threads.size(), 24u);
+}
+
+TEST(Apps, ThreadOverrideRespected) {
+  AppParams p;
+  p.scale = 0.1;
+  p.threads = 8;
+  EXPECT_EQ(MakeMemcached(p).threads.size(), 8u);
+}
+
+TEST(Apps, SparkRegistersLargeArrays) {
+  AppParams p;
+  p.scale = 0.1;
+  auto w = MakeSparkLR(p);
+  EXPECT_GT(w.runtime->large_array_count(), 0u);
+}
+
+TEST(Apps, GraphAppsRecordReferences) {
+  AppParams p;
+  p.scale = 0.1;
+  for (const char* name : {"graphx-cc", "neo4j", "spark-pr"}) {
+    auto w = MakeByName(name, p);
+    EXPECT_GT(w.runtime->edge_count(), 100u) << name;
+  }
+}
+
+TEST(Apps, StreamsStayWithinFootprint) {
+  AppParams p;
+  p.scale = 0.1;
+  for (const char* name : {"spark-km", "cassandra", "xgboost", "snappy"}) {
+    auto w = MakeByName(name, p);
+    for (auto& t : w.threads) {
+      for (int i = 0; i < 200; ++i) {
+        auto a = t->Next();
+        if (!a) break;
+        EXPECT_LT(a->page, w.footprint_pages) << name;
+      }
+    }
+  }
+}
+
+TEST(Apps, ScaleShrinksFootprint) {
+  AppParams small, large;
+  small.scale = 0.1;
+  large.scale = 1.0;
+  EXPECT_LT(MakeSparkLR(small).footprint_pages,
+            MakeSparkLR(large).footprint_pages);
+}
+
+TEST(Apps, ManagedAppNamesListsEleven) {
+  EXPECT_EQ(ManagedAppNames().size(), 11u);
+}
+
+TEST(CgroupFor, LimitsFollowRatio) {
+  AppParams p;
+  p.scale = 0.25;
+  auto w = MakeMemcached(p);
+  auto cg25 = CgroupFor(w, 0.25, 4);
+  auto cg50 = CgroupFor(w, 0.50, 4);
+  EXPECT_NEAR(double(cg25.local_mem_pages), 0.25 * double(w.footprint_pages),
+              2.0);
+  EXPECT_NEAR(double(cg50.local_mem_pages) / double(cg25.local_mem_pages),
+              2.0, 0.01);
+  EXPECT_EQ(cg25.cores, 4u);
+}
+
+TEST(CgroupFor, SlackExceedsSwapCache) {
+  // Structural invariant from the deadlock analysis: entry capacity must
+  // cover steady-state remote pages plus the swap cache.
+  AppParams p;
+  p.scale = 0.5;
+  for (const char* name : {"spark-lr", "cassandra", "memcached", "snappy"}) {
+    auto w = MakeByName(name, p);
+    for (double ratio : {0.25, 0.5}) {
+      auto cg = CgroupFor(w, ratio, 4);
+      std::uint64_t remote_steady = w.footprint_pages - cg.local_mem_pages;
+      ASSERT_GT(cg.swap_entry_limit, remote_steady) << name;
+      EXPECT_GE(cg.swap_entry_limit - remote_steady, cg.swap_cache_pages)
+          << name << " ratio " << ratio;
+    }
+  }
+}
+
+TEST(CgroupFor, WeightDefaultsProportionalToPartition) {
+  AppParams p;
+  p.scale = 0.25;
+  auto small = CgroupFor(MakeMemcached(p), 0.25, 4);
+  auto big = CgroupFor(MakeGraphxCC(p), 0.25, 24);
+  EXPECT_GT(big.rdma_weight, small.rdma_weight);
+  auto fixed = CgroupFor(MakeMemcached(p), 0.25, 4, 7.5);
+  EXPECT_DOUBLE_EQ(fixed.rdma_weight, 7.5);
+}
+
+}  // namespace
+}  // namespace canvas::workload
