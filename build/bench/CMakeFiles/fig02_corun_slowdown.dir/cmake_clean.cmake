@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_corun_slowdown.dir/fig02_corun_slowdown.cpp.o"
+  "CMakeFiles/fig02_corun_slowdown.dir/fig02_corun_slowdown.cpp.o.d"
+  "fig02_corun_slowdown"
+  "fig02_corun_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_corun_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_leap_contribution.dir/fig03_leap_contribution.cpp.o"
+  "CMakeFiles/fig03_leap_contribution.dir/fig03_leap_contribution.cpp.o.d"
+  "fig03_leap_contribution"
+  "fig03_leap_contribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_leap_contribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_alloc_throughput.dir/fig04_alloc_throughput.cpp.o"
+  "CMakeFiles/fig04_alloc_throughput.dir/fig04_alloc_throughput.cpp.o.d"
+  "fig04_alloc_throughput"
+  "fig04_alloc_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_alloc_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

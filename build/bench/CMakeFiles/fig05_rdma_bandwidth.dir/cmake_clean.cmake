@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_rdma_bandwidth.dir/fig05_rdma_bandwidth.cpp.o"
+  "CMakeFiles/fig05_rdma_bandwidth.dir/fig05_rdma_bandwidth.cpp.o.d"
+  "fig05_rdma_bandwidth"
+  "fig05_rdma_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_rdma_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_basic_systems.dir/fig09_basic_systems.cpp.o"
+  "CMakeFiles/fig09_basic_systems.dir/fig09_basic_systems.cpp.o.d"
+  "fig09_basic_systems"
+  "fig09_basic_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_basic_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_overall.dir/fig10_overall.cpp.o"
+  "CMakeFiles/fig10_overall.dir/fig10_overall.cpp.o.d"
+  "fig10_overall"
+  "fig10_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_adaptive_alloc.dir/fig12_adaptive_alloc.cpp.o"
+  "CMakeFiles/fig12_adaptive_alloc.dir/fig12_adaptive_alloc.cpp.o.d"
+  "fig12_adaptive_alloc"
+  "fig12_adaptive_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_adaptive_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_horizontal_sched.dir/fig14_horizontal_sched.cpp.o"
+  "CMakeFiles/fig14_horizontal_sched.dir/fig14_horizontal_sched.cpp.o.d"
+  "fig14_horizontal_sched"
+  "fig14_horizontal_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_horizontal_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_alloc_time_pct.dir/fig15_alloc_time_pct.cpp.o"
+  "CMakeFiles/fig15_alloc_time_pct.dir/fig15_alloc_time_pct.cpp.o.d"
+  "fig15_alloc_time_pct"
+  "fig15_alloc_time_pct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_alloc_time_pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_linux514_alloc.dir/fig16_linux514_alloc.cpp.o"
+  "CMakeFiles/fig16_linux514_alloc.dir/fig16_linux514_alloc.cpp.o.d"
+  "fig16_linux514_alloc"
+  "fig16_linux514_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_linux514_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_variation.dir/table03_variation.cpp.o"
+  "CMakeFiles/table03_variation.dir/table03_variation.cpp.o.d"
+  "table03_variation"
+  "table03_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

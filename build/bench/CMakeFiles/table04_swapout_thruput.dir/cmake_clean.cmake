@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_swapout_thruput.dir/table04_swapout_thruput.cpp.o"
+  "CMakeFiles/table04_swapout_thruput.dir/table04_swapout_thruput.cpp.o.d"
+  "table04_swapout_thruput"
+  "table04_swapout_thruput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_swapout_thruput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_prefetch.dir/table05_prefetch.cpp.o"
+  "CMakeFiles/table05_prefetch.dir/table05_prefetch.cpp.o.d"
+  "table05_prefetch"
+  "table05_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

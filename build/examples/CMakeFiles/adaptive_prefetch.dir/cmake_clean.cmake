@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_prefetch.dir/adaptive_prefetch.cpp.o"
+  "CMakeFiles/adaptive_prefetch.dir/adaptive_prefetch.cpp.o.d"
+  "adaptive_prefetch"
+  "adaptive_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

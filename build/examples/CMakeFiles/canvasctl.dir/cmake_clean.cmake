@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canvasctl.dir/canvasctl.cpp.o"
+  "CMakeFiles/canvasctl.dir/canvasctl.cpp.o.d"
+  "canvasctl"
+  "canvasctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canvasctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corun_isolation.dir/corun_isolation.cpp.o"
+  "CMakeFiles/corun_isolation.dir/corun_isolation.cpp.o.d"
+  "corun_isolation"
+  "corun_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corun_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

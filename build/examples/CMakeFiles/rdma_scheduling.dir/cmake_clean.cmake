@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_scheduling.dir/rdma_scheduling.cpp.o"
+  "CMakeFiles/rdma_scheduling.dir/rdma_scheduling.cpp.o.d"
+  "rdma_scheduling"
+  "rdma_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

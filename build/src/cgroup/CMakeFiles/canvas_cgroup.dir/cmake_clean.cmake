@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canvas_cgroup.dir/cgroup.cc.o"
+  "CMakeFiles/canvas_cgroup.dir/cgroup.cc.o.d"
+  "libcanvas_cgroup.a"
+  "libcanvas_cgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canvas_cgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

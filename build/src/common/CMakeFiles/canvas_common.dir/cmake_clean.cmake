@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canvas_common.dir/rng.cc.o"
+  "CMakeFiles/canvas_common.dir/rng.cc.o.d"
+  "CMakeFiles/canvas_common.dir/stats.cc.o"
+  "CMakeFiles/canvas_common.dir/stats.cc.o.d"
+  "CMakeFiles/canvas_common.dir/table.cc.o"
+  "CMakeFiles/canvas_common.dir/table.cc.o.d"
+  "CMakeFiles/canvas_common.dir/types.cc.o"
+  "CMakeFiles/canvas_common.dir/types.cc.o.d"
+  "libcanvas_common.a"
+  "libcanvas_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canvas_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

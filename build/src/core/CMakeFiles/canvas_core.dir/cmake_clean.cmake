@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canvas_core.dir/config.cc.o"
+  "CMakeFiles/canvas_core.dir/config.cc.o.d"
+  "CMakeFiles/canvas_core.dir/experiment.cc.o"
+  "CMakeFiles/canvas_core.dir/experiment.cc.o.d"
+  "CMakeFiles/canvas_core.dir/report.cc.o"
+  "CMakeFiles/canvas_core.dir/report.cc.o.d"
+  "CMakeFiles/canvas_core.dir/swap_system.cc.o"
+  "CMakeFiles/canvas_core.dir/swap_system.cc.o.d"
+  "libcanvas_core.a"
+  "libcanvas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canvas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

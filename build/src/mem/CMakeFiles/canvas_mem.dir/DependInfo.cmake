@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/lru.cc" "src/mem/CMakeFiles/canvas_mem.dir/lru.cc.o" "gcc" "src/mem/CMakeFiles/canvas_mem.dir/lru.cc.o.d"
+  "/root/repo/src/mem/swap_cache.cc" "src/mem/CMakeFiles/canvas_mem.dir/swap_cache.cc.o" "gcc" "src/mem/CMakeFiles/canvas_mem.dir/swap_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/canvas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/canvas_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

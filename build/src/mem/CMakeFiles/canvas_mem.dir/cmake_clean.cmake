@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canvas_mem.dir/lru.cc.o"
+  "CMakeFiles/canvas_mem.dir/lru.cc.o.d"
+  "CMakeFiles/canvas_mem.dir/swap_cache.cc.o"
+  "CMakeFiles/canvas_mem.dir/swap_cache.cc.o.d"
+  "libcanvas_mem.a"
+  "libcanvas_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canvas_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefetch/leap.cc" "src/prefetch/CMakeFiles/canvas_prefetch.dir/leap.cc.o" "gcc" "src/prefetch/CMakeFiles/canvas_prefetch.dir/leap.cc.o.d"
+  "/root/repo/src/prefetch/readahead.cc" "src/prefetch/CMakeFiles/canvas_prefetch.dir/readahead.cc.o" "gcc" "src/prefetch/CMakeFiles/canvas_prefetch.dir/readahead.cc.o.d"
+  "/root/repo/src/prefetch/two_tier.cc" "src/prefetch/CMakeFiles/canvas_prefetch.dir/two_tier.cc.o" "gcc" "src/prefetch/CMakeFiles/canvas_prefetch.dir/two_tier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/canvas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/canvas_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

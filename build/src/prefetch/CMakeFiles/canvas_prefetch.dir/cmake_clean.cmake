@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canvas_prefetch.dir/leap.cc.o"
+  "CMakeFiles/canvas_prefetch.dir/leap.cc.o.d"
+  "CMakeFiles/canvas_prefetch.dir/readahead.cc.o"
+  "CMakeFiles/canvas_prefetch.dir/readahead.cc.o.d"
+  "CMakeFiles/canvas_prefetch.dir/two_tier.cc.o"
+  "CMakeFiles/canvas_prefetch.dir/two_tier.cc.o.d"
+  "libcanvas_prefetch.a"
+  "libcanvas_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canvas_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canvas_rdma.dir/nic.cc.o"
+  "CMakeFiles/canvas_rdma.dir/nic.cc.o.d"
+  "libcanvas_rdma.a"
+  "libcanvas_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canvas_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

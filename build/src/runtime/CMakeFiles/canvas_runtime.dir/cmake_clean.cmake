@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canvas_runtime.dir/runtime_info.cc.o"
+  "CMakeFiles/canvas_runtime.dir/runtime_info.cc.o.d"
+  "libcanvas_runtime.a"
+  "libcanvas_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canvas_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/fastswap.cc" "src/sched/CMakeFiles/canvas_sched.dir/fastswap.cc.o" "gcc" "src/sched/CMakeFiles/canvas_sched.dir/fastswap.cc.o.d"
+  "/root/repo/src/sched/fifo.cc" "src/sched/CMakeFiles/canvas_sched.dir/fifo.cc.o" "gcc" "src/sched/CMakeFiles/canvas_sched.dir/fifo.cc.o.d"
+  "/root/repo/src/sched/timeliness.cc" "src/sched/CMakeFiles/canvas_sched.dir/timeliness.cc.o" "gcc" "src/sched/CMakeFiles/canvas_sched.dir/timeliness.cc.o.d"
+  "/root/repo/src/sched/two_dim.cc" "src/sched/CMakeFiles/canvas_sched.dir/two_dim.cc.o" "gcc" "src/sched/CMakeFiles/canvas_sched.dir/two_dim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/canvas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/canvas_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/canvas_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

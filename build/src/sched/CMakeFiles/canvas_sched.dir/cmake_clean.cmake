@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canvas_sched.dir/fastswap.cc.o"
+  "CMakeFiles/canvas_sched.dir/fastswap.cc.o.d"
+  "CMakeFiles/canvas_sched.dir/fifo.cc.o"
+  "CMakeFiles/canvas_sched.dir/fifo.cc.o.d"
+  "CMakeFiles/canvas_sched.dir/timeliness.cc.o"
+  "CMakeFiles/canvas_sched.dir/timeliness.cc.o.d"
+  "CMakeFiles/canvas_sched.dir/two_dim.cc.o"
+  "CMakeFiles/canvas_sched.dir/two_dim.cc.o.d"
+  "libcanvas_sched.a"
+  "libcanvas_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canvas_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canvas_sim.dir/sim_mutex.cc.o"
+  "CMakeFiles/canvas_sim.dir/sim_mutex.cc.o.d"
+  "CMakeFiles/canvas_sim.dir/simulator.cc.o"
+  "CMakeFiles/canvas_sim.dir/simulator.cc.o.d"
+  "libcanvas_sim.a"
+  "libcanvas_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canvas_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

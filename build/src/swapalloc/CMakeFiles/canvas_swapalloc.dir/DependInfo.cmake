@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/swapalloc/cluster.cc" "src/swapalloc/CMakeFiles/canvas_swapalloc.dir/cluster.cc.o" "gcc" "src/swapalloc/CMakeFiles/canvas_swapalloc.dir/cluster.cc.o.d"
+  "/root/repo/src/swapalloc/freelist.cc" "src/swapalloc/CMakeFiles/canvas_swapalloc.dir/freelist.cc.o" "gcc" "src/swapalloc/CMakeFiles/canvas_swapalloc.dir/freelist.cc.o.d"
+  "/root/repo/src/swapalloc/partition.cc" "src/swapalloc/CMakeFiles/canvas_swapalloc.dir/partition.cc.o" "gcc" "src/swapalloc/CMakeFiles/canvas_swapalloc.dir/partition.cc.o.d"
+  "/root/repo/src/swapalloc/reservation.cc" "src/swapalloc/CMakeFiles/canvas_swapalloc.dir/reservation.cc.o" "gcc" "src/swapalloc/CMakeFiles/canvas_swapalloc.dir/reservation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/canvas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/canvas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/canvas_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgroup/CMakeFiles/canvas_cgroup.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canvas_swapalloc.dir/cluster.cc.o"
+  "CMakeFiles/canvas_swapalloc.dir/cluster.cc.o.d"
+  "CMakeFiles/canvas_swapalloc.dir/freelist.cc.o"
+  "CMakeFiles/canvas_swapalloc.dir/freelist.cc.o.d"
+  "CMakeFiles/canvas_swapalloc.dir/partition.cc.o"
+  "CMakeFiles/canvas_swapalloc.dir/partition.cc.o.d"
+  "CMakeFiles/canvas_swapalloc.dir/reservation.cc.o"
+  "CMakeFiles/canvas_swapalloc.dir/reservation.cc.o.d"
+  "libcanvas_swapalloc.a"
+  "libcanvas_swapalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canvas_swapalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canvas_workload.dir/apps.cc.o"
+  "CMakeFiles/canvas_workload.dir/apps.cc.o.d"
+  "CMakeFiles/canvas_workload.dir/patterns.cc.o"
+  "CMakeFiles/canvas_workload.dir/patterns.cc.o.d"
+  "libcanvas_workload.a"
+  "libcanvas_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canvas_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

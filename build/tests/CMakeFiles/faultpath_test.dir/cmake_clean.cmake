@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faultpath_test.dir/faultpath_test.cc.o"
+  "CMakeFiles/faultpath_test.dir/faultpath_test.cc.o.d"
+  "faultpath_test"
+  "faultpath_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faultpath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapalloc_test.dir/swapalloc_test.cc.o"
+  "CMakeFiles/swapalloc_test.dir/swapalloc_test.cc.o.d"
+  "swapalloc_test"
+  "swapalloc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapalloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

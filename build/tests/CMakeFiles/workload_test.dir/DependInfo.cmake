@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/workload_test.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/canvas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/canvas_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/swapalloc/CMakeFiles/canvas_swapalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/canvas_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgroup/CMakeFiles/canvas_cgroup.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/canvas_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/canvas_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/canvas_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/canvas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/canvas_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/canvas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
