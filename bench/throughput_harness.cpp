@@ -1,0 +1,243 @@
+// Simulator throughput harness.
+//
+// Measures what every figure reproduction ultimately pays for: events/sec
+// through the DES engine. Three sections, all written to
+// BENCH_simulator.json (path overridable via CANVAS_BENCH_JSON):
+//
+//  1. micro: an identical self-rescheduling event churn run through (a) a
+//     faithful replica of the seed engine (std::function callbacks in a
+//     std::priority_queue — see LegacySimulator below) and (b) the current
+//     sim::Simulator. The ratio is the headline "fast-path speedup".
+//  2. scenarios: representative runs of fig02 (Linux 5.5 co-run), fig10
+//     (Canvas full co-run) and fig13 (Memcached alloc scaling) measured in
+//     wall-clock seconds and simulated events/sec.
+//  3. peak_rss_bytes: max resident set over the whole harness run.
+//
+// Honours CANVAS_SCALE / CANVAS_SEED like every other bench binary.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/simulator.h"
+
+namespace canvas::bench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Seed-engine replica (the pre-fast-path Simulator, verbatim semantics):
+// one heap-allocating std::function per event, std::priority_queue over
+// fat Event structs. Kept here so the baseline stays measurable in the
+// same binary forever, not just in git history.
+// ---------------------------------------------------------------------------
+class LegacySimulator {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime Now() const { return now_; }
+  void Schedule(SimDuration delay, Callback fn) {
+    queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+  }
+  void Run() {
+    while (!queue_.empty()) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      now_ = ev.when;
+      ++executed_;
+      ev.fn();
+    }
+  }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Event churn modeled on the real call sites: each chain reschedules
+// itself with a pseudo-random small delay. The capture mirrors the typical
+// fault-path closure (this + a handful of pointers/scalars, ~48 bytes —
+// far over std::function's 16-byte SBO, inside InlineCallback's 56), and
+// `chains` pending events keep the heap at co-run depth.
+template <typename Sim>
+class Churn {
+ public:
+  double EventsPerSec(std::uint64_t total_events, unsigned chains) {
+    remaining_ = total_events;
+    for (unsigned c = 0; c < chains; ++c) Kick(c + 1, c % 7, c, c + 2, c);
+    auto t0 = Clock::now();
+    sim_.Run();
+    double secs = SecondsSince(t0);
+    return double(sim_.events_executed()) / secs;
+  }
+
+ private:
+  void Kick(std::uint64_t delay, std::uint64_t salt, std::uint64_t acc,
+            std::uint64_t page, std::uint64_t core) {
+    sim_.Schedule(delay, [this, delay, salt, acc, page, core] {
+      if (remaining_ == 0) return;
+      --remaining_;
+      // LCG delay scramble keeps the heap busy and deterministic.
+      std::uint64_t next =
+          ((delay * 6364136223846793005ull + salt) & 1023) + 1;
+      Kick(next, salt + 1, acc + page, page ^ next, core);
+    });
+  }
+
+  Sim sim_;
+  std::uint64_t remaining_ = 0;
+};
+
+struct ScenarioResult {
+  std::string name;
+  double wall_sec = 0;
+  std::uint64_t sim_events = 0;
+  double events_per_sec = 0;
+  std::vector<double> finish_sec;
+};
+
+ScenarioResult RunScenario(const std::string& name, core::SystemConfig cfg,
+                           std::vector<core::AppSpec> apps) {
+  auto t0 = Clock::now();
+  core::Experiment e(std::move(cfg), std::move(apps));
+  e.Run();
+  ScenarioResult r;
+  r.name = name;
+  r.wall_sec = SecondsSince(t0);
+  r.sim_events = e.simulator().events_executed();
+  r.events_per_sec = r.wall_sec > 0 ? double(r.sim_events) / r.wall_sec : 0;
+  for (std::size_t i = 0; i < e.system().app_count(); ++i)
+    r.finish_sec.push_back(e.FinishSeconds(i));
+  return r;
+}
+
+std::uint64_t PeakRssBytes() {
+  struct rusage ru;
+  getrusage(RUSAGE_SELF, &ru);
+  return std::uint64_t(ru.ru_maxrss) * 1024;  // Linux reports KiB
+}
+
+void WriteJson(const std::string& path, std::uint64_t micro_events,
+               double legacy_eps, double fast_eps,
+               const std::vector<ScenarioResult>& scenarios) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"simulator_throughput\",\n");
+  std::fprintf(f, "  \"micro\": {\n");
+  std::fprintf(f, "    \"events\": %llu,\n",
+               (unsigned long long)micro_events);
+  std::fprintf(f, "    \"baseline_seed_events_per_sec\": %.0f,\n",
+               legacy_eps);
+  std::fprintf(f, "    \"fastpath_events_per_sec\": %.0f,\n", fast_eps);
+  std::fprintf(f, "    \"speedup\": %.3f\n", fast_eps / legacy_eps);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"scenarios\": [\n");
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const ScenarioResult& s = scenarios[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"wall_sec\": %.3f, "
+                 "\"sim_events\": %llu, \"events_per_sec\": %.0f, "
+                 "\"finish_sim_sec\": [",
+                 s.name.c_str(), s.wall_sec,
+                 (unsigned long long)s.sim_events, s.events_per_sec);
+    for (std::size_t j = 0; j < s.finish_sec.size(); ++j)
+      std::fprintf(f, "%s%.3f", j ? ", " : "", s.finish_sec[j]);
+    std::fprintf(f, "]}%s\n", i + 1 < scenarios.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"peak_rss_bytes\": %llu\n",
+               (unsigned long long)PeakRssBytes());
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace canvas::bench
+
+int main(int argc, char** argv) {
+  using namespace canvas;
+  using namespace canvas::bench;
+
+  const char* env = std::getenv("CANVAS_BENCH_JSON");
+  std::string json_path = env ? env : "BENCH_simulator.json";
+  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+  PrintBanner("Simulator throughput harness");
+
+  // --- micro: same churn through both engines ---
+  std::uint64_t micro_events = quick ? 400'000 : 4'000'000;
+  const unsigned kChains = 2048;  // pending events at co-run depth
+  double legacy_eps =
+      Churn<LegacySimulator>{}.EventsPerSec(micro_events, kChains);
+  double fast_eps = Churn<sim::Simulator>{}.EventsPerSec(micro_events, kChains);
+  std::printf("micro churn (%llu events, 2048 chains):\n"
+              "  seed engine     %12.0f events/sec\n"
+              "  fast-path engine%12.0f events/sec\n"
+              "  speedup         %12.2fx\n",
+              (unsigned long long)micro_events, legacy_eps, fast_eps,
+              fast_eps / legacy_eps);
+
+  // --- representative figure scenarios ---
+  double scale = ScaleFromEnv(quick ? 0.05 : 0.15);
+  std::vector<ScenarioResult> scenarios;
+
+  scenarios.push_back(RunScenario(
+      "fig02_linux55_corun", core::SystemConfig::Linux55(),
+      ManagedPlusNatives("spark-lr", scale, 0.25)));
+  scenarios.push_back(RunScenario(
+      "fig10_canvas_corun", core::SystemConfig::CanvasFull(),
+      ManagedPlusNatives("spark-lr", scale, 0.25)));
+  {
+    workload::AppParams p;
+    p.scale = scale;
+    p.threads = 16;
+    p.seed = SeedFromEnv();
+    auto w = workload::MakeMemcached(p);
+    auto cg = workload::CgroupFor(w, 0.25, 16);
+    std::vector<core::AppSpec> apps;
+    apps.push_back(core::AppSpec{std::move(w), std::move(cg)});
+    scenarios.push_back(RunScenario(
+        "fig13_memcached_16c", core::SystemConfig::CanvasFull(),
+        std::move(apps)));
+  }
+
+  TablePrinter table({"scenario", "wall sec", "sim events", "events/sec"});
+  for (const ScenarioResult& s : scenarios)
+    table.AddRow({s.name, TablePrinter::Num(s.wall_sec, 2),
+                  std::to_string(s.sim_events),
+                  TablePrinter::Num(s.events_per_sec, 0)});
+  table.Print();
+  std::printf("peak RSS: %s\n", FormatBytes(double(PeakRssBytes())).c_str());
+
+  WriteJson(json_path, micro_events, legacy_eps, fast_eps, scenarios);
+  return 0;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# One-command correctness + performance smoke: configure, build, run the
+# tier-1 test suite, then run the simulator throughput harness (which
+# writes BENCH_simulator.json next to the build tree).
+#
+# Environment knobs:
+#   BUILD_DIR        build tree (default: <repo>/build)
+#   CANVAS_SANITIZE  address|undefined|address,undefined -> sanitized build
+#   CANVAS_QUICK=1   pass --quick to the throughput harness
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD" -S "$ROOT" \
+  ${CANVAS_SANITIZE:+-DCANVAS_SANITIZE=$CANVAS_SANITIZE}
+cmake --build "$BUILD" -j"$JOBS"
+ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS"
+
+HARNESS_ARGS=()
+[ "${CANVAS_QUICK:-0}" = "1" ] && HARNESS_ARGS+=(--quick)
+CANVAS_BENCH_JSON="${CANVAS_BENCH_JSON:-$BUILD/BENCH_simulator.json}" \
+  "$BUILD/bench/throughput_harness" "${HARNESS_ARGS[@]:-}"
+
+echo "check.sh: all green"

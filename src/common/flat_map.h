@@ -1,0 +1,159 @@
+// Open-addressing hash map over packed 64-bit keys.
+//
+// The per-page hot paths (swap-cache index, readahead/Leap detector state,
+// fault waiter lists) all key on small composite ids — (cgroup, page) or
+// (context, zone) — that pack losslessly into one uint64. A flat
+// linear-probing table over such keys replaces the node-per-element
+// unordered_map: one cache line per probe, no allocation per insert, and
+// erase uses backward-shift deletion so no tombstones accumulate.
+//
+// Requirements: V default-constructible and movable. One key value
+// (kEmptyKey == ~0) is reserved as the empty-slot sentinel and must never
+// be inserted. Pointers returned by Find() and references from operator[]
+// are invalidated by any later insert or erase.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace canvas {
+
+/// Pack a (cgroup, page) pair into the 16/48-bit composite key used across
+/// the swap stack. Real cgroup ids are small integers (creation order) and
+/// page ids are bounded by application footprints, so the split is
+/// lossless for every key this codebase builds.
+inline constexpr std::uint64_t PackAppPage(CgroupId app, PageId page) {
+  return (std::uint64_t(app) << 48) | (page & 0xFFFF'FFFF'FFFFull);
+}
+
+template <typename V>
+class FlatMap64 {
+ public:
+  static constexpr std::uint64_t kEmptyKey = ~0ull;
+
+  FlatMap64() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    slots_.clear();
+    size_ = 0;
+  }
+
+  V* Find(std::uint64_t key) {
+    if (slots_.empty()) return nullptr;
+    std::size_t i = ProbeFor(key);
+    return slots_[i].key == key ? &slots_[i].value : nullptr;
+  }
+  const V* Find(std::uint64_t key) const {
+    return const_cast<FlatMap64*>(this)->Find(key);
+  }
+
+  bool Contains(std::uint64_t key) const { return Find(key) != nullptr; }
+
+  /// Returns the value for `key`, default-constructing it if absent.
+  V& operator[](std::uint64_t key) {
+    assert(key != kEmptyKey && "sentinel key is reserved");
+    if (NeedsGrow()) Grow();
+    std::size_t i = ProbeFor(key);
+    if (slots_[i].key != key) {
+      slots_[i].key = key;
+      slots_[i].value = V{};
+      ++size_;
+    }
+    return slots_[i].value;
+  }
+
+  /// Remove `key`; returns false if absent. Backward-shift deletion keeps
+  /// probe chains dense (no tombstones).
+  bool Erase(std::uint64_t key) {
+    if (slots_.empty()) return false;
+    std::size_t hole = ProbeFor(key);
+    if (slots_[hole].key != key) return false;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t j = hole;
+    while (true) {
+      j = (j + 1) & mask;
+      if (slots_[j].key == kEmptyKey) break;
+      std::size_t ideal = Mix(slots_[j].key) & mask;
+      // Slot j may fill the hole only if doing so does not move it in
+      // front of its own ideal position in circular probe order.
+      if (((j - ideal) & mask) >= ((j - hole) & mask)) {
+        slots_[hole].key = slots_[j].key;
+        slots_[hole].value = std::move(slots_[j].value);
+        hole = j;
+      }
+    }
+    slots_[hole].key = kEmptyKey;
+    slots_[hole].value = V{};
+    --size_;
+    return true;
+  }
+
+  /// Visit every (key, value) pair; no particular order. The callback must
+  /// not insert or erase.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (Slot& s : slots_)
+      if (s.key != kEmptyKey) fn(s.key, s.value);
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& s : slots_)
+      if (s.key != kEmptyKey) fn(s.key, s.value);
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = kEmptyKey;
+    V value{};
+  };
+
+  /// splitmix64 finalizer: packed keys differ mostly in low/high nibbles,
+  /// so a full-avalanche mix is needed before masking.
+  static std::size_t Mix(std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return std::size_t(x);
+  }
+
+  /// Index of `key`'s slot, or of the empty slot that would receive it.
+  std::size_t ProbeFor(std::uint64_t key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = Mix(key) & mask;
+    while (slots_[i].key != kEmptyKey && slots_[i].key != key)
+      i = (i + 1) & mask;
+    return i;
+  }
+
+  bool NeedsGrow() const {
+    // Max load factor 0.75.
+    return slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3;
+  }
+
+  void Grow() {
+    std::size_t cap = slots_.empty() ? 16 : slots_.size() * 2;
+    std::vector<Slot> old = std::move(slots_);
+    slots_ = std::vector<Slot>(cap);  // value-init; V need not be copyable
+    for (Slot& s : old) {
+      if (s.key == kEmptyKey) continue;
+      std::size_t i = ProbeFor(s.key);
+      slots_[i].key = s.key;
+      slots_[i].value = std::move(s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace canvas

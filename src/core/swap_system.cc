@@ -276,8 +276,9 @@ void SwapSystem::DumpState() const {
   for (const auto& app : apps_) {
     const Cgroup& cg = cgroups_.Get(app->cg);
     std::size_t blocked = 0;
-    for (const auto& [k, v] : waiters_)
+    waiters_.ForEach([&](std::uint64_t k, const auto& v) {
       if ((k >> 48) == app->index) blocked += v.size();
+    });
     std::fprintf(
         stderr,
         "[%s] threads %zu/%zu done, frame_waiters=%zu reclaimers=%u "
@@ -312,14 +313,16 @@ Cgroup& SwapSystem::CgroupFor(AppState& app, const mem::Page& p) {
 }
 
 std::uint64_t SwapSystem::WaiterKey(const AppState& app, PageId page) const {
-  return (std::uint64_t(app.index) << 48) | page;
+  return PackAppPage(CgroupId(app.index), page);
 }
 
 void SwapSystem::WakeWaiters(AppState& app, PageId page) {
-  auto it = waiters_.find(WaiterKey(app, page));
-  if (it == waiters_.end()) return;
-  auto conts = std::move(it->second);
-  waiters_.erase(it);
+  std::uint64_t key = WaiterKey(app, page);
+  auto* found = waiters_.Find(key);
+  if (!found) return;
+  // Detach before invoking: continuations may block on this page again.
+  auto conts = std::move(*found);
+  waiters_.Erase(key);
   for (auto& c : conts) c();
 }
 
@@ -715,7 +718,7 @@ void SwapSystem::IssuePrefetches(AppState& app,
       ++a->metrics.prefetch_dropped;
       if (pg.seq != expected) return;  // a rescue demand owns the page now
       auto key = WaiterKey(*a, cand);
-      if (waiters_.count(key)) {
+      if (waiters_.Contains(key)) {
         // Threads already block on this page: convert to a demand fetch.
         pg.in_flight_prefetch = false;
         pg.prefetched_unused = false;

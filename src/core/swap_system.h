@@ -20,10 +20,10 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cgroup/cgroup.h"
+#include "common/flat_map.h"
 #include "core/config.h"
 #include "core/metrics.h"
 #include "mem/lru.h"
@@ -187,8 +187,9 @@ class SwapSystem {
   sched::TwoDimScheduler* two_dim_ = nullptr;  // borrowed view
   std::unique_ptr<rdma::Nic> nic_;
 
-  std::unordered_map<std::uint64_t, std::vector<std::function<void()>>>
-      waiters_;
+  /// Continuations blocked on an in-flight page, keyed by the packed
+  /// (app index, page) composite key.
+  FlatMap64<std::vector<std::function<void()>>> waiters_;
   std::vector<PageId> prefetch_buf_;
   std::uint32_t next_core_ = 0;
   ThreadId next_tid_ = 0;

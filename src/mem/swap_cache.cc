@@ -4,51 +4,94 @@
 
 namespace canvas::mem {
 
+std::uint32_t SwapCache::AcquireSlot() {
+  if (free_head_ != kNil) {
+    std::uint32_t slot = free_head_;
+    free_head_ = pool_[slot].next;
+    return slot;
+  }
+  pool_.emplace_back();
+  return std::uint32_t(pool_.size() - 1);
+}
+
+void SwapCache::ReleaseSlot(std::uint32_t slot) {
+  pool_[slot].next = free_head_;
+  free_head_ = slot;
+}
+
+void SwapCache::LinkFront(std::uint32_t slot) {
+  Node& n = pool_[slot];
+  n.prev = kNil;
+  n.next = head_;
+  if (head_ != kNil) pool_[head_].prev = slot;
+  head_ = slot;
+  if (tail_ == kNil) tail_ = slot;
+}
+
+void SwapCache::UnlinkNode(std::uint32_t slot) {
+  Node& n = pool_[slot];
+  if (n.prev != kNil)
+    pool_[n.prev].next = n.next;
+  else
+    head_ = n.next;
+  if (n.next != kNil)
+    pool_[n.next].prev = n.prev;
+  else
+    tail_ = n.prev;
+}
+
 bool SwapCache::Contains(CgroupId app, PageId page) const {
   return Lookup(app, page) != nullptr;
 }
 
 const SwapCache::Entry* SwapCache::Lookup(CgroupId app, PageId page) const {
   ++lookups_;
-  auto it = index_.find(Key{app, page});
-  if (it == index_.end()) return nullptr;
+  const std::uint32_t* slot = index_.Find(PackAppPage(app, page));
+  if (!slot) return nullptr;
   ++hits_;
-  return &*it->second;
+  return &pool_[*slot].entry;
 }
 
 void SwapCache::Insert(CgroupId app, PageId page, bool locked, bool prefetched,
                        SimTime now) {
-  assert(!Contains(app, page));
-  lru_.push_front(Entry{app, page, locked, prefetched, now});
-  index_[Key{app, page}] = lru_.begin();
+  assert(!index_.Contains(PackAppPage(app, page)));
+  std::uint32_t slot = AcquireSlot();
+  pool_[slot].entry = Entry{app, page, locked, prefetched, now};
+  LinkFront(slot);
+  index_[PackAppPage(app, page)] = slot;
   ++inserts_;
 }
 
 void SwapCache::Unlock(CgroupId app, PageId page) {
-  auto it = index_.find(Key{app, page});
-  assert(it != index_.end());
-  it->second->locked = false;
+  std::uint32_t* slot = index_.Find(PackAppPage(app, page));
+  assert(slot != nullptr);
+  pool_[*slot].entry.locked = false;
   // Refresh: arrival counts as recency.
-  lru_.splice(lru_.begin(), lru_, it->second);
+  if (head_ != *slot) {
+    UnlinkNode(*slot);
+    LinkFront(*slot);
+  }
 }
 
 bool SwapCache::Remove(CgroupId app, PageId page) {
-  auto it = index_.find(Key{app, page});
-  if (it == index_.end()) return false;
-  lru_.erase(it->second);
-  index_.erase(it);
+  std::uint32_t* found = index_.Find(PackAppPage(app, page));
+  if (!found) return false;
+  std::uint32_t slot = *found;
+  UnlinkNode(slot);
+  ReleaseSlot(slot);
+  index_.Erase(PackAppPage(app, page));
   return true;
 }
 
 bool SwapCache::PopLruUnlocked(Entry& out) {
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-    if (!it->locked) {
-      out = *it;
-      index_.erase(Key{it->app, it->page});
-      lru_.erase(std::next(it).base());
-      ++shrunk_;
-      return true;
-    }
+  for (std::uint32_t slot = tail_; slot != kNil; slot = pool_[slot].prev) {
+    if (pool_[slot].entry.locked) continue;
+    out = pool_[slot].entry;
+    UnlinkNode(slot);
+    ReleaseSlot(slot);
+    index_.Erase(PackAppPage(out.app, out.page));
+    ++shrunk_;
+    return true;
   }
   return false;
 }

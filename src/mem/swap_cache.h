@@ -11,13 +11,18 @@
 // Pages arrive `locked` while their RDMA transfer is in flight; only
 // unlocked pages are eligible for capacity shrinking. An internal LRU
 // provides the shrink order.
+//
+// Layout: entries live in a slot pool (flat vector + free list) threaded
+// into an intrusive doubly-linked LRU; the (cgroup, page) index is a flat
+// open-addressing map over the packed 64-bit key. The per-page hot path
+// (lookup / insert / unlock / remove) allocates nothing in steady state.
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
+#include "common/flat_map.h"
 #include "common/types.h"
 
 namespace canvas::mem {
@@ -38,11 +43,12 @@ class SwapCache {
   const std::string& name() const { return name_; }
   std::uint64_t capacity() const { return capacity_; }
   void set_capacity(std::uint64_t pages) { capacity_ = pages; }
-  std::uint64_t size() const { return lru_.size(); }
+  std::uint64_t size() const { return index_.size(); }
   bool OverCapacity() const { return size() > capacity_; }
 
   bool Contains(CgroupId app, PageId page) const;
-  /// Returns the entry or nullptr. Does not affect LRU order.
+  /// Returns the entry or nullptr. Does not affect LRU order. The pointer
+  /// is invalidated by the next mutating call.
   const Entry* Lookup(CgroupId app, PageId page) const;
 
   /// Insert a page (must not already be present).
@@ -67,23 +73,26 @@ class SwapCache {
   std::uint64_t shrunk() const { return shrunk_; }
 
  private:
-  using LruList = std::list<Entry>;
-  struct Key {
-    CgroupId app;
-    PageId page;
-    bool operator==(const Key&) const = default;
+  static constexpr std::uint32_t kNil = ~0u;
+
+  struct Node {
+    Entry entry{};
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;  // also threads the free list
   };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const {
-      return std::hash<std::uint64_t>()(
-          (std::uint64_t(k.app) << 48) ^ k.page);
-    }
-  };
+
+  std::uint32_t AcquireSlot();
+  void ReleaseSlot(std::uint32_t slot);
+  void LinkFront(std::uint32_t slot);
+  void UnlinkNode(std::uint32_t slot);
 
   std::string name_;
   std::uint64_t capacity_;
-  LruList lru_;  // front = most recent
-  std::unordered_map<Key, LruList::iterator, KeyHash> index_;
+  std::vector<Node> pool_;
+  std::uint32_t free_head_ = kNil;
+  std::uint32_t head_ = kNil;  // most recent
+  std::uint32_t tail_ = kNil;  // least recent
+  FlatMap64<std::uint32_t> index_;  // PackAppPage(app, page) -> pool slot
   mutable std::uint64_t lookups_ = 0;
   mutable std::uint64_t hits_ = 0;
   std::uint64_t inserts_ = 0;

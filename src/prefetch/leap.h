@@ -8,8 +8,8 @@
 #pragma once
 
 #include <deque>
-#include <unordered_map>
 
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "prefetch/prefetcher.h"
 
@@ -52,7 +52,7 @@ class LeapPrefetcher : public Prefetcher {
   static std::int64_t MajorityDelta(const std::deque<std::int64_t>& deltas);
 
   Config cfg_;
-  std::unordered_map<CgroupId, State> states_;
+  FlatMap64<State> states_;  // keyed by cgroup (0 in global mode)
   Rng jitter_{0x1EAF};
   std::uint64_t trend_hits_ = 0;
   std::uint64_t fallbacks_ = 0;

@@ -17,8 +17,8 @@ ReadaheadPrefetcher::State& ReadaheadPrefetcher::StateFor(CgroupId app,
 }
 
 std::uint32_t ReadaheadPrefetcher::WindowFor(CgroupId app, PageId page) const {
-  auto it = states_.find(KeyFor(app, page));
-  return it == states_.end() ? 1 : it->second.window;
+  const State* st = states_.Find(KeyFor(app, page));
+  return st ? st->window : 1;
 }
 
 void ReadaheadPrefetcher::OnFault(const FaultInfo& fault,

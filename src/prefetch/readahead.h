@@ -7,8 +7,7 @@
 // completely" (§2). Conservative: no pattern, no prefetch.
 #pragma once
 
-#include <unordered_map>
-
+#include "common/flat_map.h"
 #include "prefetch/prefetcher.h"
 
 namespace canvas::prefetch {
@@ -44,7 +43,7 @@ class ReadaheadPrefetcher : public Prefetcher {
   State& StateFor(CgroupId app, PageId page);
 
   Config cfg_;
-  std::unordered_map<std::uint64_t, State> states_;
+  FlatMap64<State> states_;  // packed (context, vma-zone) key
 };
 
 }  // namespace canvas::prefetch

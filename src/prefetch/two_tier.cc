@@ -14,8 +14,8 @@ void TwoTierPrefetcher::RegisterApp(CgroupId app,
 }
 
 bool TwoTierPrefetcher::IsForwarding(CgroupId app) const {
-  auto it = apps_.find(app);
-  return it != apps_.end() && it->second.forwarding;
+  const AppState* st = apps_.Find(app);
+  return st && st->forwarding;
 }
 
 void TwoTierPrefetcher::OnFault(const FaultInfo& fault,
@@ -24,9 +24,9 @@ void TwoTierPrefetcher::OnFault(const FaultInfo& fault,
   kernel_tier_.OnFault(fault, out);
   std::size_t kernel_pages = out.size() - before;
 
-  auto it = apps_.find(fault.app);
-  if (it == apps_.end()) return;  // no runtime attached: kernel tier only
-  AppState& st = it->second;
+  AppState* found = apps_.Find(fault.app);
+  if (!found) return;  // no runtime attached: kernel tier only
+  AppState& st = *found;
 
   if (kernel_pages >= cfg_.ineffective_threshold) {
     // Kernel tier effective again: stop forwarding (it is free, the app
@@ -44,13 +44,11 @@ void TwoTierPrefetcher::OnFault(const FaultInfo& fault,
 }
 
 void TwoTierPrefetcher::OnPrefetchUsed(CgroupId app, PageId) {
-  auto it = apps_.find(app);
-  if (it != apps_.end()) it->second.used += 1.0;
+  if (AppState* st = apps_.Find(app)) st->used += 1.0;
 }
 
 void TwoTierPrefetcher::OnPrefetchWasted(CgroupId app, PageId) {
-  auto it = apps_.find(app);
-  if (it != apps_.end()) it->second.wasted += 1.0;
+  if (AppState* st = apps_.Find(app)) st->wasted += 1.0;
 }
 
 void TwoTierPrefetcher::AppTier(AppState& st, const FaultInfo& fault,

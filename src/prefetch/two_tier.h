@@ -20,8 +20,8 @@
 #pragma once
 
 #include <deque>
-#include <unordered_map>
 
+#include "common/flat_map.h"
 #include "prefetch/prefetcher.h"
 #include "prefetch/readahead.h"
 #include "runtime/runtime_info.h"
@@ -92,8 +92,8 @@ class TwoTierPrefetcher : public Prefetcher {
 
   Config cfg_;
   ReadaheadPrefetcher kernel_tier_;
-  std::unordered_map<CgroupId, AppState> apps_;
-  std::unordered_map<ThreadId, ThreadState> thread_states_;
+  FlatMap64<AppState> apps_;           // keyed by cgroup
+  FlatMap64<ThreadState> thread_states_;  // keyed by (kernel) thread id
   std::uint64_t forwarded_ = 0;
   std::uint64_t thread_pf_ = 0;
   std::uint64_t ref_pf_ = 0;

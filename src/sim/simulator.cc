@@ -7,28 +7,38 @@ namespace canvas::sim {
 
 void Simulator::ScheduleAt(SimTime when, Callback fn) {
   assert(when >= now_ && "cannot schedule into the past");
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+  queue_.Push(when, std::move(fn));
 }
 
 bool Simulator::Step() {
   if (queue_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast as the element is
-  // popped immediately after (standard drain idiom).
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  const EventQueue::Popped ev = queue_.Pop();
   now_ = ev.when;
   ++executed_;
-  ev.fn();
+  queue_.Callback(ev.node)();
+  queue_.Release(ev.node);
   return true;
 }
 
+void Simulator::DrainInstant() {
+  const SimTime now = queue_.MinTime();
+  now_ = now;
+  do {
+    const EventQueue::Popped ev = queue_.Pop();
+    ++executed_;
+    // Invoked in place: node storage is chunked and never relocates, so
+    // callbacks scheduled from inside this call cannot move the live frame.
+    queue_.Callback(ev.node)();
+    queue_.Release(ev.node);
+  } while (!queue_.empty() && queue_.MinTime() == now);
+}
+
 void Simulator::Run() {
-  while (Step()) {
-  }
+  while (!queue_.empty()) DrainInstant();
 }
 
 bool Simulator::RunUntil(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().when <= deadline) Step();
+  while (!queue_.empty() && queue_.MinTime() <= deadline) DrainInstant();
   if (queue_.empty()) return true;
   now_ = deadline;
   return false;

@@ -5,20 +5,26 @@
 // the event queue in (time, insertion-sequence) order, so two events at the
 // same instant fire in the order they were scheduled — this removes all
 // nondeterminism from the model.
+//
+// Hot-path design (see DESIGN.md "Simulator performance"): callbacks are
+// InlineCallback (56-byte small-buffer storage, no per-event allocation for
+// typical captures) and the queue is a hierarchical timing wheel with
+// recycled pooled event nodes (EventQueue) — O(1) push/pop with no
+// per-event sift at any queue depth. Run() drains every event at the
+// current instant in one pass before touching the clock again.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
 
 #include "common/types.h"
+#include "sim/event_queue.h"
+#include "sim/inline_callback.h"
 
 namespace canvas::sim {
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -50,22 +56,16 @@ class Simulator {
   bool empty() const { return queue_.empty(); }
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;
-    Callback fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+  /// Execute every event scheduled at MinTime() in one pass, without
+  /// re-reading the clock between events. Events a callback schedules back
+  /// onto the same instant carry a later insertion seq than everything
+  /// already queued there, so the heap pops them after the existing events —
+  /// insertion order at one instant is preserved.
+  void DrainInstant();
 
   SimTime now_ = 0;
-  std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventQueue queue_;
 };
 
 }  // namespace canvas::sim

@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <unordered_map>
 
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -232,6 +234,60 @@ TEST(Format, Bytes) {
   EXPECT_EQ(FormatBytes(512), "512B");
   EXPECT_EQ(FormatBytes(2048), "2.05KB");
   EXPECT_EQ(FormatBytes(3.5e9), "3.50GB");
+}
+
+TEST(FlatMap64, InsertFindErase) {
+  FlatMap64<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(1), nullptr);
+  m[1] = 10;
+  m[2] = 20;
+  m[0] = 5;  // key 0 is a legal key (only ~0 is reserved)
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(*m.Find(1), 10);
+  EXPECT_EQ(*m.Find(0), 5);
+  EXPECT_TRUE(m.Erase(1));
+  EXPECT_FALSE(m.Erase(1));
+  EXPECT_EQ(m.Find(1), nullptr);
+  EXPECT_EQ(*m.Find(2), 20);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatMap64, SurvivesGrowthAndChurn) {
+  // Cross-check against unordered_map through a deterministic random
+  // insert/erase churn: exercises rehash and backward-shift deletion.
+  FlatMap64<std::uint64_t> m;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    std::uint64_t key = rng.NextBounded(512);
+    if (rng.NextBounded(3) == 0) {
+      EXPECT_EQ(m.Erase(key), ref.erase(key) > 0);
+    } else {
+      m[key] = std::uint64_t(i);
+      ref[key] = std::uint64_t(i);
+    }
+  }
+  EXPECT_EQ(m.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    ASSERT_NE(m.Find(k), nullptr) << k;
+    EXPECT_EQ(*m.Find(k), v) << k;
+  }
+  std::size_t visited = 0;
+  m.ForEach([&](std::uint64_t k, std::uint64_t v) {
+    ++visited;
+    auto it = ref.find(k);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(it->second, v);
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatMap64, PackAppPageIsLossless) {
+  EXPECT_EQ(PackAppPage(0, 0), 0ull);
+  EXPECT_NE(PackAppPage(1, 0), PackAppPage(0, 1));
+  EXPECT_EQ(PackAppPage(3, 12345) >> 48, 3ull);
+  EXPECT_EQ(PackAppPage(3, 12345) & 0xFFFF'FFFF'FFFFull, 12345ull);
 }
 
 }  // namespace
