@@ -16,6 +16,7 @@
 // Honours CANVAS_SCALE / CANVAS_SEED like every other bench binary.
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -25,6 +26,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "fault/fault_plan.h"
 #include "sim/simulator.h"
 
 namespace canvas::bench {
@@ -142,9 +144,39 @@ std::uint64_t PeakRssBytes() {
   return std::uint64_t(ru.ru_maxrss) * 1024;  // Linux reports KiB
 }
 
+/// Fault-subsystem overhead on a healthy run: fig10 with no fault plan vs
+/// the same run with an *empty* plan attached (injector constructed, every
+/// hook live but on its constant fast path). Best-of-N wall times keep the
+/// measurement stable; the acceptance bar is < 3% events/sec regression.
+struct FaultOverhead {
+  double plain_wall_sec = 0;
+  double attached_wall_sec = 0;
+  double overhead_pct = 0;
+};
+
+FaultOverhead MeasureFaultOverhead(double scale, int reps) {
+  FaultOverhead o;
+  double plain = 1e30, attached = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto r1 = RunScenario("plain", core::SystemConfig::CanvasFull(),
+                          ManagedPlusNatives("spark-lr", scale, 0.25));
+    auto cfg = core::SystemConfig::CanvasFull();
+    cfg.fault_plan = std::make_shared<fault::FaultPlan>();
+    auto r2 = RunScenario("attached", std::move(cfg),
+                          ManagedPlusNatives("spark-lr", scale, 0.25));
+    plain = std::min(plain, r1.wall_sec);
+    attached = std::min(attached, r2.wall_sec);
+  }
+  o.plain_wall_sec = plain;
+  o.attached_wall_sec = attached;
+  o.overhead_pct = plain > 0 ? (attached - plain) / plain * 100.0 : 0.0;
+  return o;
+}
+
 void WriteJson(const std::string& path, std::uint64_t micro_events,
                double legacy_eps, double fast_eps,
-               const std::vector<ScenarioResult>& scenarios) {
+               const std::vector<ScenarioResult>& scenarios,
+               const FaultOverhead& fault) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -173,6 +205,12 @@ void WriteJson(const std::string& path, std::uint64_t micro_events,
     std::fprintf(f, "]}%s\n", i + 1 < scenarios.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"fault_overhead\": {\n");
+  std::fprintf(f, "    \"plain_wall_sec\": %.3f,\n", fault.plain_wall_sec);
+  std::fprintf(f, "    \"empty_plan_wall_sec\": %.3f,\n",
+               fault.attached_wall_sec);
+  std::fprintf(f, "    \"fault_overhead_pct\": %.2f\n", fault.overhead_pct);
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"peak_rss_bytes\": %llu\n",
                (unsigned long long)PeakRssBytes());
   std::fprintf(f, "}\n");
@@ -236,8 +274,15 @@ int main(int argc, char** argv) {
                   std::to_string(s.sim_events),
                   TablePrinter::Num(s.events_per_sec, 0)});
   table.Print();
+
+  // --- fault-subsystem overhead with faults disabled ---
+  FaultOverhead fault = MeasureFaultOverhead(scale, quick ? 1 : 3);
+  std::printf("fault subsystem overhead (empty plan vs no plan, fig10, "
+              "best of %d): %.2f%%\n",
+              quick ? 1 : 3, fault.overhead_pct);
+
   std::printf("peak RSS: %s\n", FormatBytes(double(PeakRssBytes())).c_str());
 
-  WriteJson(json_path, micro_events, legacy_eps, fast_eps, scenarios);
+  WriteJson(json_path, micro_events, legacy_eps, fast_eps, scenarios, fault);
   return 0;
 }

@@ -1,0 +1,128 @@
+// Fault injection and blackout recovery demo (DESIGN.md §8).
+//
+// Runs Memcached under Canvas three times: healthy fabric, a degraded
+// fabric (CQE error bursts + latency spikes), and a full memory-server
+// blackout. Prints the recovery counters behind the chaos suite: bounded
+// retries with exponential backoff, failover of writebacks to the local
+// disk, demand-read reissue, and failback once the server returns. The
+// same (plan, seed) pair replays bit-identically.
+//
+//   ./build/examples/fault_injection [scale]
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/experiment.h"
+#include "fault/fault_plan.h"
+#include "workload/apps.h"
+
+using namespace canvas;
+
+namespace {
+
+std::vector<core::AppSpec> Workload(double scale) {
+  workload::AppParams p;
+  p.scale = scale;
+  p.threads = 8;
+  auto w = workload::MakeMemcached(p);
+  auto cg = workload::CgroupFor(w, 0.25, 8);
+  std::vector<core::AppSpec> out;
+  out.push_back(core::AppSpec{std::move(w), std::move(cg)});
+  return out;
+}
+
+struct RunStats {
+  double finish_sec = 0;
+  std::uint64_t retries = 0, timeouts = 0, cqe_errors = 0, exhausted = 0;
+  std::uint64_t failovers = 0, failbacks = 0, reissues = 0;
+  std::uint64_t disk_in = 0, disk_out = 0, stale = 0;
+};
+
+RunStats Run(std::shared_ptr<const fault::FaultPlan> plan, double scale) {
+  auto cfg = core::SystemConfig::CanvasFull();
+  cfg.fault_plan = std::move(plan);
+  core::Experiment e(cfg, Workload(scale));
+  e.Run();
+  // Drain retries/writebacks still in flight at the finish instant.
+  e.simulator().RunUntil(e.simulator().Now() + 200 * kMillisecond);
+  RunStats s;
+  s.finish_sec = e.FinishSeconds(0);
+  s.retries = e.system().nic().retries();
+  s.timeouts = e.system().nic().timeouts();
+  s.cqe_errors = e.system().nic().cqe_errors();
+  s.exhausted = e.system().nic().exhausted();
+  const auto& m = e.system().metrics(0);
+  s.failovers = m.failovers;
+  s.failbacks = m.failbacks;
+  s.reissues = m.demand_reissues;
+  s.disk_in = m.disk_swapins;
+  s.disk_out = m.disk_swapouts;
+  s.stale = m.stale_reads;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.2;
+
+  PrintBanner("Fault injection: Memcached on a failing fabric");
+
+  // Plans use the config-file format (times in microseconds) so the demo
+  // doubles as format documentation; see fault::FaultPlan::Parse.
+  std::string err;
+  auto degraded = fault::FaultPlan::Parse(
+      "# CQE error bursts + latency spikes over the first 20ms\n"
+      "error    0    20000  0.15  all\n"
+      "latency  2000 12000  25    both\n",
+      &err);
+  auto blackout = fault::FaultPlan::Parse(
+      "# memory server unreachable from 2ms to 10ms\n"
+      "blackout 2000 10000\n",
+      &err);
+  if (!degraded || !blackout) {
+    std::fprintf(stderr, "plan parse error: %s\n", err.c_str());
+    return 1;
+  }
+
+  struct Variant {
+    const char* label;
+    std::shared_ptr<const fault::FaultPlan> plan;
+  };
+  TablePrinter table({"fabric", "finish", "retries", "timeouts", "cqe err",
+                      "failover", "failback", "reissue", "disk in/out",
+                      "stale"});
+  for (const Variant& v :
+       {Variant{"healthy", nullptr},
+        Variant{"degraded", std::make_shared<fault::FaultPlan>(*degraded)},
+        Variant{"blackout", std::make_shared<fault::FaultPlan>(*blackout)}}) {
+    RunStats s = Run(v.plan, scale);
+    table.AddRow({v.label, TablePrinter::Num(s.finish_sec, 3) + "s",
+                  std::to_string(s.retries), std::to_string(s.timeouts),
+                  std::to_string(s.cqe_errors), std::to_string(s.failovers),
+                  std::to_string(s.failbacks), std::to_string(s.reissues),
+                  std::to_string(s.disk_in) + "/" + std::to_string(s.disk_out),
+                  std::to_string(s.stale)});
+  }
+  table.Print();
+
+  // Determinism: identical (plan, seed) replays to identical counters.
+  auto plan = std::make_shared<fault::FaultPlan>(*blackout);
+  RunStats a = Run(plan, scale), b = Run(plan, scale);
+  std::printf("\nreplay check: run A %llu retries / %llu disk writes, "
+              "run B %llu / %llu -> %s\n",
+              (unsigned long long)a.retries, (unsigned long long)a.disk_out,
+              (unsigned long long)b.retries, (unsigned long long)b.disk_out,
+              (a.retries == b.retries && a.disk_out == b.disk_out)
+                  ? "bit-identical"
+                  : "MISMATCH");
+  std::puts(
+      "\nDuring the blackout every attempt times out: demand reads are\n"
+      "reissued until the fabric heals (the only copy is remote), while\n"
+      "writebacks fail over to the local disk after the retry budget is\n"
+      "exhausted. The cgroup fails back automatically on recovery, and the\n"
+      "content-version oracle confirms no stale page was ever served.");
+  return 0;
+}

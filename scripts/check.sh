@@ -7,6 +7,7 @@
 #   BUILD_DIR        build tree (default: <repo>/build)
 #   CANVAS_SANITIZE  address|undefined|address,undefined -> sanitized build
 #   CANVAS_QUICK=1   pass --quick to the throughput harness
+#   CANVAS_NO_ASAN_FAULT=1  skip the extra ASan+UBSan fault-suite pass
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -17,6 +18,18 @@ cmake -B "$BUILD" -S "$ROOT" \
   ${CANVAS_SANITIZE:+-DCANVAS_SANITIZE=$CANVAS_SANITIZE}
 cmake --build "$BUILD" -j"$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS"
+
+# Sanitized pass over the fault suite (ctest label "fault"): the chaos and
+# property tests drive the retry/failover paths where request-lifetime bugs
+# would hide, so they always also run under ASan+UBSan. Skipped when the
+# main build is already sanitized.
+if [ -z "${CANVAS_SANITIZE:-}" ] && [ "${CANVAS_NO_ASAN_FAULT:-0}" != "1" ]; then
+  SAN_BUILD="${SAN_BUILD_DIR:-$ROOT/build-asan}"
+  cmake -B "$SAN_BUILD" -S "$ROOT" -DCANVAS_SANITIZE=address,undefined
+  cmake --build "$SAN_BUILD" -j"$JOBS" \
+    --target fault_injection_test fault_property_test
+  ctest --test-dir "$SAN_BUILD" -L fault --output-on-failure -j"$JOBS"
+fi
 
 HARNESS_ARGS=()
 [ "${CANVAS_QUICK:-0}" = "1" ] && HARNESS_ARGS+=(--quick)

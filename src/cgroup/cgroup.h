@@ -31,6 +31,16 @@ struct CgroupSpec {
   std::uint32_t cores = 1;
 };
 
+/// Which backend the cgroup's swap-outs currently target (DESIGN.md §8).
+/// Healthy cgroups write to remote memory; after sustained RDMA failure
+/// the swap system fails the cgroup over to the simulated local disk, and
+/// back once the fabric recovers.
+enum class SwapBackend : std::uint8_t { kRemote, kLocalDisk };
+
+inline const char* SwapBackendName(SwapBackend b) {
+  return b == SwapBackend::kRemote ? "remote" : "local-disk";
+}
+
 /// Runtime accounting for one cgroup.
 class Cgroup {
  public:
@@ -38,6 +48,16 @@ class Cgroup {
 
   CgroupId id() const { return id_; }
   const CgroupSpec& spec() const { return spec_; }
+
+  // --- failover state (transitions driven by core::SwapSystem) ---
+  SwapBackend backend() const { return backend_; }
+  void SetBackend(SwapBackend b) { backend_ = b; }
+  /// Consecutive retry-exhausted requests since the last success (reset on
+  /// any completed remote transfer; crossing the configured threshold
+  /// triggers failover).
+  std::uint32_t consecutive_exhausted() const { return consecutive_exhausted_; }
+  std::uint32_t NoteExhausted() { return ++consecutive_exhausted_; }
+  void NoteRemoteSuccess() { consecutive_exhausted_ = 0; }
 
   // --- local memory (frames) ---
   std::uint64_t resident_pages() const { return resident_; }
@@ -79,6 +99,8 @@ class Cgroup {
   std::uint64_t resident_ = 0;
   std::uint64_t cache_ = 0;
   std::uint64_t remote_ = 0;
+  SwapBackend backend_ = SwapBackend::kRemote;
+  std::uint32_t consecutive_exhausted_ = 0;
 };
 
 /// Owns all cgroups of one experiment, including the special shared cgroup.

@@ -2,8 +2,12 @@
 // of these switches over the same substrate (DESIGN.md §2).
 #pragma once
 
+#include <memory>
 #include <string>
 
+#include "fault/disk_backend.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
 #include "rdma/nic.h"
 #include "sched/timeliness.h"
 #include "swapalloc/partition.h"
@@ -55,6 +59,16 @@ struct SystemConfig {
   bool horizontal_sched = false;  // timeliness dropping + blocked-thread rescue
   sched::TimelinessTracker::Config timeliness;
   rdma::Nic::Config nic;
+
+  // --- fault injection & recovery (DESIGN.md §8) ---
+  /// Fabric degradation schedule. Null or empty keeps every fault hook on
+  /// its constant fast path — runs are byte-identical to a build without
+  /// the fault subsystem.
+  std::shared_ptr<const fault::FaultPlan> fault_plan;
+  /// Seed for the injector's RNG stream (CQE draws + backoff jitter).
+  std::uint64_t fault_seed = 0x1234'5678'9abc'def0ull;
+  fault::RecoveryConfig recovery;
+  fault::DiskBackend::Config disk;
 
   // --- fault-path cost model (ns) ---
   SimDuration fault_entry_cost = 800;   // trap + swap-cache lookup

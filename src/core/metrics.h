@@ -35,6 +35,15 @@ struct AppMetrics {
   std::uint64_t swapouts = 0;     ///< writebacks issued
   std::uint64_t clean_drops = 0;  ///< evictions satisfied without writeback
 
+  // --- fault recovery (DESIGN.md §8; all zero on healthy runs) ---
+  std::uint64_t rdma_exhausted = 0;   ///< requests that ran out of retries
+  std::uint64_t demand_reissues = 0;  ///< exhausted demand reads re-enqueued
+  std::uint64_t failovers = 0;        ///< remote -> local-disk transitions
+  std::uint64_t failbacks = 0;        ///< local-disk -> remote transitions
+  std::uint64_t disk_swapins = 0;     ///< swap-ins served by the disk backend
+  std::uint64_t disk_swapouts = 0;    ///< writebacks absorbed by the disk
+  std::uint64_t stale_reads = 0;      ///< content-version oracle violations
+
   std::uint64_t allocations = 0;       ///< allocator (lock-path) calls
   std::uint64_t lockfree_swapouts = 0; ///< served by a reserved entry
   SimDuration alloc_time = 0;          ///< total wait+hold in allocation

@@ -10,7 +10,11 @@ const char* kCsvHeader =
     "prefetch_used,prefetch_wasted,prefetch_dropped,prefetch_discarded,"
     "rescues,swapouts,clean_drops,allocations,lockfree_swapouts,"
     "alloc_time_ns,busy_time_ns,fault_stall_ns,contribution_pct,"
-    "accuracy_pct,ingress_bytes,egress_bytes";
+    "accuracy_pct,ingress_bytes,egress_bytes,"
+    // Fault-recovery columns are always emitted (all zero on healthy runs)
+    // so a zero-fault plan produces byte-identical output to no plan.
+    "rdma_exhausted,demand_reissues,failovers,failbacks,disk_swapins,"
+    "disk_swapouts,stale_reads";
 
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -41,7 +45,10 @@ void WriteCsv(std::ostream& os, const SwapSystem& system,
        << ',' << m.fault_stall << ',' << m.ContributionPct() << ','
        << m.AccuracyPct() << ','
        << system.nic().cgroup_bytes(cg, rdma::Direction::kIngress) << ','
-       << system.nic().cgroup_bytes(cg, rdma::Direction::kEgress) << '\n';
+       << system.nic().cgroup_bytes(cg, rdma::Direction::kEgress) << ','
+       << m.rdma_exhausted << ',' << m.demand_reissues << ','
+       << m.failovers << ',' << m.failbacks << ',' << m.disk_swapins << ','
+       << m.disk_swapouts << ',' << m.stale_reads << '\n';
   }
 }
 
@@ -65,6 +72,15 @@ void WriteJson(std::ostream& os, const SwapSystem& system,
      << system.nic().latency(rdma::Op::kPrefetchIn).Percentile(50)
      << ",\n    \"prefetch_p99_ns\": "
      << system.nic().latency(rdma::Op::kPrefetchIn).Percentile(99)
+     << "\n  },\n  \"fault\": {\n"
+     << "    \"retries\": " << system.nic().retries()
+     << ",\n    \"timeouts\": " << system.nic().timeouts()
+     << ",\n    \"cqe_errors\": " << system.nic().cqe_errors()
+     << ",\n    \"exhausted\": " << system.nic().exhausted()
+     << ",\n    \"disk_reads\": "
+     << (system.disk() ? system.disk()->reads() : 0)
+     << ",\n    \"disk_writes\": "
+     << (system.disk() ? system.disk()->writes() : 0)
      << "\n  },\n  \"apps\": [\n";
   for (std::size_t i = 0; i < system.app_count(); ++i) {
     const AppMetrics& m = system.metrics(i);

@@ -104,6 +104,16 @@ SwapSystem::SwapSystem(sim::Simulator& sim, SystemConfig cfg,
   nic_ = std::make_unique<rdma::Nic>(sim_, cfg_.nic, *scheduler_);
   scheduler_->AttachNic(nic_.get());
 
+  // --- fault injection & recovery (DESIGN.md §8) ---
+  if (cfg_.fault_plan) {
+    injector_ = std::make_unique<fault::FaultInjector>(sim_, *cfg_.fault_plan,
+                                                       cfg_.fault_seed);
+    nic_->AttachInjector(injector_.get());
+    disk_ = std::make_unique<fault::DiskBackend>(sim_, cfg_.disk);
+    injector_->OnServerDown([this] { OnFabricDown(); });
+    injector_->OnServerUp([this] { OnFabricUp(); });
+  }
+
   // --- applications ---
   for (std::size_t i = 0; i < specs.size(); ++i) {
     AppSpec& spec = specs[i];
@@ -184,6 +194,7 @@ SwapSystem::SwapSystem(sim::Simulator& sim, SystemConfig cfg,
 SwapSystem::~SwapSystem() = default;
 
 void SwapSystem::Start() {
+  if (injector_) injector_->Start();
   for (auto& app : apps_) {
     if (app->reservation) app->reservation->Start();
     for (auto& th : app->threads) {
@@ -265,6 +276,8 @@ double SwapSystem::Wmmr(rdma::Direction dir) const {
 
 bool SwapSystem::Quiescent() const {
   if (!waiters_.empty()) return false;
+  if (nic_ && nic_->pending_retries() != 0) return false;
+  if (disk_ && disk_->inflight() != 0) return false;
   for (const auto& app : apps_) {
     if (!app->frame_waiters.empty()) return false;
     if (app->active_reclaimers != 0) return false;
@@ -329,6 +342,10 @@ void SwapSystem::WakeWaiters(AppState& app, PageId page) {
 void SwapSystem::MarkDirty(AppState& app, mem::Page& p) {
   if (p.dirty) return;
   p.dirty = true;
+  // Each dirtying epoch is a new content version; writeback records the
+  // version into the entry metadata and swap-in checks it (the chaos
+  // suite's no-stale-read oracle).
+  ++p.content_version;
   // Entry-keeping release (Appendix B): once a clean page is dirtied its
   // kept swap entry must be released — unless the entry is a Canvas
   // reservation, which is exactly what makes the next swap-out lock-free.
@@ -338,7 +355,107 @@ void SwapSystem::MarkDirty(AppState& app, mem::Page& p) {
     part.allocator().Free(p.entry);
     CgroupFor(app, p).UnchargeRemote();
     p.entry = kInvalidEntry;
+    p.disk_backed = false;
   }
+}
+
+void SwapSystem::CheckSwapInOracle(AppState& app, mem::Page& p,
+                                   const rdma::Request& r) {
+  if (r.entry != kInvalidEntry && r.entry == p.entry) {
+    const auto& m = PartitionFor(app, p).meta(r.entry);
+    // The copy just served must carry the content version recorded at the
+    // last writeback and must have come from the backend that holds it.
+    if (m.content_version != p.content_version ||
+        m.on_disk != r.served_by_disk)
+      ++app.metrics.stale_reads;
+  }
+  // A completed remote transfer proves the fabric works again: reset the
+  // cgroup's consecutive-failure streak.
+  if (!r.served_by_disk) cgroups_.Get(app.cg).NoteRemoteSuccess();
+}
+
+// ---------------------------------------------------------------------------
+// Fault recovery (DESIGN.md §8)
+// ---------------------------------------------------------------------------
+
+void SwapSystem::OnFabricDown() {
+  // Proactive failover: every cgroup's writeback traffic turns toward the
+  // local disk for the duration of the blackout.
+  for (auto& app : apps_) FailoverApp(*app);
+  // Drain queued work that would otherwise march into the dead fabric.
+  // In-flight attempts are already doomed to time out (the NIC decides an
+  // attempt's fate from the full blackout schedule at dispatch), so only
+  // *queued* requests need rescuing here. Demand reads stay queued — their
+  // only copy is remote and the retry/reissue loop will see them through.
+  auto drained = scheduler_->DrainMatching([](const rdma::Request& r) {
+    return r.op != rdma::Op::kDemandIn;
+  });
+  for (auto& r : drained) {
+    AppState& owner = r->owner_app < apps_.size() ? *apps_[r->owner_app]
+                                                  : *apps_.front();
+    if (r->op == rdma::Op::kSwapOut) {
+      ++owner.metrics.disk_swapouts;
+      disk_->Submit(std::move(r));
+    } else if (r->on_drop) {
+      // Prefetch: the drop handler unwinds the in-flight page state and
+      // rescues any waiters, exactly as a scheduler drop would.
+      r->on_drop(*r);
+    }
+  }
+}
+
+void SwapSystem::OnFabricUp() {
+  for (auto& app : apps_) FailbackApp(*app);
+}
+
+void SwapSystem::NoteExhausted(AppState& app) {
+  Cgroup& cg = cgroups_.Get(app.cg);
+  if (cg.NoteExhausted() >= cfg_.recovery.failover_after_exhausted)
+    FailoverApp(app);
+}
+
+void SwapSystem::FailoverApp(AppState& app) {
+  if (!disk_) return;
+  Cgroup& cg = cgroups_.Get(app.cg);
+  if (cg.backend() == SwapBackend::kLocalDisk) return;
+  cg.SetBackend(SwapBackend::kLocalDisk);
+  ++app.metrics.failovers;
+  ScheduleFailbackProbe(app);
+}
+
+void SwapSystem::FailbackApp(AppState& app) {
+  Cgroup& cg = cgroups_.Get(app.cg);
+  if (cg.backend() != SwapBackend::kLocalDisk) return;
+  cg.SetBackend(SwapBackend::kRemote);
+  cg.NoteRemoteSuccess();
+  ++app.metrics.failbacks;
+}
+
+void SwapSystem::ScheduleFailbackProbe(AppState& app) {
+  sim_.Schedule(cfg_.recovery.failback_delay, [this, a = &app] {
+    Cgroup& cg = cgroups_.Get(a->cg);
+    if (cg.backend() != SwapBackend::kLocalDisk) return;  // already back
+    if (injector_ && injector_->ServerDown(sim_.Now())) {
+      ScheduleFailbackProbe(*a);  // still dark: probe again later
+      return;
+    }
+    FailbackApp(*a);
+  });
+}
+
+void SwapSystem::ReissueDemand(AppState& app, rdma::RequestPtr req) {
+  // A demand read ran out of retries. Its page's only copy is remote, so
+  // the request cannot fail over — it is re-enqueued (callbacks intact)
+  // after a pause and keeps trying until the fabric heals.
+  ++app.metrics.rdma_exhausted;
+  NoteExhausted(app);
+  ++app.metrics.demand_reissues;
+  req->attempts = 0;
+  req->status = rdma::RequestStatus::kOk;
+  sim_.Schedule(cfg_.recovery.demand_reissue_delay,
+                [this, r = req.release()] {
+                  scheduler_->Enqueue(rdma::RequestPtr(r));
+                });
 }
 
 void SwapSystem::BeginStall(ThreadCtx& th) { th.stall_started = sim_.Now(); }
@@ -424,6 +541,7 @@ void SwapSystem::HandleFault(AppState& app, ThreadCtx& th,
         }
         pg.state = mem::PageState::kResident;
         pg.dirty = true;  // anonymous page with no backing store yet
+        ++pg.content_version;
         (void)write;
         cgroups_.Get(a->cg).ChargeResident();
         a->lru->AddActive(page);
@@ -565,6 +683,7 @@ void SwapSystem::MapCachedPage(AppState& app, PageId page) {
       part.allocator().Free(p.entry);
       CgroupFor(app, p).UnchargeRemote();
       p.entry = kInvalidEntry;
+      p.disk_backed = false;
       p.dirty = true;  // no backing copy: next eviction writes back
     }
   }
@@ -610,9 +729,11 @@ void SwapSystem::DemandSwapIn(AppState& app, ThreadCtx& th,
       req->cgroup = pg.shared ? shared_cg_ : a->cg;
       req->page = acc.page;
       req->entry = pg.entry;
+      req->owner_app = std::uint32_t(a->index);
       req->created = sim_.Now();
+      bool from_disk = pg.disk_backed;
       req->on_complete = [this, a, t, page = acc.page, acc, expected,
-                          resume](const rdma::Request&) {
+                          resume](const rdma::Request& r) {
         mem::Page& pg2 = a->pages[page];
         if (pg2.seq != expected) {
           // The page moved on (a stale rescue unlocked it early): resolve
@@ -620,6 +741,7 @@ void SwapSystem::DemandSwapIn(AppState& app, ThreadCtx& th,
           HandleFault(*a, *t, acc, /*retry=*/true, resume);
           return;
         }
+        CheckSwapInOracle(*a, pg2, r);
         CacheFor(*a, pg2).Unlock(a->cg, page);
         pg2.in_flight = false;
         sim_.Schedule(cfg_.map_cost, [this, a, t, page, acc, expected,
@@ -639,7 +761,17 @@ void SwapSystem::DemandSwapIn(AppState& app, ThreadCtx& th,
           HandleFault(*a, *t, acc, /*retry=*/true, resume);
         });
       };
-      scheduler_->Enqueue(std::move(req));
+      if (disk_ && from_disk) {
+        // The current copy lives on the local-disk fallback.
+        ++a->metrics.disk_swapins;
+        disk_->Submit(std::move(req));
+      } else {
+        if (disk_)
+          req->on_error = [this, a](rdma::RequestPtr r) {
+            ReissueDemand(*a, std::move(r));
+          };
+        scheduler_->Enqueue(std::move(req));
+      }
       IssuePrefetches(*a, info);
       ShrinkCache(*a, a->cache->capacity());
     });
@@ -649,6 +781,12 @@ void SwapSystem::DemandSwapIn(AppState& app, ThreadCtx& th,
 void SwapSystem::IssuePrefetches(AppState& app,
                                  const prefetch::FaultInfo& info) {
   if (!prefetcher_) return;
+  // Speculative reads are pure waste while the server is dark or the cgroup
+  // is failed over to the disk (no disk prefetch path is modeled); demand
+  // traffic keeps the detectors warm for recovery.
+  if (injector_ && (injector_->ServerDown(sim_.Now()) ||
+                    cgroups_.Get(app.cg).backend() == SwapBackend::kLocalDisk))
+    return;
   prefetch_buf_.clear();
   prefetcher_->OnFault(info, prefetch_buf_);
   Cgroup& cg = cgroups_.Get(app.cg);
@@ -658,7 +796,7 @@ void SwapSystem::IssuePrefetches(AppState& app,
     if (cand >= app.pages.size()) continue;
     mem::Page& p = app.pages[cand];
     if (p.state != mem::PageState::kRemote || p.shared) continue;
-    if (p.entry == kInvalidEntry) continue;
+    if (p.entry == kInvalidEntry || p.disk_backed) continue;
     // Prefetches may transiently overshoot the memory budget by one reclaim
     // batch (kernel watermark slack); background reclaim below pushes the
     // usage back down by evicting LRU pages — prefetched data displacing
@@ -688,8 +826,10 @@ void SwapSystem::IssuePrefetches(AppState& app,
     req->cgroup = app.cg;
     req->page = cand;
     req->entry = p.entry;
+    req->owner_app = std::uint32_t(app.index);
     req->created = sim_.Now();
-    req->on_complete = [this, a = &app, cand, expected](const rdma::Request&) {
+    req->on_complete = [this, a = &app, cand,
+                        expected](const rdma::Request& r) {
       if (a->prefetch_inflight > 0) --a->prefetch_inflight;
       mem::Page& pg = a->pages[cand];
       if (pg.seq != expected) return;  // page moved on
@@ -704,6 +844,7 @@ void SwapSystem::IssuePrefetches(AppState& app,
         }
       }
       if (pg.state != mem::PageState::kSwapCache || !pg.in_flight) return;
+      CheckSwapInOracle(*a, pg, r);
       ++a->metrics.prefetch_completed;
       a->cache->Unlock(a->cg, cand);
       pg.in_flight = false;
@@ -757,17 +898,30 @@ void SwapSystem::IssueRescueDemand(AppState& app, PageId page) {
   req->cgroup = app.cg;
   req->page = page;
   req->entry = p.entry;
+  req->owner_app = std::uint32_t(app.index);
   req->created = sim_.Now();
-  req->on_complete = [this, a = &app, page, expected](const rdma::Request&) {
+  bool from_disk = p.disk_backed;
+  req->on_complete = [this, a = &app, page,
+                      expected](const rdma::Request& r) {
     mem::Page& pg = a->pages[page];
     if (pg.seq != expected) return;
     if (pg.state != mem::PageState::kSwapCache || !pg.in_flight) return;
+    CheckSwapInOracle(*a, pg, r);
     a->cache->Unlock(a->cg, page);
     pg.in_flight = false;
     pg.in_flight_prefetch = false;
     WakeWaiters(*a, page);
   };
-  scheduler_->Enqueue(std::move(req));
+  if (disk_ && from_disk) {
+    ++app.metrics.disk_swapins;
+    disk_->Submit(std::move(req));
+  } else {
+    if (disk_)
+      req->on_error = [this, a = &app](rdma::RequestPtr r) {
+        ReissueDemand(*a, std::move(r));
+      };
+    scheduler_->Enqueue(std::move(req));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -949,8 +1103,14 @@ void SwapSystem::IssueSwapOut(AppState& app, PageId victim,
   req->cgroup = p.shared ? shared_cg_ : app.cg;
   req->page = victim;
   req->entry = entry;
+  req->owner_app = std::uint32_t(app.index);
   req->created = sim_.Now();
-  req->on_complete = [this, a = &app, victim, entry](const rdma::Request&) {
+  // The page is writeback-locked until completion, so its content version
+  // cannot change under the transfer; record the version the entry's data
+  // will carry.
+  std::uint32_t version = p.content_version;
+  req->on_complete = [this, a = &app, victim, entry,
+                      version](const rdma::Request& r) {
     mem::Page& pg = a->pages[victim];
     CacheFor(*a, pg).Remove(a->cg, victim);
     CgroupFor(*a, pg).UnchargeCache();
@@ -959,11 +1119,34 @@ void SwapSystem::IssueSwapOut(AppState& app, PageId victim,
     pg.under_writeback = false;
     pg.entry = entry;
     pg.dirty = false;
+    pg.disk_backed = r.served_by_disk;
+    auto& m = PartitionFor(*a, pg).meta(entry);
+    m.content_version = version;
+    m.on_disk = r.served_by_disk;
+    if (!r.served_by_disk) cgroups_.Get(a->cg).NoteRemoteSuccess();
     ++a->metrics.swapouts;
     GrantFrames(*a);
     WakeWaiters(*a, victim);  // threads that faulted during writeback
   };
-  scheduler_->Enqueue(std::move(req));
+  if (disk_ &&
+      cgroups_.Get(app.cg).backend() == SwapBackend::kLocalDisk) {
+    // Failed-over cgroup: writebacks are absorbed by the local disk.
+    ++app.metrics.disk_swapouts;
+    disk_->Submit(std::move(req));
+  } else {
+    if (disk_)
+      req->on_error = [this, a = &app](rdma::RequestPtr r) {
+        // The remote path gave up on this writeback; the disk always
+        // accepts it (and the failure streak may fail the cgroup over).
+        ++a->metrics.rdma_exhausted;
+        NoteExhausted(*a);
+        r->attempts = 0;
+        r->status = rdma::RequestStatus::kOk;
+        ++a->metrics.disk_swapouts;
+        disk_->Submit(std::move(r));
+      };
+    scheduler_->Enqueue(std::move(req));
+  }
 }
 
 std::size_t SwapSystem::StripKeptEntries(AppState& app, std::size_t n) {
@@ -982,6 +1165,7 @@ std::size_t SwapSystem::StripKeptEntries(AppState& app, std::size_t n) {
       part.allocator().Free(p.entry);
       CgroupFor(app, p).UnchargeRemote();
       p.entry = kInvalidEntry;
+      p.disk_backed = false;
       ++freed;
     }
   }

@@ -72,6 +72,18 @@ class SwapSystem {
   CgroupId shared_cgroup_id() const { return shared_cg_; }
   const Cgroup& cgroup(std::size_t app) const;
   const rdma::Nic& nic() const { return *nic_; }
+  /// Mutable NIC access (test hooks: retry observer).
+  rdma::Nic& mutable_nic() { return *nic_; }
+  /// Fault subsystem views (null unless SystemConfig::fault_plan is set).
+  const fault::FaultInjector* injector() const { return injector_.get(); }
+  const fault::DiskBackend* disk() const { return disk_.get(); }
+  /// Raw page metadata (test oracles: content versions, backing location).
+  const mem::Page& page(std::size_t app, PageId p) const {
+    return apps_.at(app)->pages.at(p);
+  }
+  std::size_t page_count(std::size_t app) const {
+    return apps_.at(app)->pages.size();
+  }
   const sched::DispatchScheduler& scheduler() const { return *scheduler_; }
   const swapalloc::SwapPartition& partition(std::size_t app) const;
   const mem::SwapCache& cache(std::size_t app) const;
@@ -154,6 +166,28 @@ class SwapSystem {
   std::size_t StripKeptEntries(AppState& app, std::size_t n);
   void FinishReclaimer(AppState& app, CoreId core);
 
+  // --- fault recovery (DESIGN.md §8) ---
+  /// Blackout onset: proactively fail every cgroup over to the disk backend
+  /// and drain queued swap-outs/prefetches away from the dead fabric.
+  void OnFabricDown();
+  /// Blackout end: fail every cgroup back to the remote path.
+  void OnFabricUp();
+  /// A request exhausted its retry budget; cross the consecutive-failure
+  /// threshold and the cgroup fails over.
+  void NoteExhausted(AppState& app);
+  void FailoverApp(AppState& app);
+  void FailbackApp(AppState& app);
+  /// Periodic probe that fails a cgroup back once the server answers again
+  /// (covers failovers caused by error bursts rather than blackouts).
+  void ScheduleFailbackProbe(AppState& app);
+  /// Re-enqueue a retry-exhausted demand read after a short pause (the only
+  /// copy of the page is remote — demand reads cannot fail over).
+  void ReissueDemand(AppState& app, rdma::RequestPtr req);
+  /// No-stale-read oracle: the served copy's recorded content version and
+  /// backing location must match the page's. Violations count as
+  /// `stale_reads` (always zero — checked by the chaos suite).
+  void CheckSwapInOracle(AppState& app, mem::Page& p, const rdma::Request& r);
+
   // --- helpers ---
   swapalloc::SwapPartition& PartitionFor(AppState& app, const mem::Page& p);
   mem::SwapCache& CacheFor(AppState& app, const mem::Page& p);
@@ -186,6 +220,8 @@ class SwapSystem {
   std::unique_ptr<sched::DispatchScheduler> scheduler_;
   sched::TwoDimScheduler* two_dim_ = nullptr;  // borrowed view
   std::unique_ptr<rdma::Nic> nic_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<fault::DiskBackend> disk_;
 
   /// Continuations blocked on an in-flight page, keyed by the packed
   /// (app index, page) composite key.

@@ -1,0 +1,26 @@
+#include "fault/disk_backend.h"
+
+#include <algorithm>
+
+namespace canvas::fault {
+
+void DiskBackend::Submit(rdma::RequestPtr req) {
+  SimTime now = sim_.Now();
+  if (req->op == rdma::Op::kSwapOut) ++writes_; else ++reads_;
+  ++inflight_;
+  req->dispatched = now;
+  req->served_by_disk = true;
+  auto ser = SimDuration(double(req->bytes) / cfg_.bandwidth_bytes_per_sec *
+                         double(kSecond));
+  busy_until_ = std::max(busy_until_, now) + ser;
+  SimTime completion = busy_until_ + cfg_.latency;
+  sim_.ScheduleAt(completion, [this, r = req.release()] {
+    rdma::RequestPtr owned(r);
+    owned->completed = sim_.Now();
+    owned->status = rdma::RequestStatus::kOk;
+    --inflight_;
+    if (owned->on_complete) owned->on_complete(*owned);
+  });
+}
+
+}  // namespace canvas::fault

@@ -1,0 +1,162 @@
+#include "fault/fault_plan.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace canvas::fault {
+
+FaultPlan& FaultPlan::AddLatencySpike(SimTime start, SimTime end,
+                                      SimDuration extra, int dir) {
+  latency_.push_back({{start, end}, extra, dir});
+  return *this;
+}
+
+FaultPlan& FaultPlan::AddBandwidthDegrade(SimTime start, SimTime end,
+                                          double factor, int dir) {
+  bandwidth_.push_back({{start, end}, factor, dir});
+  return *this;
+}
+
+FaultPlan& FaultPlan::AddErrorBurst(SimTime start, SimTime end,
+                                    double probability, int op) {
+  errors_.push_back({{start, end}, probability, op});
+  return *this;
+}
+
+FaultPlan& FaultPlan::AddQpStall(SimTime start, SimTime end, int dir) {
+  stalls_.push_back({{start, end}, dir});
+  return *this;
+}
+
+FaultPlan& FaultPlan::AddBlackout(SimTime start, SimTime end) {
+  blackouts_.push_back({{start, end}});
+  return *this;
+}
+
+namespace {
+
+bool ParseDir(const std::string& tok, int* dir) {
+  if (tok == "in") *dir = 0;          // rdma::Direction::kIngress
+  else if (tok == "out") *dir = 1;    // rdma::Direction::kEgress
+  else if (tok == "both" || tok.empty()) *dir = kBothDirections;
+  else return false;
+  return true;
+}
+
+bool ParseOp(const std::string& tok, int* op) {
+  if (tok == "demand") *op = 0;         // rdma::Op::kDemandIn
+  else if (tok == "prefetch") *op = 1;  // rdma::Op::kPrefetchIn
+  else if (tok == "swapout") *op = 2;   // rdma::Op::kSwapOut
+  else if (tok == "all" || tok.empty()) *op = kAllOps;
+  else return false;
+  return true;
+}
+
+void SetError(std::string* err, int line_no, const std::string& line,
+              const char* what) {
+  if (err) {
+    std::ostringstream os;
+    os << "fault plan line " << line_no << ": " << what << ": " << line;
+    *err = os.str();
+  }
+}
+
+}  // namespace
+
+std::optional<FaultPlan> FaultPlan::Parse(const std::string& text,
+                                          std::string* err) {
+  FaultPlan plan;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;  // blank / comment-only line
+
+    double start_us = 0, end_us = 0;
+    if (!(ls >> start_us >> end_us) || end_us < start_us || start_us < 0) {
+      SetError(err, line_no, line, "bad window");
+      return std::nullopt;
+    }
+    SimTime start = SimTime(start_us * double(kMicrosecond));
+    SimTime end = SimTime(end_us * double(kMicrosecond));
+
+    if (kind == "latency") {
+      double extra_us = 0;
+      std::string d;
+      if (!(ls >> extra_us) || extra_us < 0) {
+        SetError(err, line_no, line, "bad extra latency");
+        return std::nullopt;
+      }
+      ls >> d;
+      int dir;
+      if (!ParseDir(d, &dir)) {
+        SetError(err, line_no, line, "bad direction");
+        return std::nullopt;
+      }
+      plan.AddLatencySpike(start, end,
+                           SimDuration(extra_us * double(kMicrosecond)), dir);
+    } else if (kind == "bandwidth") {
+      double factor = 1.0;
+      std::string d;
+      if (!(ls >> factor) || factor <= 0 || factor > 1.0) {
+        SetError(err, line_no, line, "bad bandwidth factor");
+        return std::nullopt;
+      }
+      ls >> d;
+      int dir;
+      if (!ParseDir(d, &dir)) {
+        SetError(err, line_no, line, "bad direction");
+        return std::nullopt;
+      }
+      plan.AddBandwidthDegrade(start, end, factor, dir);
+    } else if (kind == "error") {
+      double prob = 0;
+      std::string o;
+      if (!(ls >> prob) || prob < 0 || prob > 1.0) {
+        SetError(err, line_no, line, "bad error probability");
+        return std::nullopt;
+      }
+      ls >> o;
+      int op;
+      if (!ParseOp(o, &op)) {
+        SetError(err, line_no, line, "bad op filter");
+        return std::nullopt;
+      }
+      plan.AddErrorBurst(start, end, prob, op);
+    } else if (kind == "stall") {
+      std::string d;
+      ls >> d;
+      int dir;
+      if (!ParseDir(d, &dir)) {
+        SetError(err, line_no, line, "bad direction");
+        return std::nullopt;
+      }
+      plan.AddQpStall(start, end, dir);
+    } else if (kind == "blackout") {
+      plan.AddBlackout(start, end);
+    } else {
+      SetError(err, line_no, line, "unknown fault kind");
+      return std::nullopt;
+    }
+  }
+  return plan;
+}
+
+std::optional<FaultPlan> FaultPlan::LoadFile(const std::string& path,
+                                             std::string* err) {
+  std::ifstream f(path);
+  if (!f) {
+    if (err) *err = "cannot open fault plan file: " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return Parse(buf.str(), err);
+}
+
+}  // namespace canvas::fault

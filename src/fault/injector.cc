@@ -1,0 +1,77 @@
+#include "fault/injector.h"
+
+namespace canvas::fault {
+
+FaultInjector::FaultInjector(sim::Simulator& sim, FaultPlan plan,
+                             std::uint64_t seed)
+    : sim_(sim), plan_(std::move(plan)), rng_(seed) {}
+
+void FaultInjector::Start() {
+  // Blackout edges fire control-plane callbacks. Scheduling only happens
+  // for windows the plan actually contains, so an empty plan adds zero
+  // events to the simulation.
+  for (const Blackout& b : plan_.blackouts()) {
+    sim_.ScheduleAt(b.window.start, [this] {
+      for (auto& cb : down_cbs_) cb();
+    });
+    sim_.ScheduleAt(b.window.end, [this] {
+      for (auto& cb : up_cbs_) cb();
+    });
+  }
+}
+
+bool FaultInjector::ServerDown(SimTime now) const {
+  for (const Blackout& b : plan_.blackouts())
+    if (b.window.Covers(now)) return true;
+  return false;
+}
+
+bool FaultInjector::BlackoutOverlaps(SimTime a, SimTime b) {
+  for (const Blackout& bo : plan_.blackouts()) {
+    if (bo.window.Overlaps(a, b)) {
+      ++stats_.blackout_kills;
+      return true;
+    }
+  }
+  return false;
+}
+
+SimDuration FaultInjector::ExtraLatency(int dir, SimTime now) const {
+  SimDuration extra = 0;
+  for (const LatencySpike& s : plan_.latency_spikes())
+    if ((s.dir == kBothDirections || s.dir == dir) && s.window.Covers(now))
+      extra += s.extra;
+  return extra;
+}
+
+double FaultInjector::BandwidthFactor(int dir, SimTime now) const {
+  double factor = 1.0;
+  for (const BandwidthDegrade& d : plan_.bandwidth_degrades())
+    if ((d.dir == kBothDirections || d.dir == dir) && d.window.Covers(now))
+      factor *= d.factor;
+  return factor;
+}
+
+SimTime FaultInjector::StalledUntil(int dir, SimTime now) {
+  SimTime until = 0;
+  for (const QpStall& s : plan_.qp_stalls())
+    if ((s.dir == kBothDirections || s.dir == dir) && s.window.Covers(now))
+      until = std::max(until, s.window.end);
+  if (until) ++stats_.stalled_pumps;
+  return until;
+}
+
+bool FaultInjector::DrawCompletionError(int op, SimTime now) {
+  // Combine overlapping windows as independent failure sources; the RNG is
+  // consumed once per covering window so the draw sequence depends only on
+  // the (deterministic) dispatch sequence.
+  bool failed = false;
+  for (const ErrorBurst& e : plan_.error_bursts()) {
+    if ((e.op != kAllOps && e.op != op) || !e.window.Covers(now)) continue;
+    if (rng_.NextBool(e.probability)) failed = true;
+  }
+  if (failed) ++stats_.cqe_errors_drawn;
+  return failed;
+}
+
+}  // namespace canvas::fault

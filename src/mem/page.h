@@ -41,6 +41,11 @@ struct Page {
   /// been mapped; used for contribution/accuracy accounting.
   bool prefetched_unused = false;
 
+  /// The page's current remote copy lives on the local-disk fallback
+  /// backend (failover path, DESIGN.md §8) instead of remote memory; the
+  /// next swap-in must be routed to the disk.
+  bool disk_backed = false;
+
   /// Swap entry holding the current (or last written) remote copy;
   /// kInvalidEntry if the page has no remote copy.
   SwapEntryId entry = kInvalidEntry;
@@ -53,6 +58,13 @@ struct Page {
   /// (used to detect "consecutive").
   std::uint8_t scan_hits = 0;
   std::uint32_t last_scan_gen = 0;
+
+  /// Content oracle for the chaos tests: bumped every time the page's
+  /// (simulated) contents change, i.e. on each store to a mapped page.
+  /// Writeback records the value into the swap entry's metadata; swap-in
+  /// checks the recorded value against the page's — a mismatch means a
+  /// stale or wrong copy was served and is counted as a `stale_read`.
+  std::uint32_t content_version = 0;
 
   /// Incarnation counter: bumped whenever the page changes residence
   /// (mapped, released, evicted, re-fetched). In-flight swap-in completions

@@ -1,9 +1,20 @@
 #include "rdma/nic.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
 namespace canvas::rdma {
+
+SimDuration ComputeBackoff(const RetryPolicy& policy, std::uint32_t attempt,
+                           double u) {
+  if (attempt == 0) attempt = 1;
+  double base = double(policy.backoff_base) *
+                std::pow(2.0, double(attempt - 1));
+  double jittered = base * (1.0 + policy.jitter_frac * u);
+  double capped = std::min(double(policy.backoff_cap), jittered);
+  return SimDuration(capped);
+}
 
 Nic::Nic(sim::Simulator& sim, Config cfg, RequestSource& source)
     : sim_(sim), cfg_(cfg), source_(source),
@@ -13,11 +24,24 @@ void Nic::Kick(Direction dir) { Pump(dir); }
 
 SimDuration Nic::EstimateServiceDelay(Direction dir, SimTime now) const {
   const Lane& lane = lanes_[std::size_t(dir)];
-  SimDuration queue_wait =
-      lane.busy_until > now ? lane.busy_until - now : 0;
-  auto ser = SimDuration(double(kPageSize) / cfg_.bandwidth_bytes_per_sec *
-                         double(kSecond));
-  return queue_wait + ser + cfg_.base_latency;
+  SimTime free_at = std::max(lane.busy_until, now);
+  double bw = cfg_.bandwidth_bytes_per_sec;
+  SimDuration extra = 0;
+  if (injector_ && injector_->active()) {
+    // Fold in the degraded fabric so the horizontal scheduler's timeliness
+    // estimates stay honest under injection. Stall windows are scanned
+    // directly off the plan (StalledUntil() is a counting hook reserved for
+    // actual pump deferrals).
+    for (const fault::QpStall& s : injector_->plan().qp_stalls())
+      if ((s.dir == fault::kBothDirections || s.dir == int(dir)) &&
+          s.window.Covers(free_at))
+        free_at = std::max(free_at, s.window.end);
+    bw *= injector_->BandwidthFactor(int(dir), free_at);
+    extra = injector_->ExtraLatency(int(dir), free_at);
+  }
+  SimDuration queue_wait = free_at - now;
+  auto ser = SimDuration(double(kPageSize) / bw * double(kSecond));
+  return queue_wait + ser + cfg_.base_latency + extra;
 }
 
 const TimeSeries* Nic::cgroup_series(CgroupId cg, Direction dir) const {
@@ -34,6 +58,18 @@ void Nic::Pump(Direction dir) {
   Lane& lane = lanes_[std::size_t(dir)];
   if (lane.pump_scheduled) return;
   SimTime now = sim_.Now();
+  if (injector_ && injector_->active()) {
+    // A QP stall freezes dispatch on this lane until the window closes.
+    SimTime stalled_until = injector_->StalledUntil(int(dir), now);
+    if (stalled_until > now) {
+      lane.pump_scheduled = true;
+      sim_.ScheduleAt(stalled_until, [this, dir] {
+        lanes_[std::size_t(dir)].pump_scheduled = false;
+        Pump(dir);
+      });
+      return;
+    }
+  }
   if (lane.busy_until > now) {
     // Lane occupied: re-pump when it frees. Scheduling decisions stay
     // late-bound because the actual Dequeue happens at that instant.
@@ -44,34 +80,110 @@ void Nic::Pump(Direction dir) {
     });
     return;
   }
-  RequestPtr req = source_.Dequeue(dir, now);
+  // Requests that finished their backoff re-dispatch ahead of fresh work:
+  // they are the oldest in-flight operations and demand waiters are parked
+  // behind them.
+  RequestPtr req;
+  auto& rq = retry_q_[std::size_t(dir)];
+  if (!rq.empty()) {
+    req = std::move(rq.front());
+    rq.pop_front();
+    --pending_retries_;
+  } else {
+    req = source_.Dequeue(dir, now);
+  }
   if (!req) return;
 
   req->dispatched = now;
-  auto ser = SimDuration(double(req->bytes) / cfg_.bandwidth_bytes_per_sec *
-                         double(kSecond));
+  double bw = cfg_.bandwidth_bytes_per_sec;
+  SimDuration extra_lat = 0;
+  if (injector_ && injector_->active()) {
+    bw *= injector_->BandwidthFactor(int(dir), now);
+    extra_lat = injector_->ExtraLatency(int(dir), now);
+  }
+  auto ser = SimDuration(double(req->bytes) / bw * double(kSecond));
   lane.busy_until = now + ser;
-  SimTime completion = lane.busy_until + cfg_.base_latency;
+  SimTime completion = lane.busy_until + cfg_.base_latency + extra_lat;
 
-  // Account bandwidth at serialization time.
+  // Because the plan is known up front, the fate of this attempt can be
+  // decided at dispatch — one scheduled event per attempt, and the event
+  // sequence (hence the replay) is identical for identical (plan, seed).
+  RequestStatus outcome = RequestStatus::kOk;
+  SimTime event_at = completion;
+  if (injector_ && injector_->active()) {
+    if (injector_->BlackoutOverlaps(now, completion)) {
+      // The server never answers: the attempt dies by timeout.
+      outcome = RequestStatus::kTimeout;
+      event_at = now + cfg_.retry.timeout;
+    } else if (completion - now > cfg_.retry.timeout) {
+      // Injected degradation pushed service past the per-attempt deadline.
+      outcome = RequestStatus::kTimeout;
+      event_at = now + cfg_.retry.timeout;
+    } else if (injector_->DrawCompletionError(int(req->op), now)) {
+      outcome = RequestStatus::kCqeError;
+    }
+  }
+
+  // Account bandwidth at serialization time (failed attempts still burn
+  // wire time — that is the cost the retry path pays).
   dir_series_[std::size_t(dir)].Add(now, double(req->bytes));
   auto key = std::make_pair(req->cgroup, dir);
   auto [it, inserted] = cg_series_.try_emplace(key, cfg_.series_bucket);
   it->second.Add(now, double(req->bytes));
   cg_bytes_[key] += double(req->bytes);
 
-  sim_.ScheduleAt(completion, [this, r = req.release()]() mutable {
+  sim_.ScheduleAt(event_at, [this, outcome, r = req.release()]() mutable {
     RequestPtr owned(r);
     owned->completed = sim_.Now();
-    latency_[std::size_t(owned->op)].Add(
-        double(owned->completed - owned->created));
-    ++completed_[std::size_t(owned->op)];
-    if (owned->on_complete) owned->on_complete(*owned);
+    owned->status = outcome;
+    if (outcome == RequestStatus::kOk) {
+      latency_[std::size_t(owned->op)].Add(
+          double(owned->completed - owned->created));
+      ++completed_[std::size_t(owned->op)];
+      if (owned->on_complete) owned->on_complete(*owned);
+    } else {
+      HandleAttemptFailure(std::move(owned), outcome);
+    }
   });
 
   // Immediately try to fill the lane again (schedules a wake-up at
   // busy_until via the branch above).
   Pump(dir);
+}
+
+void Nic::HandleAttemptFailure(RequestPtr req, RequestStatus status) {
+  ++req->attempts;
+  if (status == RequestStatus::kTimeout) ++timeouts_; else ++cqe_errors_;
+
+  Direction dir = DirectionOf(req->op);
+  std::uint32_t max_retries = cfg_.retry.MaxRetries(req->op);
+  if (req->attempts <= max_retries) {
+    double u = injector_ ? injector_->JitterDraw() : 0.0;
+    SimDuration backoff = ComputeBackoff(cfg_.retry, req->attempts, u);
+    req->last_backoff = backoff;
+    ++retries_;
+    ++pending_retries_;
+    if (retry_observer_) retry_observer_(*req, backoff);
+    SimTime resume = sim_.Now() + backoff;
+    sim_.ScheduleAt(resume, [this, dir, r = req.release()]() mutable {
+      retry_q_[std::size_t(dir)].push_back(RequestPtr(r));
+      Pump(dir);
+    });
+    return;
+  }
+
+  // Retry budget exhausted: hand ownership back to the issuer so it can
+  // fail over, reissue, or unwind. Copy the handler out first — the issuer
+  // may re-enqueue this very request and must keep its callbacks intact.
+  ++exhausted_;
+  req->last_backoff = 0;
+  if (retry_observer_) retry_observer_(*req, 0);
+  if (req->on_error) {
+    auto handler = req->on_error;
+    handler(std::move(req));
+  } else if (req->on_drop) {
+    req->on_drop(*req);
+  }
 }
 
 }  // namespace canvas::rdma

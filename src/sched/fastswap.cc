@@ -33,4 +33,13 @@ rdma::RequestPtr FastswapScheduler::Dequeue(rdma::Direction dir, SimTime) {
   return nullptr;
 }
 
+std::vector<rdma::RequestPtr> FastswapScheduler::DrainMatching(
+    const std::function<bool(const rdma::Request&)>& pred) {
+  std::vector<rdma::RequestPtr> out;
+  DrainQueue(demand_, pred, out);
+  DrainQueue(prefetch_, pred, out);
+  DrainQueue(swapout_, pred, out);
+  return out;
+}
+
 }  // namespace canvas::sched

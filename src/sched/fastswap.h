@@ -18,6 +18,8 @@ class FastswapScheduler : public DispatchScheduler {
  public:
   void Enqueue(rdma::RequestPtr req) override;
   rdma::RequestPtr Dequeue(rdma::Direction dir, SimTime now) override;
+  std::vector<rdma::RequestPtr> DrainMatching(
+      const std::function<bool(const rdma::Request&)>& pred) override;
   const char* name() const override { return "fastswap"; }
 
  private:

@@ -16,4 +16,12 @@ rdma::RequestPtr FifoScheduler::Dequeue(rdma::Direction dir, SimTime) {
   return req;
 }
 
+std::vector<rdma::RequestPtr> FifoScheduler::DrainMatching(
+    const std::function<bool(const rdma::Request&)>& pred) {
+  std::vector<rdma::RequestPtr> out;
+  DrainQueue(queues_[0], pred, out);
+  DrainQueue(queues_[1], pred, out);
+  return out;
+}
+
 }  // namespace canvas::sched

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "rdma/nic.h"
 #include "rdma/request.h"
@@ -22,6 +24,17 @@ class DispatchScheduler : public rdma::RequestSource {
 
   /// Accept a request for future dispatch. Implementations must KickNic().
   virtual void Enqueue(rdma::RequestPtr req) = 0;
+
+  /// Remove and return every queued request `pred` selects (recovery path:
+  /// at blackout onset the swap system drains queued swap-outs toward the
+  /// local-disk backend and sheds speculative prefetches instead of letting
+  /// them march into a dead fabric). Base implementation drains nothing —
+  /// correct for schedulers without internal queues.
+  virtual std::vector<rdma::RequestPtr> DrainMatching(
+      const std::function<bool(const rdma::Request&)>& pred) {
+    (void)pred;
+    return {};
+  }
 
   virtual const char* name() const = 0;
 
@@ -38,6 +51,19 @@ class DispatchScheduler : public rdma::RequestSource {
  protected:
   void KickNic(rdma::Direction dir) {
     if (nic_) nic_->Kick(dir);
+  }
+  /// Move every request `pred` selects out of `q` into `out`, preserving
+  /// queue order (shared by the DrainMatching overrides).
+  template <typename Queue>
+  static void DrainQueue(Queue& q,
+                         const std::function<bool(const rdma::Request&)>& pred,
+                         std::vector<rdma::RequestPtr>& out) {
+    Queue kept;
+    for (auto& req : q) {
+      if (pred(*req)) out.push_back(std::move(req));
+      else kept.push_back(std::move(req));
+    }
+    q.swap(kept);
   }
   void RecordDrop(const rdma::Request& req) {
     ++drops_;

@@ -61,6 +61,17 @@ rdma::RequestPtr TwoDimScheduler::PopHorizontal(Vqp& vqp, rdma::Direction dir,
   return nullptr;
 }
 
+std::vector<rdma::RequestPtr> TwoDimScheduler::DrainMatching(
+    const std::function<bool(const rdma::Request&)>& pred) {
+  std::vector<rdma::RequestPtr> out;
+  for (auto& [cg, vqp] : vqps_) {
+    DrainQueue(vqp.demand, pred, out);
+    DrainQueue(vqp.prefetch, pred, out);
+    DrainQueue(vqp.swapout, pred, out);
+  }
+  return out;
+}
+
 rdma::RequestPtr TwoDimScheduler::Dequeue(rdma::Direction dir, SimTime now) {
   auto d = std::size_t(dir);
   for (;;) {

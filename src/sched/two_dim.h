@@ -43,6 +43,8 @@ class TwoDimScheduler : public DispatchScheduler {
 
   void Enqueue(rdma::RequestPtr req) override;
   rdma::RequestPtr Dequeue(rdma::Direction dir, SimTime now) override;
+  std::vector<rdma::RequestPtr> DrainMatching(
+      const std::function<bool(const rdma::Request&)>& pred) override;
   const char* name() const override { return "two-dim"; }
 
   TimelinessTracker& timeliness() { return timeliness_; }

@@ -39,6 +39,12 @@ inline const char* AllocatorKindName(AllocatorKind k) {
 struct EntryMeta {
   SimTime prefetch_ts = kTimeNever;
   bool valid = true;
+  /// Content version of the data last written to this entry (the chaos
+  /// suite's no-stale-read oracle; see mem::Page::content_version).
+  std::uint32_t content_version = 0;
+  /// The entry's data was last written via the local-disk fallback backend;
+  /// a swap-in must be served from the disk, not remote memory.
+  bool on_disk = false;
 };
 
 class SwapPartition {
