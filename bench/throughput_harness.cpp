@@ -173,10 +173,51 @@ FaultOverhead MeasureFaultOverhead(double scale, int reps) {
   return o;
 }
 
+/// Tracing-subsystem overhead on fig10: plain vs tracer attached but
+/// disabled (the hot path pays one predictable branch per record site;
+/// bar < 1%) vs fully enabled with the sampler on (records + ring stores;
+/// bar < 10%). Best-of-N wall times, like MeasureFaultOverhead.
+struct TraceOverhead {
+  double plain_wall_sec = 0;
+  double disabled_wall_sec = 0;
+  double enabled_wall_sec = 0;
+  double disabled_overhead_pct = 0;
+  double enabled_overhead_pct = 0;
+};
+
+TraceOverhead MeasureTraceOverhead(double scale, int reps) {
+  TraceOverhead o;
+  double plain = 1e30, disabled = 1e30, enabled = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto r1 = RunScenario("plain", core::SystemConfig::CanvasFull(),
+                          ManagedPlusNatives("spark-lr", scale, 0.25));
+    // Disabled is the default TraceConfig — same config object, toggle off.
+    auto cfg_off = core::SystemConfig::CanvasFull();
+    cfg_off.trace.enabled = false;
+    auto r2 = RunScenario("trace_disabled", std::move(cfg_off),
+                          ManagedPlusNatives("spark-lr", scale, 0.25));
+    auto cfg_on = core::SystemConfig::CanvasFull();
+    cfg_on.trace.enabled = true;
+    auto r3 = RunScenario("trace_enabled", std::move(cfg_on),
+                          ManagedPlusNatives("spark-lr", scale, 0.25));
+    plain = std::min(plain, r1.wall_sec);
+    disabled = std::min(disabled, r2.wall_sec);
+    enabled = std::min(enabled, r3.wall_sec);
+  }
+  o.plain_wall_sec = plain;
+  o.disabled_wall_sec = disabled;
+  o.enabled_wall_sec = enabled;
+  o.disabled_overhead_pct =
+      plain > 0 ? (disabled - plain) / plain * 100.0 : 0.0;
+  o.enabled_overhead_pct =
+      plain > 0 ? (enabled - plain) / plain * 100.0 : 0.0;
+  return o;
+}
+
 void WriteJson(const std::string& path, std::uint64_t micro_events,
                double legacy_eps, double fast_eps,
                const std::vector<ScenarioResult>& scenarios,
-               const FaultOverhead& fault) {
+               const FaultOverhead& fault, const TraceOverhead& trace) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -210,6 +251,17 @@ void WriteJson(const std::string& path, std::uint64_t micro_events,
   std::fprintf(f, "    \"empty_plan_wall_sec\": %.3f,\n",
                fault.attached_wall_sec);
   std::fprintf(f, "    \"fault_overhead_pct\": %.2f\n", fault.overhead_pct);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"trace_overhead\": {\n");
+  std::fprintf(f, "    \"plain_wall_sec\": %.3f,\n", trace.plain_wall_sec);
+  std::fprintf(f, "    \"disabled_wall_sec\": %.3f,\n",
+               trace.disabled_wall_sec);
+  std::fprintf(f, "    \"enabled_wall_sec\": %.3f,\n",
+               trace.enabled_wall_sec);
+  std::fprintf(f, "    \"trace_disabled_overhead_pct\": %.2f,\n",
+               trace.disabled_overhead_pct);
+  std::fprintf(f, "    \"trace_overhead_pct\": %.2f\n",
+               trace.enabled_overhead_pct);
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"peak_rss_bytes\": %llu\n",
                (unsigned long long)PeakRssBytes());
@@ -281,8 +333,19 @@ int main(int argc, char** argv) {
               "best of %d): %.2f%%\n",
               quick ? 1 : 3, fault.overhead_pct);
 
+  // --- tracing overhead, disabled and fully enabled ---
+  // More reps than the fault measurement: the per-run deltas are small
+  // enough that best-of-N needs a deeper N to sink below scheduler noise.
+  int trace_reps = quick ? 3 : 6;
+  TraceOverhead trace = MeasureTraceOverhead(scale, trace_reps);
+  std::printf("trace subsystem overhead (fig10, best of %d): "
+              "disabled %.2f%%, enabled %.2f%%\n",
+              trace_reps, trace.disabled_overhead_pct,
+              trace.enabled_overhead_pct);
+
   std::printf("peak RSS: %s\n", FormatBytes(double(PeakRssBytes())).c_str());
 
-  WriteJson(json_path, micro_events, legacy_eps, fast_eps, scenarios, fault);
+  WriteJson(json_path, micro_events, legacy_eps, fast_eps, scenarios, fault,
+            trace);
   return 0;
 }

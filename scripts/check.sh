@@ -19,16 +19,17 @@ cmake -B "$BUILD" -S "$ROOT" \
 cmake --build "$BUILD" -j"$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS"
 
-# Sanitized pass over the fault suite (ctest label "fault"): the chaos and
-# property tests drive the retry/failover paths where request-lifetime bugs
-# would hide, so they always also run under ASan+UBSan. Skipped when the
+# Sanitized pass over the fault + trace suites (ctest labels "fault" and
+# "trace"): the chaos/property tests drive the retry/failover paths where
+# request-lifetime bugs would hide, and the trace suite exercises the ring
+# and exporters, so they always also run under ASan+UBSan. Skipped when the
 # main build is already sanitized.
 if [ -z "${CANVAS_SANITIZE:-}" ] && [ "${CANVAS_NO_ASAN_FAULT:-0}" != "1" ]; then
   SAN_BUILD="${SAN_BUILD_DIR:-$ROOT/build-asan}"
   cmake -B "$SAN_BUILD" -S "$ROOT" -DCANVAS_SANITIZE=address,undefined
   cmake --build "$SAN_BUILD" -j"$JOBS" \
-    --target fault_injection_test fault_property_test
-  ctest --test-dir "$SAN_BUILD" -L fault --output-on-failure -j"$JOBS"
+    --target fault_injection_test fault_property_test trace_test
+  ctest --test-dir "$SAN_BUILD" -L 'fault|trace' --output-on-failure -j"$JOBS"
 fi
 
 HARNESS_ARGS=()

@@ -12,6 +12,7 @@
 #include "sched/timeliness.h"
 #include "swapalloc/partition.h"
 #include "swapalloc/reservation.h"
+#include "trace/trace.h"
 
 namespace canvas::core {
 
@@ -69,6 +70,13 @@ struct SystemConfig {
   std::uint64_t fault_seed = 0x1234'5678'9abc'def0ull;
   fault::RecoveryConfig recovery;
   fault::DiskBackend::Config disk;
+
+  // --- tracing & telemetry (DESIGN.md §9) ---
+  /// Runtime-toggleable sim-time tracing: span/instant records on the
+  /// fault/RDMA paths plus the periodic per-cgroup counter sampler. Off by
+  /// default; recording never perturbs event order, and the always-on
+  /// fault-latency histograms are independent of this switch.
+  trace::TraceConfig trace;
 
   // --- fault-path cost model (ns) ---
   SimDuration fault_entry_cost = 800;   // trap + swap-cache lookup

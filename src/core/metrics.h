@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/types.h"
+#include "trace/histogram.h"
 
 namespace canvas::core {
 
@@ -43,6 +44,12 @@ struct AppMetrics {
   std::uint64_t disk_swapins = 0;     ///< swap-ins served by the disk backend
   std::uint64_t disk_swapouts = 0;    ///< writebacks absorbed by the disk
   std::uint64_t stale_reads = 0;      ///< content-version oracle violations
+
+  /// End-to-end fault stall latency distribution (one sample per fault
+  /// episode, nanoseconds). Log-bucketed and always on — the report's
+  /// p50/p90/p99/p999 columns come from here, independent of the trace
+  /// ring toggle so reports stay byte-identical with tracing on or off.
+  trace::LogHistogram fault_latency;
 
   std::uint64_t allocations = 0;       ///< allocator (lock-path) calls
   std::uint64_t lockfree_swapouts = 0; ///< served by a reserved entry

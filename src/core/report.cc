@@ -14,7 +14,11 @@ const char* kCsvHeader =
     // Fault-recovery columns are always emitted (all zero on healthy runs)
     // so a zero-fault plan produces byte-identical output to no plan.
     "rdma_exhausted,demand_reissues,failovers,failbacks,disk_swapins,"
-    "disk_swapouts,stale_reads";
+    "disk_swapouts,stale_reads,"
+    // Per-cgroup fault-stall latency percentiles (DESIGN.md §9). Sourced
+    // from the always-on log-bucketed histogram, so the columns are
+    // byte-identical whether or not the trace ring is enabled.
+    "fault_p50_ns,fault_p90_ns,fault_p99_ns,fault_p999_ns";
 
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -48,7 +52,11 @@ void WriteCsv(std::ostream& os, const SwapSystem& system,
        << system.nic().cgroup_bytes(cg, rdma::Direction::kEgress) << ','
        << m.rdma_exhausted << ',' << m.demand_reissues << ','
        << m.failovers << ',' << m.failbacks << ',' << m.disk_swapins << ','
-       << m.disk_swapouts << ',' << m.stale_reads << '\n';
+       << m.disk_swapouts << ',' << m.stale_reads << ','
+       << m.fault_latency.Percentile(50) << ','
+       << m.fault_latency.Percentile(90) << ','
+       << m.fault_latency.Percentile(99) << ','
+       << m.fault_latency.Percentile(99.9) << '\n';
   }
 }
 
@@ -81,6 +89,20 @@ void WriteJson(std::ostream& os, const SwapSystem& system,
      << (system.disk() ? system.disk()->reads() : 0)
      << ",\n    \"disk_writes\": "
      << (system.disk() ? system.disk()->writes() : 0)
+     << "\n  },\n";
+  // Fault-stall latency distribution merged across all cgroups (the
+  // LogHistogram merge is exact, so this equals a histogram of every fault
+  // episode in the co-run).
+  trace::LogHistogram merged;
+  for (std::size_t i = 0; i < system.app_count(); ++i)
+    merged.Merge(system.metrics(i).fault_latency);
+  os << "  \"fault_latency\": {\n"
+     << "    \"count\": " << merged.count()
+     << ",\n    \"p50_ns\": " << merged.Percentile(50)
+     << ",\n    \"p90_ns\": " << merged.Percentile(90)
+     << ",\n    \"p99_ns\": " << merged.Percentile(99)
+     << ",\n    \"p999_ns\": " << merged.Percentile(99.9)
+     << ",\n    \"max_ns\": " << merged.max()
      << "\n  },\n  \"apps\": [\n";
   for (std::size_t i = 0; i < system.app_count(); ++i) {
     const AppMetrics& m = system.metrics(i);
@@ -93,7 +115,11 @@ void WriteJson(std::ostream& os, const SwapSystem& system,
        << ", \"prefetch_issued\": " << m.prefetch_issued
        << ", \"prefetch_used\": " << m.prefetch_used
        << ", \"contribution_pct\": " << m.ContributionPct()
-       << ", \"accuracy_pct\": " << m.AccuracyPct() << "}"
+       << ", \"accuracy_pct\": " << m.AccuracyPct()
+       << ", \"fault_p50_ns\": " << m.fault_latency.Percentile(50)
+       << ", \"fault_p90_ns\": " << m.fault_latency.Percentile(90)
+       << ", \"fault_p99_ns\": " << m.fault_latency.Percentile(99)
+       << ", \"fault_p999_ns\": " << m.fault_latency.Percentile(99.9) << "}"
        << (i + 1 < system.app_count() ? ",\n" : "\n");
   }
   os << "  ]\n}\n";

@@ -15,7 +15,7 @@ constexpr std::uint32_t kDirectReclaimBudget = 4;
 
 SwapSystem::SwapSystem(sim::Simulator& sim, SystemConfig cfg,
                        std::vector<AppSpec> specs)
-    : sim_(sim), cfg_(std::move(cfg)) {
+    : sim_(sim), cfg_(std::move(cfg)), tracer_(cfg_.trace) {
   // --- cgroups (creation order makes cgroup id == app index) ---
   std::uint64_t total_entries = 0;
   std::uint64_t total_cache = 0;
@@ -103,6 +103,7 @@ SwapSystem::SwapSystem(sim::Simulator& sim, SystemConfig cfg,
   }
   nic_ = std::make_unique<rdma::Nic>(sim_, cfg_.nic, *scheduler_);
   scheduler_->AttachNic(nic_.get());
+  nic_->AttachTracer(&tracer_);
 
   // --- fault injection & recovery (DESIGN.md §8) ---
   if (cfg_.fault_plan) {
@@ -207,6 +208,53 @@ void SwapSystem::Start() {
       KswapdTick(*a);
     });
   }
+  if (tracer_.enabled() && cfg_.trace.sampler) {
+    sampler_last_bytes_.assign(apps_.size(), {0.0, 0.0});
+    sim_.Schedule(cfg_.trace.sample_period, [this] { SampleTick(); });
+  }
+}
+
+void SwapSystem::SampleTick() {
+  if (AllFinished()) return;  // stop sampling once the co-run drains
+  sim_.Schedule(cfg_.trace.sample_period, [this] { SampleTick(); });
+  SimTime now = sim_.Now();
+  double period_sec = double(cfg_.trace.sample_period) / double(kSecond);
+  for (auto& app : apps_) {
+    const Cgroup& cg = cgroups_.Get(app->cg);
+    const AppMetrics& m = app->metrics;
+    auto pid = std::uint32_t(app->index);
+    tracer_.Counter(pid, trace::kCgroupTrack, trace::Name::kRssPages, now,
+                    double(cg.resident_pages()));
+    tracer_.Counter(pid, trace::kCgroupTrack, trace::Name::kCachePages, now,
+                    double(cg.cache_pages()));
+    tracer_.Counter(pid, trace::kCgroupTrack, trace::Name::kCacheHitRatio,
+                    now,
+                    m.faults ? double(m.faults_minor) / double(m.faults)
+                             : 0.0);
+    tracer_.Counter(pid, trace::kCgroupTrack, trace::Name::kPrefetchAccuracy,
+                    now, m.AccuracyPct());
+    tracer_.Counter(pid, trace::kCgroupTrack, trace::Name::kQueueDepth, now,
+                    double(scheduler_->QueueDepth(app->cg)));
+    // Bandwidth rate over the last period, from the NIC's cumulative
+    // per-cgroup byte counters.
+    for (auto dir : {rdma::Direction::kIngress, rdma::Direction::kEgress}) {
+      double total = nic_->cgroup_bytes(app->cg, dir);
+      double& last = sampler_last_bytes_[app->index][std::size_t(dir)];
+      tracer_.Counter(pid, trace::kCgroupTrack,
+                      dir == rdma::Direction::kIngress
+                          ? trace::Name::kBandwidthIngress
+                          : trace::Name::kBandwidthEgress,
+                      now, (total - last) / period_sec);
+      last = total;
+    }
+  }
+}
+
+std::vector<std::string> SwapSystem::AppNames() const {
+  std::vector<std::string> names;
+  names.reserve(apps_.size());
+  for (const auto& app : apps_) names.push_back(app->name);
+  return names;
 }
 
 void SwapSystem::KswapdTick(AppState& app) {
@@ -336,6 +384,8 @@ void SwapSystem::WakeWaiters(AppState& app, PageId page) {
   // Detach before invoking: continuations may block on this page again.
   auto conts = std::move(*found);
   waiters_.Erase(key);
+  tracer_.Instant(std::uint32_t(app.index), trace::kCgroupTrack,
+                  trace::Name::kWake, sim_.Now(), conts.size());
   for (auto& c : conts) c();
 }
 
@@ -379,6 +429,8 @@ void SwapSystem::CheckSwapInOracle(AppState& app, mem::Page& p,
 // ---------------------------------------------------------------------------
 
 void SwapSystem::OnFabricDown() {
+  tracer_.Instant(trace::kRdmaPid, trace::kFabricControlTrack,
+                  trace::Name::kServerDown, sim_.Now());
   // Proactive failover: every cgroup's writeback traffic turns toward the
   // local disk for the duration of the blackout.
   for (auto& app : apps_) FailoverApp(*app);
@@ -405,6 +457,8 @@ void SwapSystem::OnFabricDown() {
 }
 
 void SwapSystem::OnFabricUp() {
+  tracer_.Instant(trace::kRdmaPid, trace::kFabricControlTrack,
+                  trace::Name::kServerUp, sim_.Now());
   for (auto& app : apps_) FailbackApp(*app);
 }
 
@@ -420,6 +474,8 @@ void SwapSystem::FailoverApp(AppState& app) {
   if (cg.backend() == SwapBackend::kLocalDisk) return;
   cg.SetBackend(SwapBackend::kLocalDisk);
   ++app.metrics.failovers;
+  tracer_.Instant(std::uint32_t(app.index), trace::kCgroupTrack,
+                  trace::Name::kFailover, sim_.Now());
   ScheduleFailbackProbe(app);
 }
 
@@ -429,6 +485,8 @@ void SwapSystem::FailbackApp(AppState& app) {
   cg.SetBackend(SwapBackend::kRemote);
   cg.NoteRemoteSuccess();
   ++app.metrics.failbacks;
+  tracer_.Instant(std::uint32_t(app.index), trace::kCgroupTrack,
+                  trace::Name::kFailback, sim_.Now());
 }
 
 void SwapSystem::ScheduleFailbackProbe(AppState& app) {
@@ -460,8 +518,14 @@ void SwapSystem::ReissueDemand(AppState& app, rdma::RequestPtr req) {
 
 void SwapSystem::BeginStall(ThreadCtx& th) { th.stall_started = sim_.Now(); }
 
-void SwapSystem::EndStall(AppState& app, ThreadCtx& th) {
-  app.metrics.fault_stall += sim_.Now() - th.stall_started;
+void SwapSystem::EndStall(AppState& app, ThreadCtx& th, PageId page) {
+  SimDuration stalled = sim_.Now() - th.stall_started;
+  app.metrics.fault_stall += stalled;
+  // Always-on latency sample (report percentiles must not depend on the
+  // trace ring toggle).
+  app.metrics.fault_latency.Add(std::uint64_t(stalled));
+  tracer_.Span(std::uint32_t(app.index), ThreadTrack(th), trace::Name::kFault,
+               th.stall_started, sim_.Now(), page);
 }
 
 // ---------------------------------------------------------------------------
@@ -489,8 +553,8 @@ void SwapSystem::RunThread(AppState& app, ThreadCtx& th) {
     // Fault: hand off to the fault path at the access instant.
     sim_.Schedule(elapsed, [this, a = &app, t = &th, acc = *acc] {
       BeginStall(*t);
-      HandleFault(*a, *t, acc, /*retry=*/false, [this, a, t] {
-        EndStall(*a, *t);
+      HandleFault(*a, *t, acc, /*retry=*/false, [this, a, t, page = acc.page] {
+        EndStall(*a, *t, page);
         RunThread(*a, *t);
       });
     });
@@ -635,6 +699,9 @@ void SwapSystem::FaultOnCachedPage(AppState& app, ThreadCtx& th,
     mem::Page& pg = a->pages[acc.page];
     if (pg.state == mem::PageState::kSwapCache && !pg.in_flight &&
         !pg.under_writeback) {
+      tracer_.Span(std::uint32_t(a->index), ThreadTrack(*t),
+                   trace::Name::kMap, sim_.Now() - cfg_.map_cost, sim_.Now(),
+                   acc.page);
       MapCachedPage(*a, acc.page);
       if (acc.write) MarkDirty(*a, pg);
       ++a->metrics.accesses;
@@ -662,6 +729,8 @@ void SwapSystem::MapCachedPage(AppState& app, PageId page) {
   if (p.prefetched_unused) {
     p.prefetched_unused = false;
     ++app.metrics.prefetch_used;
+    tracer_.Instant(std::uint32_t(app.index), trace::kCgroupTrack,
+                    trace::Name::kPrefetchHit, sim_.Now(), page);
     if (p.entry != kInvalidEntry) {
       auto& meta = PartitionFor(app, p).meta(p.entry);
       if (meta.prefetch_ts != kTimeNever) {
@@ -699,6 +768,9 @@ void SwapSystem::DemandSwapIn(AppState& app, ThreadCtx& th,
   ++app.metrics.faults_major;
   prefetch::FaultInfo info{app.cg, acc.page, th.tid, sim_.Now(), false};
   CoreId core = th.core;
+  tracer_.Span(std::uint32_t(app.index), ThreadTrack(th),
+               trace::Name::kSwapCacheLookup, sim_.Now(),
+               sim_.Now() + cfg_.fault_entry_cost, acc.page);
   // The trap/lookup cost precedes the charge + I/O issue.
   sim_.Schedule(cfg_.fault_entry_cost, [this, a = &app, t = &th, acc, info,
                                         core, resume = std::move(resume)] {
@@ -734,6 +806,15 @@ void SwapSystem::DemandSwapIn(AppState& app, ThreadCtx& th,
       bool from_disk = pg.disk_backed;
       req->on_complete = [this, a, t, page = acc.page, acc, expected,
                           resume](const rdma::Request& r) {
+        if (tracer_.enabled()) {
+          // Queueing and DMA windows from the request's own timestamps —
+          // these abut, and both nest inside the thread's fault span.
+          auto pid = std::uint32_t(a->index);
+          tracer_.Span(pid, ThreadTrack(*t), trace::Name::kRdmaQueue,
+                       r.created, r.dispatched, page);
+          tracer_.Span(pid, ThreadTrack(*t), trace::Name::kRdmaDma,
+                       r.dispatched, r.completed, page);
+        }
         mem::Page& pg2 = a->pages[page];
         if (pg2.seq != expected) {
           // The page moved on (a stale rescue unlocked it early): resolve
@@ -750,6 +831,9 @@ void SwapSystem::DemandSwapIn(AppState& app, ThreadCtx& th,
           if (pg3.seq == expected &&
               pg3.state == mem::PageState::kSwapCache && !pg3.in_flight &&
               !pg3.under_writeback) {
+            tracer_.Span(std::uint32_t(a->index), ThreadTrack(*t),
+                         trace::Name::kMap, sim_.Now() - cfg_.map_cost,
+                         sim_.Now(), page);
             MapCachedPage(*a, page);
             if (acc.write) MarkDirty(*a, pg3);
             ++a->metrics.accesses;
@@ -820,6 +904,8 @@ void SwapSystem::IssuePrefetches(AppState& app,
     pmeta.valid = true;
     ++app.metrics.prefetch_issued;
     ++app.prefetch_inflight;
+    tracer_.Instant(std::uint32_t(app.index), trace::kCgroupTrack,
+                    trace::Name::kPrefetchIssue, sim_.Now(), cand);
 
     auto req = std::make_unique<rdma::Request>();
     req->op = rdma::Op::kPrefetchIn;
@@ -840,6 +926,8 @@ void SwapSystem::IssuePrefetches(AppState& app,
           // prefetch discards itself.
           m.valid = true;
           ++a->metrics.prefetch_discarded;
+          tracer_.Instant(std::uint32_t(a->index), trace::kCgroupTrack,
+                          trace::Name::kPrefetchDiscard, sim_.Now(), cand);
           return;
         }
       }
@@ -857,6 +945,8 @@ void SwapSystem::IssuePrefetches(AppState& app,
       if (a->prefetch_inflight > 0) --a->prefetch_inflight;
       mem::Page& pg = a->pages[cand];
       ++a->metrics.prefetch_dropped;
+      tracer_.Instant(std::uint32_t(a->index), trace::kCgroupTrack,
+                      trace::Name::kPrefetchDrop, sim_.Now(), cand);
       if (pg.seq != expected) return;  // a rescue demand owns the page now
       auto key = WaiterKey(*a, cand);
       if (waiters_.Contains(key)) {
@@ -892,6 +982,8 @@ void SwapSystem::IssuePrefetches(AppState& app,
 void SwapSystem::IssueRescueDemand(AppState& app, PageId page) {
   mem::Page& p = app.pages[page];
   assert(p.state == mem::PageState::kSwapCache && p.in_flight);
+  tracer_.Instant(std::uint32_t(app.index), trace::kCgroupTrack,
+                  trace::Name::kRescue, sim_.Now(), page);
   std::uint32_t expected = ++p.seq;  // take over from the stale prefetch
   auto req = std::make_unique<rdma::Request>();
   req->op = rdma::Op::kDemandIn;
@@ -1063,6 +1155,11 @@ void SwapSystem::AllocateEntryAndWriteback(AppState& app, PageId victim,
                                    budget](swapalloc::AllocResult r) {
     mem::Page& pg = a->pages[victim];
     a->metrics.alloc_time += r.wait + r.hold;
+    // Allocation contention sample: arg carries the wait+hold time so the
+    // §3 convoy effect is visible straight off the trace.
+    tracer_.Instant(std::uint32_t(a->index), trace::kCgroupTrack,
+                    trace::Name::kAllocWait, sim_.Now(),
+                    std::uint64_t(r.wait + r.hold));
     if (r.entry == kInvalidEntry) {
       // Partition full: reclaim kept entries / reservations, then retry.
       std::size_t freed = 0;
@@ -1098,6 +1195,8 @@ void SwapSystem::AllocateEntryAndWriteback(AppState& app, PageId victim,
 void SwapSystem::IssueSwapOut(AppState& app, PageId victim,
                               SwapEntryId entry) {
   mem::Page& p = app.pages[victim];
+  tracer_.Instant(std::uint32_t(app.index), trace::kCgroupTrack,
+                  trace::Name::kSwapOutIssue, sim_.Now(), victim);
   auto req = std::make_unique<rdma::Request>();
   req->op = rdma::Op::kSwapOut;
   req->cgroup = p.shared ? shared_cg_ : app.cg;

@@ -39,6 +39,7 @@
 #include "sim/simulator.h"
 #include "swapalloc/partition.h"
 #include "swapalloc/reservation.h"
+#include "trace/trace.h"
 #include "workload/workload.h"
 
 namespace canvas::core {
@@ -89,6 +90,12 @@ class SwapSystem {
   const mem::SwapCache& cache(std::size_t app) const;
   const swapalloc::ReservationManager* reservation(std::size_t app) const;
   const SystemConfig& config() const { return cfg_; }
+  /// Telemetry recorder (DESIGN.md §9). Enabled via SystemConfig::trace;
+  /// the mutable overload allows runtime toggling mid-experiment.
+  const trace::Tracer& tracer() const { return tracer_; }
+  trace::Tracer& tracer() { return tracer_; }
+  /// Application display names indexed by app (= trace pid), for exporters.
+  std::vector<std::string> AppNames() const;
 
   /// Weighted min-max ratio of per-app bandwidth over the co-run window
   /// (§6.4.3); 1.0 = perfectly weight-proportional shares.
@@ -198,10 +205,20 @@ class SwapSystem {
   std::uint64_t WaiterKey(const AppState& app, PageId page) const;
   void WakeWaiters(AppState& app, PageId page);
   void BeginStall(ThreadCtx& th);
-  void EndStall(AppState& app, ThreadCtx& th);
+  void EndStall(AppState& app, ThreadCtx& th, PageId page);
+
+  // --- telemetry (DESIGN.md §9) ---
+  /// Trace track of a simulated thread (tid 0 is the cgroup-level track).
+  static std::uint32_t ThreadTrack(const ThreadCtx& th) { return 1 + th.tid; }
+  /// Periodic DES-clock sampler emitting per-cgroup counter time series
+  /// (RSS, cache, hit ratio, prefetch accuracy, queue depth, bandwidth).
+  /// Pure observation: reads state and writes trace records only, so it
+  /// cannot perturb the simulation outcome.
+  void SampleTick();
 
   sim::Simulator& sim_;
   SystemConfig cfg_;
+  trace::Tracer tracer_;
   CgroupRegistry cgroups_;
   std::vector<std::unique_ptr<AppState>> apps_;
   std::vector<std::unique_ptr<swapalloc::SwapPartition>> owned_partitions_;
@@ -226,6 +243,9 @@ class SwapSystem {
   /// Continuations blocked on an in-flight page, keyed by the packed
   /// (app index, page) composite key.
   FlatMap64<std::vector<std::function<void()>>> waiters_;
+  /// Per-app cumulative NIC bytes at the previous sample (ingress, egress),
+  /// for the sampler's bandwidth-rate counters.
+  std::vector<std::array<double, 2>> sampler_last_bytes_;
   std::vector<PageId> prefetch_buf_;
   std::uint32_t next_core_ = 0;
   ThreadId next_tid_ = 0;

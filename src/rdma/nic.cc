@@ -104,6 +104,12 @@ void Nic::Pump(Direction dir) {
   auto ser = SimDuration(double(req->bytes) / bw * double(kSecond));
   lane.busy_until = now + ser;
   SimTime completion = lane.busy_until + cfg_.base_latency + extra_lat;
+  if (tracer_)
+    // Lane occupancy: consecutive dispatches on a lane begin at or after
+    // the previous serialization window ends, so wire spans never overlap
+    // within a track (the exporter's nesting validator relies on this).
+    tracer_->Span(trace::kRdmaPid, std::uint32_t(dir), trace::Name::kWire,
+                  now, lane.busy_until, std::uint64_t(req->cgroup));
 
   // Because the plan is known up front, the fate of this attempt can be
   // decided at dispatch — one scheduled event per attempt, and the event
@@ -156,6 +162,12 @@ void Nic::HandleAttemptFailure(RequestPtr req, RequestStatus status) {
   if (status == RequestStatus::kTimeout) ++timeouts_; else ++cqe_errors_;
 
   Direction dir = DirectionOf(req->op);
+  if (tracer_)
+    tracer_->Instant(trace::kRdmaPid, std::uint32_t(dir),
+                     status == RequestStatus::kTimeout
+                         ? trace::Name::kTimeoutEvt
+                         : trace::Name::kCqeErrorEvt,
+                     sim_.Now(), req->attempts);
   std::uint32_t max_retries = cfg_.retry.MaxRetries(req->op);
   if (req->attempts <= max_retries) {
     double u = injector_ ? injector_->JitterDraw() : 0.0;
@@ -163,6 +175,9 @@ void Nic::HandleAttemptFailure(RequestPtr req, RequestStatus status) {
     req->last_backoff = backoff;
     ++retries_;
     ++pending_retries_;
+    if (tracer_)
+      tracer_->Instant(trace::kRdmaPid, std::uint32_t(dir),
+                       trace::Name::kRetry, sim_.Now(), backoff);
     if (retry_observer_) retry_observer_(*req, backoff);
     SimTime resume = sim_.Now() + backoff;
     sim_.ScheduleAt(resume, [this, dir, r = req.release()]() mutable {
@@ -177,6 +192,9 @@ void Nic::HandleAttemptFailure(RequestPtr req, RequestStatus status) {
   // may re-enqueue this very request and must keep its callbacks intact.
   ++exhausted_;
   req->last_backoff = 0;
+  if (tracer_)
+    tracer_->Instant(trace::kRdmaPid, std::uint32_t(dir),
+                     trace::Name::kExhaustedEvt, sim_.Now(), req->attempts);
   if (retry_observer_) retry_observer_(*req, 0);
   if (req->on_error) {
     auto handler = req->on_error;

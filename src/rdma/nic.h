@@ -30,6 +30,7 @@
 #include "fault/injector.h"
 #include "rdma/request.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
 
 namespace canvas::rdma {
 
@@ -101,6 +102,11 @@ class Nic {
     injector_ = injector;
   }
 
+  /// Attach the telemetry tracer (nullptr detaches): per-lane wire
+  /// occupancy spans plus retry/timeout/CQE-error instants on the fabric
+  /// tracks. Recording only — never affects dispatch order or timing.
+  void AttachTracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
   /// Notify the NIC that the source may have new work in `dir`.
   void Kick(Direction dir);
 
@@ -158,6 +164,7 @@ class Nic {
   Config cfg_;
   RequestSource& source_;
   fault::FaultInjector* injector_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
   std::array<Lane, 2> lanes_;
   std::array<std::deque<RequestPtr>, 2> retry_q_;
   std::array<LatencyRecorder, 3> latency_;

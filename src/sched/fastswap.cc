@@ -33,6 +33,14 @@ rdma::RequestPtr FastswapScheduler::Dequeue(rdma::Direction dir, SimTime) {
   return nullptr;
 }
 
+std::size_t FastswapScheduler::QueueDepth(CgroupId cg) const {
+  std::size_t n = 0;
+  for (const auto* q : {&demand_, &prefetch_, &swapout_})
+    for (const auto& req : *q)
+      if (req->cgroup == cg) ++n;
+  return n;
+}
+
 std::vector<rdma::RequestPtr> FastswapScheduler::DrainMatching(
     const std::function<bool(const rdma::Request&)>& pred) {
   std::vector<rdma::RequestPtr> out;

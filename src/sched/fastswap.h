@@ -20,6 +20,7 @@ class FastswapScheduler : public DispatchScheduler {
   rdma::RequestPtr Dequeue(rdma::Direction dir, SimTime now) override;
   std::vector<rdma::RequestPtr> DrainMatching(
       const std::function<bool(const rdma::Request&)>& pred) override;
+  std::size_t QueueDepth(CgroupId cg) const override;
   const char* name() const override { return "fastswap"; }
 
  private:

@@ -16,6 +16,14 @@ rdma::RequestPtr FifoScheduler::Dequeue(rdma::Direction dir, SimTime) {
   return req;
 }
 
+std::size_t FifoScheduler::QueueDepth(CgroupId cg) const {
+  std::size_t n = 0;
+  for (const auto& q : queues_)
+    for (const auto& req : q)
+      if (req->cgroup == cg) ++n;
+  return n;
+}
+
 std::vector<rdma::RequestPtr> FifoScheduler::DrainMatching(
     const std::function<bool(const rdma::Request&)>& pred) {
   std::vector<rdma::RequestPtr> out;

@@ -38,6 +38,14 @@ class DispatchScheduler : public rdma::RequestSource {
 
   virtual const char* name() const = 0;
 
+  /// Requests currently queued for `cg` across all internal queues (the
+  /// telemetry sampler's queue-depth counter). Base implementation reports
+  /// 0 — correct for schedulers without internal queues.
+  virtual std::size_t QueueDepth(CgroupId cg) const {
+    (void)cg;
+    return 0;
+  }
+
   /// Wire up the NIC after construction (scheduler and NIC reference each
   /// other; the NIC is built second).
   void AttachNic(rdma::Nic* nic) { nic_ = nic; }

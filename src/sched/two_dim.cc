@@ -61,6 +61,13 @@ rdma::RequestPtr TwoDimScheduler::PopHorizontal(Vqp& vqp, rdma::Direction dir,
   return nullptr;
 }
 
+std::size_t TwoDimScheduler::QueueDepth(CgroupId cg) const {
+  auto it = vqps_.find(cg);
+  if (it == vqps_.end()) return 0;
+  const Vqp& vqp = it->second;
+  return vqp.demand.size() + vqp.prefetch.size() + vqp.swapout.size();
+}
+
 std::vector<rdma::RequestPtr> TwoDimScheduler::DrainMatching(
     const std::function<bool(const rdma::Request&)>& pred) {
   std::vector<rdma::RequestPtr> out;

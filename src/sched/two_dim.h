@@ -45,6 +45,7 @@ class TwoDimScheduler : public DispatchScheduler {
   rdma::RequestPtr Dequeue(rdma::Direction dir, SimTime now) override;
   std::vector<rdma::RequestPtr> DrainMatching(
       const std::function<bool(const rdma::Request&)>& pred) override;
+  std::size_t QueueDepth(CgroupId cg) const override;
   const char* name() const override { return "two-dim"; }
 
   TimelinessTracker& timeliness() { return timeliness_; }

@@ -1,0 +1,35 @@
+// Trace exporters (DESIGN.md §9): Chrome/Perfetto trace-event JSON for
+// timeline inspection at ui.perfetto.dev, and a flat CSV of the sampler's
+// counter time series for plotting. Both operate on a Tracer's retained
+// ring; `app_names` maps pid (application index) to a display name.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace canvas::trace {
+
+/// Chrome trace-event JSON ("traceEvents" array): spans as complete "X"
+/// events, instants as "i", counters as "C", plus metadata events naming
+/// every process/thread track. Loadable by ui.perfetto.dev and
+/// chrome://tracing. Timestamps are exported in microseconds (the format's
+/// unit) at nanosecond resolution.
+void WriteChromeTrace(std::ostream& os, const Tracer& tracer,
+                      const std::vector<std::string>& app_names);
+
+/// Counter records as CSV: ts_ns,track,counter,value — one row per sample.
+void WriteCounterCsv(std::ostream& os, const Tracer& tracer,
+                     const std::vector<std::string>& app_names);
+
+/// Validates that span records obey stack discipline per (pid, tid) track:
+/// after sorting by (begin asc, duration desc), every span either nests
+/// inside the enclosing open span or begins at/after its end. This is the
+/// well-formedness property that makes the exported timeline render as
+/// monotone nested slices. Returns false and fills `error` (if non-null)
+/// on the first violation.
+bool ValidateSpanNesting(const TraceBuffer& buf, std::string* error);
+
+}  // namespace canvas::trace

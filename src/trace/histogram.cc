@@ -1,0 +1,38 @@
+#include "trace/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace canvas::trace {
+
+std::uint64_t LogHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the requested order statistic, 1-based ceil like HdrHistogram.
+  std::uint64_t rank =
+      std::max<std::uint64_t>(1, std::uint64_t(std::ceil(p / 100.0 *
+                                                         double(count_))));
+  std::uint64_t cum = 0;
+  for (std::uint32_t i = 0; i < kNumBuckets; ++i) {
+    cum += counts_[i];
+    if (cum >= rank) {
+      // Upper edge of the bucket, clamped to the recorded extremes.
+      std::uint64_t hi =
+          i + 1 < kNumBuckets ? BucketLow(i + 1) - 1 : max_;
+      return std::clamp(hi, min_, max_);
+    }
+  }
+  return max_;
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  for (std::uint32_t i = 0; i < kNumBuckets; ++i)
+    counts_[i] += other.counts_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+}  // namespace canvas::trace

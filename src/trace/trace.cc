@@ -1,0 +1,41 @@
+#include "trace/trace.h"
+
+namespace canvas::trace {
+
+const char* NameString(Name n) {
+  switch (n) {
+    case Name::kFault: return "fault";
+    case Name::kSwapCacheLookup: return "swap_cache_lookup";
+    case Name::kRdmaQueue: return "rdma_queue";
+    case Name::kRdmaDma: return "rdma_dma";
+    case Name::kMap: return "map";
+    case Name::kWire: return "wire";
+    case Name::kAllocWait: return "alloc_wait";
+    case Name::kSwapOutIssue: return "swapout_issue";
+    case Name::kRescue: return "rescue";
+    case Name::kWake: return "wake";
+    case Name::kPrefetchIssue: return "prefetch_issue";
+    case Name::kPrefetchHit: return "prefetch_hit";
+    case Name::kPrefetchDiscard: return "prefetch_discard";
+    case Name::kPrefetchDrop: return "prefetch_drop";
+    case Name::kRetry: return "retry";
+    case Name::kTimeoutEvt: return "timeout";
+    case Name::kCqeErrorEvt: return "cqe_error";
+    case Name::kExhaustedEvt: return "exhausted";
+    case Name::kFailover: return "failover";
+    case Name::kFailback: return "failback";
+    case Name::kServerDown: return "server_down";
+    case Name::kServerUp: return "server_up";
+    case Name::kRssPages: return "rss_pages";
+    case Name::kCachePages: return "cache_pages";
+    case Name::kCacheHitRatio: return "cache_hit_ratio";
+    case Name::kPrefetchAccuracy: return "prefetch_accuracy_pct";
+    case Name::kQueueDepth: return "queue_depth";
+    case Name::kBandwidthIngress: return "bandwidth_ingress_Bps";
+    case Name::kBandwidthEgress: return "bandwidth_egress_Bps";
+    case Name::kNumNames: break;
+  }
+  return "?";
+}
+
+}  // namespace canvas::trace

@@ -80,5 +80,55 @@ TEST(Report, JsonEscapesQuotes) {
   EXPECT_NE(os.str().find("with\\\"quote"), std::string::npos);
 }
 
+// Golden format guard: the CSV header is the exporters' wire format — any
+// column change must update this string (and downstream consumers).
+TEST(Report, CsvGoldenHeader) {
+  auto e = RunSmall();
+  std::ostringstream os;
+  WriteCsv(os, e->system(), "g");
+  std::istringstream is(os.str());
+  std::string header;
+  std::getline(is, header);
+  EXPECT_EQ(header,
+            "label,app,finish_ns,accesses,faults,faults_major,faults_minor,"
+            "minor_prefetched,first_touches,prefetch_issued,"
+            "prefetch_completed,prefetch_used,prefetch_wasted,"
+            "prefetch_dropped,prefetch_discarded,rescues,swapouts,"
+            "clean_drops,allocations,lockfree_swapouts,alloc_time_ns,"
+            "busy_time_ns,fault_stall_ns,contribution_pct,accuracy_pct,"
+            "ingress_bytes,egress_bytes,rdma_exhausted,demand_reissues,"
+            "failovers,failbacks,disk_swapins,disk_swapouts,stale_reads,"
+            "fault_p50_ns,fault_p90_ns,fault_p99_ns,fault_p999_ns");
+}
+
+TEST(Report, FaultLatencyPercentilesExported) {
+  auto e = RunSmall();
+  std::ostringstream csv, json;
+  WriteCsv(csv, e->system(), "p");
+  WriteJson(json, e->system(), "p");
+  std::string j = json.str();
+  // Report section with the merged distribution plus per-app keys.
+  for (const char* key :
+       {"\"fault_latency\"", "\"p50_ns\"", "\"p90_ns\"", "\"p99_ns\"",
+        "\"p999_ns\"", "\"fault_p50_ns\"", "\"fault_p99_ns\""})
+    EXPECT_NE(j.find(key), std::string::npos) << key;
+
+  // The percentiles must be real data: the run faults, so per-app p50 > 0
+  // and the monotone p50 <= p90 <= p99 <= p999 ordering holds.
+  for (std::size_t i = 0; i < e->system().app_count(); ++i) {
+    const auto& h = e->system().metrics(i).fault_latency;
+    EXPECT_GT(h.count(), 0u);
+    EXPECT_GT(h.Percentile(50), 0u);
+    EXPECT_LE(h.Percentile(50), h.Percentile(90));
+    EXPECT_LE(h.Percentile(90), h.Percentile(99));
+    EXPECT_LE(h.Percentile(99), h.Percentile(99.9));
+  }
+  // One sample per completed fault episode. Episodes cover swap faults,
+  // first touches and raced (spurious) faults, so the count brackets as:
+  const auto& m0 = e->system().metrics(0);
+  EXPECT_GE(m0.fault_latency.count(), m0.faults);
+  EXPECT_LE(m0.fault_latency.count(), m0.accesses);
+}
+
 }  // namespace
 }  // namespace canvas::core

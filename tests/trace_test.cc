@@ -1,0 +1,409 @@
+// Tests for the tracing & telemetry subsystem (DESIGN.md §9): ring buffer
+// wrap/drop semantics, log-histogram bucket math and merge, sampler cadence
+// on the DES clock, Chrome/Perfetto export well-formedness, and the
+// determinism guarantee — reports are byte-identical with tracing on or off.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "trace/export.h"
+#include "trace/histogram.h"
+#include "trace/trace.h"
+#include "workload/apps.h"
+
+namespace canvas {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON syntax checker (recursive descent). Much stricter than brace
+// counting: validates strings, numbers, literals, and comma/colon structure.
+// ---------------------------------------------------------------------------
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+  bool Valid() {
+    Skip();
+    if (!Value()) return false;
+    Skip();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    Skip();
+    if (Peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      Skip();
+      if (!String()) return false;
+      Skip();
+      if (Peek() != ':') return false;
+      ++pos_;
+      Skip();
+      if (!Value()) return false;
+      Skip();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    Skip();
+    if (Peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      Skip();
+      if (!Value()) return false;
+      Skip();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;  // skip escaped char
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+  bool Literal(const char* lit) {
+    std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void Skip() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// TraceBuffer ring semantics
+// ---------------------------------------------------------------------------
+
+trace::TraceRecord Rec(SimTime ts, std::uint64_t arg) {
+  trace::TraceRecord r;
+  r.ts = ts;
+  r.arg = arg;
+  r.type = trace::RecordType::kInstant;
+  return r;
+}
+
+TEST(TraceBuffer, FillsThenWrapsOverwritingOldest) {
+  trace::TraceBuffer buf(4);
+  for (std::uint64_t i = 0; i < 4; ++i) buf.Push(Rec(SimTime(i), i));
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.dropped(), 0u);
+  EXPECT_EQ(buf.At(0).arg, 0u);
+
+  // Two more: the two oldest records are overwritten and counted dropped.
+  buf.Push(Rec(4, 4));
+  buf.Push(Rec(5, 5));
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.dropped(), 2u);
+  EXPECT_EQ(buf.At(0).arg, 2u);  // oldest retained
+  EXPECT_EQ(buf.At(3).arg, 5u);  // newest
+}
+
+TEST(TraceBuffer, ZeroCapacityDropsEverything) {
+  trace::TraceBuffer buf(0);
+  for (int i = 0; i < 10; ++i) buf.Push(Rec(SimTime(i), std::uint64_t(i)));
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.dropped(), 10u);
+}
+
+TEST(TraceBuffer, ClearResetsState) {
+  trace::TraceBuffer buf(2);
+  buf.Push(Rec(0, 0));
+  buf.Push(Rec(1, 1));
+  buf.Push(Rec(2, 2));
+  buf.Clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.dropped(), 0u);
+}
+
+TEST(Tracer, DisabledRecordsNothingAndTogglesAtRuntime) {
+  trace::TraceConfig cfg;
+  cfg.enabled = false;
+  cfg.ring_capacity = 16;
+  trace::Tracer t(cfg);
+  t.Instant(0, 0, trace::Name::kWake, 1);
+  EXPECT_EQ(t.buffer().size(), 0u);
+  EXPECT_EQ(t.buffer().dropped(), 0u);  // disabled != dropped
+
+  t.set_enabled(true);  // first enable allocates the ring
+  t.Instant(0, 0, trace::Name::kWake, 2);
+  t.Span(0, 1, trace::Name::kFault, 10, 30, 7);
+  t.Counter(0, 0, trace::Name::kRssPages, 40, 3.5);
+  EXPECT_EQ(t.buffer().size(), 3u);
+  EXPECT_EQ(t.buffer().At(1).dur, 20);
+  EXPECT_DOUBLE_EQ(t.buffer().At(2).CounterValue(), 3.5);
+
+  t.set_enabled(false);
+  t.Instant(0, 0, trace::Name::kWake, 3);
+  EXPECT_EQ(t.buffer().size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// LogHistogram bucket math and merge
+// ---------------------------------------------------------------------------
+
+TEST(LogHistogram, SmallValuesGetExactUnitBuckets) {
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(trace::LogHistogram::BucketIndex(v), v);
+    EXPECT_EQ(trace::LogHistogram::BucketLow(std::uint32_t(v)), v);
+  }
+}
+
+TEST(LogHistogram, BucketEdgesAreMonotoneAndTight) {
+  // BucketLow is strictly increasing and BucketIndex(BucketLow(i)) == i.
+  std::uint64_t prev = 0;
+  for (std::uint32_t i = 0; i < trace::LogHistogram::kNumBuckets; ++i) {
+    std::uint64_t low = trace::LogHistogram::BucketLow(i);
+    if (i > 0) {
+      EXPECT_GT(low, prev) << "bucket " << i;
+    }
+    EXPECT_EQ(trace::LogHistogram::BucketIndex(low), i);
+    prev = low;
+  }
+  // Relative quantization error bound: bucket width <= low / 32 above the
+  // unit-bucket region.
+  for (std::uint32_t i = 64; i + 1 < trace::LogHistogram::kNumBuckets; ++i) {
+    std::uint64_t low = trace::LogHistogram::BucketLow(i);
+    std::uint64_t width = trace::LogHistogram::BucketLow(i + 1) - low;
+    EXPECT_LE(width, low / 32) << "bucket " << i;
+  }
+}
+
+TEST(LogHistogram, PercentileWithinQuantizationError) {
+  trace::LogHistogram h;
+  for (std::uint64_t v = 1; v <= 10'000; ++v) h.Add(v);
+  EXPECT_EQ(h.count(), 10'000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 10'000u);
+  for (double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    double exact = p / 100.0 * 10'000;
+    double got = double(h.Percentile(p));
+    EXPECT_GE(got, exact * (1 - 1.0 / 32) - 1) << "p" << p;
+    EXPECT_LE(got, exact * (1 + 1.0 / 32) + 1) << "p" << p;
+  }
+  // Monotone in p and clamped to observed extremes.
+  EXPECT_LE(h.Percentile(50), h.Percentile(99));
+  EXPECT_EQ(h.Percentile(0), 1u);
+  EXPECT_EQ(h.Percentile(100), 10'000u);
+}
+
+TEST(LogHistogram, EmptyHistogramIsZero) {
+  trace::LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(LogHistogram, MergeEqualsConcatenation) {
+  trace::LogHistogram a, b, both;
+  for (std::uint64_t v = 1; v <= 1000; v += 3) { a.Add(v); both.Add(v); }
+  for (std::uint64_t v = 500; v <= 90'000; v += 7) { b.Add(v); both.Add(v); }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  EXPECT_DOUBLE_EQ(a.Mean(), both.Mean());
+  for (double p : {1.0, 25.0, 50.0, 75.0, 99.0, 99.9})
+    EXPECT_EQ(a.Percentile(p), both.Percentile(p)) << "p" << p;
+  for (std::uint32_t i = 0; i < trace::LogHistogram::kNumBuckets; ++i) {
+    ASSERT_EQ(a.BucketCount(i), both.BucketCount(i)) << "bucket " << i;
+  }
+}
+
+TEST(LogHistogram, HugeValuesDoNotOverflow) {
+  trace::LogHistogram h;
+  h.Add(~std::uint64_t(0));
+  h.Add(std::uint64_t(1) << 63);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~std::uint64_t(0));
+  // Percentiles stay clamped into [min, max] even at the top bucket whose
+  // upper edge would overflow uint64.
+  EXPECT_GE(h.Percentile(99), h.min());
+  EXPECT_LE(h.Percentile(99), h.max());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: traced co-run, sampler cadence, export well-formedness
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<core::Experiment> RunTraced(bool enabled) {
+  workload::AppParams p;
+  p.scale = 0.08;
+  std::vector<core::AppSpec> apps;
+  for (const char* n : {"memcached", "snappy"}) {
+    auto w = workload::MakeByName(n, p);
+    auto cg = workload::CgroupFor(w, 0.25, 4);
+    apps.push_back(core::AppSpec{std::move(w), std::move(cg)});
+  }
+  auto cfg = core::SystemConfig::CanvasFull();
+  cfg.trace.enabled = enabled;
+  auto e = std::make_unique<core::Experiment>(std::move(cfg),
+                                              std::move(apps));
+  EXPECT_TRUE(e->Run());
+  return e;
+}
+
+TEST(TraceIntegration, RecordsFaultLifecycleSpans) {
+  auto e = RunTraced(true);
+  const trace::TraceBuffer& buf = e->system().tracer().buffer();
+  ASSERT_GT(buf.size(), 0u);
+  std::uint64_t faults = 0, wire = 0, dma = 0, counters = 0;
+  buf.ForEach([&](const trace::TraceRecord& r) {
+    if (r.name == trace::Name::kFault) ++faults;
+    if (r.name == trace::Name::kWire) ++wire;
+    if (r.name == trace::Name::kRdmaDma) ++dma;
+    if (r.type == trace::RecordType::kCounter) ++counters;
+  });
+  EXPECT_GT(faults, 0u);
+  EXPECT_GT(wire, 0u);
+  EXPECT_GT(dma, 0u);
+  EXPECT_GT(counters, 0u);
+}
+
+TEST(TraceIntegration, SamplerFiresOnTheConfiguredPeriod) {
+  auto e = RunTraced(true);
+  const auto& sys = e->system();
+  SimDuration period = sys.config().trace.sample_period;
+  // Consecutive RSS samples for app 0 must be exactly one period apart.
+  std::vector<SimTime> stamps;
+  sys.tracer().buffer().ForEach([&](const trace::TraceRecord& r) {
+    if (r.type == trace::RecordType::kCounter &&
+        r.name == trace::Name::kRssPages && r.pid == 0)
+      stamps.push_back(r.ts);
+  });
+  ASSERT_GE(stamps.size(), 3u);
+  for (std::size_t i = 1; i < stamps.size(); ++i)
+    EXPECT_EQ(stamps[i] - stamps[i - 1], period) << "sample " << i;
+  // First sample lands one period after t=0.
+  EXPECT_EQ(stamps.front(), period);
+}
+
+TEST(TraceIntegration, ChromeTraceJsonIsWellFormed) {
+  auto e = RunTraced(true);
+  std::ostringstream os;
+  trace::WriteChromeTrace(os, e->system().tracer(), e->system().AppNames());
+  std::string s = os.str();
+  EXPECT_TRUE(JsonChecker(s).Valid()) << s.substr(0, 400);
+  // Track metadata names the app processes and the fabric.
+  EXPECT_NE(s.find("\"memcached\""), std::string::npos);
+  EXPECT_NE(s.find("\"rdma-fabric\""), std::string::npos);
+  EXPECT_NE(s.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(s.find("\"ph\": \"X\""), std::string::npos);  // spans
+  EXPECT_NE(s.find("\"ph\": \"C\""), std::string::npos);  // counters
+}
+
+TEST(TraceIntegration, SpansNestMonotonicallyPerTrack) {
+  auto e = RunTraced(true);
+  std::string err;
+  EXPECT_TRUE(trace::ValidateSpanNesting(e->system().tracer().buffer(), &err))
+      << err;
+}
+
+TEST(TraceIntegration, CounterCsvExports) {
+  auto e = RunTraced(true);
+  std::ostringstream os;
+  trace::WriteCounterCsv(os, e->system().tracer(), e->system().AppNames());
+  std::istringstream is(os.str());
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "ts_ns,track,counter,value");
+  std::size_t rows = 0;
+  while (std::getline(is, line)) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 3) << line;
+    ++rows;
+  }
+  EXPECT_GT(rows, 0u);
+}
+
+TEST(TraceExport, NestingValidatorRejectsStraddlingSpans) {
+  trace::TraceBuffer buf(8);
+  auto span = [&](SimTime b, SimTime e) {
+    trace::TraceRecord r;
+    r.ts = b;
+    r.dur = e - b;
+    r.type = trace::RecordType::kSpan;
+    r.name = trace::Name::kFault;
+    buf.Push(r);
+  };
+  span(0, 100);
+  span(10, 50);  // nested: fine
+  std::string err;
+  EXPECT_TRUE(trace::ValidateSpanNesting(buf, &err)) << err;
+  span(60, 150);  // straddles the [0,100) parent
+  EXPECT_FALSE(trace::ValidateSpanNesting(buf, &err));
+  EXPECT_NE(err.find("straddles"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: tracing must never perturb the simulation
+// ---------------------------------------------------------------------------
+
+TEST(TraceDeterminism, ReportsByteIdenticalTracingOnAndOff) {
+  auto off = RunTraced(false);
+  auto on = RunTraced(true);
+
+  std::ostringstream csv_off, csv_on, json_off, json_on;
+  core::WriteCsv(csv_off, off->system(), "d");
+  core::WriteCsv(csv_on, on->system(), "d");
+  core::WriteJson(json_off, off->system(), "d");
+  core::WriteJson(json_on, on->system(), "d");
+  EXPECT_EQ(csv_off.str(), csv_on.str());
+  EXPECT_EQ(json_off.str(), json_on.str());
+
+  // Same simulated outcome instant for every app.
+  for (std::size_t i = 0; i < off->system().app_count(); ++i)
+    EXPECT_EQ(off->system().metrics(i).finish_time,
+              on->system().metrics(i).finish_time);
+
+  // And the traced run actually recorded something — the comparison above
+  // is meaningless if tracing silently failed to engage.
+  EXPECT_GT(on->system().tracer().buffer().size(), 0u);
+  EXPECT_EQ(off->system().tracer().buffer().size(), 0u);
+}
+
+}  // namespace
+}  // namespace canvas
