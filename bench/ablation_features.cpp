@@ -4,6 +4,9 @@
 // (§4 isolation -> §5.1 adaptive allocation -> §5.2 two-tier prefetch ->
 // §5.3 horizontal scheduling), and also removed one-at-a-time from the full
 // system (leave-one-out), exposing interactions the cumulative view hides.
+//
+// 14 independent runs (4 solos + 10 variants) executed as one SweepEngine
+// grid on CANVAS_JOBS worker threads.
 #include <cmath>
 
 #include "bench_util.h"
@@ -18,23 +21,22 @@ struct Variant {
   core::SystemConfig cfg;
 };
 
-void Report(TablePrinter& table, const Variant& v, double scale,
+void Report(TablePrinter& table, const std::string& label,
+            const orchestrator::RunResult& r,
             const std::vector<SimTime>& solo) {
-  core::Experiment e(v.cfg, ManagedPlusNatives("spark-lr", scale, 0.25));
-  e.Run();
+  auto finish = [&](std::size_t i) { return r.apps[i].metrics.finish_time; };
   double geo = 1.0;
-  for (int i = 0; i < 4; ++i)
-    geo *= core::Slowdown(e.FinishTime(std::size_t(i)),
-                          solo[std::size_t(i)]);
+  for (std::size_t i = 0; i < 4; ++i)
+    geo *= core::Slowdown(finish(i), solo[i]);
   geo = std::sqrt(std::sqrt(geo));
-  const auto& spark = e.system().metrics(0);
-  table.AddRow({v.label,
-                X(core::Slowdown(e.FinishTime(0), solo[0])),
-                X(core::Slowdown(e.FinishTime(2), solo[2])),
+  const auto& spark = r.apps[0].metrics;
+  table.AddRow({label,
+                X(core::Slowdown(finish(0), solo[0])),
+                X(core::Slowdown(finish(2), solo[2])),
                 X(geo),
                 Pct(spark.ContributionPct()),
                 std::to_string(spark.lockfree_swapouts),
-                std::to_string(e.system().scheduler().drops())});
+                std::to_string(r.sched_drops)});
 }
 
 }  // namespace
@@ -43,13 +45,6 @@ int main() {
   double scale = ScaleFromEnv(0.25);
   std::vector<std::string> names{"spark-lr", "snappy", "memcached",
                                  "xgboost"};
-  std::vector<SimTime> solo;
-  for (auto& n : names)
-    solo.push_back(Solo(n, scale, 0.25, core::SystemConfig::Linux55()));
-
-  TablePrinter table({"variant", "spark slowdown", "memcached slowdown",
-                      "geomean slowdown", "spark contrib",
-                      "spark lock-free", "drops"});
 
   // Cumulative build-up.
   auto linux = core::SystemConfig::Linux55();
@@ -61,16 +56,6 @@ int main() {
   iso_alloc_pf.prefetcher = core::PrefetcherKind::kTwoTier;
   iso_alloc_pf.name = "isolation+adaptive+two-tier";
   auto full = core::SystemConfig::CanvasFull();
-
-  PrintBanner("Ablation (cumulative): Spark-LR + natives, 25% memory");
-  for (const Variant& v :
-       {Variant{"linux 5.5", linux}, Variant{"+ isolation (§4)", iso},
-        Variant{"+ adaptive alloc (§5.1)", iso_alloc},
-        Variant{"+ two-tier prefetch (§5.2)", iso_alloc_pf},
-        Variant{"+ horizontal sched (§5.3) = full", full}}) {
-    Report(table, v, scale, solo);
-  }
-  table.Print();
 
   // Leave-one-out from full Canvas.
   auto no_iso = full;
@@ -89,17 +74,52 @@ int main() {
   no_horiz.horizontal_sched = false;
   no_horiz.name = "full - horizontal";
 
+  const std::vector<Variant> cumulative = {
+      {"linux 5.5", linux},
+      {"+ isolation (§4)", iso},
+      {"+ adaptive alloc (§5.1)", iso_alloc},
+      {"+ two-tier prefetch (§5.2)", iso_alloc_pf},
+      {"+ horizontal sched (§5.3) = full", full}};
+  const std::vector<Variant> leave_one_out = {
+      {"full canvas", full},
+      {"- isolation", no_iso},
+      {"- adaptive alloc", no_alloc},
+      {"- two-tier prefetch", no_pf},
+      {"- horizontal sched", no_horiz}};
+
+  std::vector<orchestrator::RunSpec> specs;
+  std::vector<std::size_t> solo_idx;
+  for (auto& n : names)
+    solo_idx.push_back(
+        AddRun(specs, "solo/" + n, linux, {Build(n, scale, 0.25)}));
+  std::vector<std::size_t> cum_idx, loo_idx;
+  for (const Variant& v : cumulative)
+    cum_idx.push_back(AddRun(specs, "cumulative/" + v.cfg.name, v.cfg,
+                             CorunBuilds("spark-lr", scale, 0.25)));
+  for (const Variant& v : leave_one_out)
+    loo_idx.push_back(AddRun(specs, "loo/" + v.cfg.name, v.cfg,
+                             CorunBuilds("spark-lr", scale, 0.25)));
+
+  auto sweep = RunSweep(std::move(specs));
+
+  std::vector<SimTime> solo;
+  for (std::size_t i : solo_idx)
+    solo.push_back(sweep.runs[i].apps[0].metrics.finish_time);
+
+  TablePrinter table({"variant", "spark slowdown", "memcached slowdown",
+                      "geomean slowdown", "spark contrib",
+                      "spark lock-free", "drops"});
+  PrintBanner("Ablation (cumulative): Spark-LR + natives, 25% memory");
+  for (std::size_t i = 0; i < cumulative.size(); ++i)
+    Report(table, cumulative[i].label, sweep.runs[cum_idx[i]], solo);
+  table.Print();
+
   TablePrinter loo({"variant", "spark slowdown", "memcached slowdown",
                     "geomean slowdown", "spark contrib", "spark lock-free",
                     "drops"});
   PrintBanner("Ablation (leave-one-out from full Canvas)");
-  for (const Variant& v :
-       {Variant{"full canvas", full}, Variant{"- isolation", no_iso},
-        Variant{"- adaptive alloc", no_alloc},
-        Variant{"- two-tier prefetch", no_pf},
-        Variant{"- horizontal sched", no_horiz}}) {
-    Report(loo, v, scale, solo);
-  }
+  for (std::size_t i = 0; i < leave_one_out.size(); ++i)
+    Report(loo, leave_one_out[i].label, sweep.runs[loo_idx[i]], solo);
   loo.Print();
   std::puts("\nGeomean over the four co-running apps, vs solo Linux 5.5.");
   return 0;

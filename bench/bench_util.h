@@ -1,15 +1,23 @@
 // Shared helpers for the reproduction benches (one binary per paper
 // table/figure). Every bench prints paper-style rows via TablePrinter and
-// honours CANVAS_SCALE (workload scale factor) and CANVAS_SEED from the
-// environment so the whole suite can be dialed up or down.
+// honours CANVAS_SCALE (workload scale factor), CANVAS_SEED and
+// CANVAS_JOBS (sweep worker threads) from the environment so the whole
+// suite can be dialed up or down.
+//
+// Apps are composed through core::AppBuild / ExperimentSpec — the same
+// declarative surface canvasctl and the orchestrator use — so a bench run
+// is a plain value that can be handed to the SweepEngine and executed on
+// any number of worker threads without changing its result.
 #pragma once
 
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/table.h"
 #include "core/experiment.h"
+#include "orchestrator/sweep.h"
 #include "workload/apps.h"
 
 namespace canvas::bench {
@@ -24,45 +32,75 @@ inline std::uint64_t SeedFromEnv() {
   return s ? std::strtoull(s, nullptr, 10) : 7;
 }
 
-/// Cores per application, following the paper's §6 setup: managed apps 24,
-/// XGBoost 16, Memcached 4, Snappy 1.
-inline std::uint32_t PaperCores(const std::string& name) {
-  if (name == "xgboost") return 16;
-  if (name == "memcached") return 4;
-  if (name == "snappy") return 1;
-  return 24;
+/// Sweep worker threads: CANVAS_JOBS, default = hardware concurrency.
+inline unsigned JobsFromEnv() {
+  const char* s = std::getenv("CANVAS_JOBS");
+  if (s) return std::max(1u, unsigned(std::atoi(s)));
+  return std::max(1u, std::thread::hardware_concurrency());
 }
 
-inline core::AppSpec Spec(const std::string& name, double scale,
-                          double ratio,
-                          std::uint32_t cores = 0,
-                          std::uint64_t seed = 0) {
-  workload::AppParams p;
-  p.scale = scale;
-  p.seed = seed ? seed : SeedFromEnv();
-  auto w = workload::MakeByName(name, p);
-  auto cg = workload::CgroupFor(w, ratio,
-                                cores ? cores : PaperCores(name));
-  return core::AppSpec{std::move(w), std::move(cg)};
+/// One application of a co-run, paper defaults applied (cores via
+/// core::PaperCores, seed via CANVAS_SEED).
+inline core::AppBuild Build(const std::string& name, double scale,
+                            double ratio, std::uint32_t cores = 0,
+                            std::uint64_t seed = 0) {
+  core::AppBuild b;
+  b.name = name;
+  b.scale = scale;
+  b.ratio = ratio;
+  b.cores = cores;
+  b.seed = seed ? seed : SeedFromEnv();
+  return b;
 }
 
 /// The paper's standard co-run: one managed app plus the three natives.
+inline std::vector<core::AppBuild> CorunBuilds(const std::string& managed,
+                                               double scale, double ratio) {
+  return {Build(managed, scale, ratio), Build("snappy", scale, ratio),
+          Build("memcached", scale, ratio), Build("xgboost", scale, ratio)};
+}
+
+/// RunSpec at the next index of `specs` (bench drivers build their grid
+/// explicitly and read results back by position).
+inline std::size_t AddRun(std::vector<orchestrator::RunSpec>& specs,
+                          std::string label, core::SystemConfig cfg,
+                          std::vector<core::AppBuild> apps) {
+  orchestrator::RunSpec r;
+  r.index = specs.size();
+  r.label = std::move(label);
+  r.exp.config = std::move(cfg);
+  r.exp.apps = std::move(apps);
+  specs.push_back(std::move(r));
+  return specs.size() - 1;
+}
+
+/// Execute a bench grid on the CANVAS_JOBS-sized pool.
+inline orchestrator::SweepResult RunSweep(
+    std::vector<orchestrator::RunSpec> specs, unsigned jobs = 0) {
+  orchestrator::SweepOptions opts;
+  opts.jobs = jobs ? jobs : JobsFromEnv();
+  orchestrator::SweepEngine engine(opts);
+  return engine.Run(std::move(specs));
+}
+
+/// Legacy single-run helpers (non-ported benches): materialize and run in
+/// the calling thread.
+inline core::AppSpec Spec(const std::string& name, double scale,
+                          double ratio, std::uint32_t cores = 0,
+                          std::uint64_t seed = 0) {
+  auto apps = core::BuildApps({Build(name, scale, ratio, cores, seed)});
+  return std::move(apps.front());
+}
+
 inline std::vector<core::AppSpec> ManagedPlusNatives(
     const std::string& managed, double scale, double ratio) {
-  std::vector<core::AppSpec> apps;
-  apps.push_back(Spec(managed, scale, ratio));
-  apps.push_back(Spec("snappy", scale, ratio));
-  apps.push_back(Spec("memcached", scale, ratio));
-  apps.push_back(Spec("xgboost", scale, ratio));
-  return apps;
+  return core::BuildApps(CorunBuilds(managed, scale, ratio));
 }
 
 /// Run one app alone under `cfg`; returns its makespan.
 inline SimTime Solo(const std::string& name, double scale, double ratio,
                     const core::SystemConfig& cfg) {
-  std::vector<core::AppSpec> apps;
-  apps.push_back(Spec(name, scale, ratio));
-  core::Experiment e(cfg, std::move(apps));
+  core::Experiment e(cfg, core::BuildApps({Build(name, scale, ratio)}));
   e.Run();
   return e.FinishTime(0);
 }

@@ -2,6 +2,9 @@
 // individually, on tuned Linux 5.5. Native apps co-run with Spark-LR (blue
 // bars) or Neo4j (orange bars). Paper result: overall 3.9x / 2.2x slowdown;
 // high-thread-count apps (Spark) invade the others' resources.
+//
+// All runs (8 solos + 2 co-runs) are independent, so the whole figure is
+// one SweepEngine grid executed on CANVAS_JOBS worker threads.
 #include <cmath>
 
 #include "bench_util.h"
@@ -12,25 +15,39 @@ using namespace canvas::bench;
 int main() {
   double scale = ScaleFromEnv(0.3);
   auto linux = core::SystemConfig::Linux55();
+  const std::vector<std::string> managed_apps = {"spark-lr", "neo4j"};
+
+  std::vector<orchestrator::RunSpec> specs;
+  std::vector<std::vector<std::size_t>> solo_idx(managed_apps.size());
+  std::vector<std::size_t> corun_idx;
+  for (std::size_t g = 0; g < managed_apps.size(); ++g) {
+    const std::string& managed = managed_apps[g];
+    const std::vector<std::string> names = {managed, "snappy", "memcached",
+                                            "xgboost"};
+    for (const std::string& n : names)
+      solo_idx[g].push_back(
+          AddRun(specs, "solo/" + n, linux, {Build(n, scale, 0.25)}));
+    corun_idx.push_back(AddRun(specs, "corun/" + managed, linux,
+                               CorunBuilds(managed, scale, 0.25)));
+  }
+
+  auto sweep = RunSweep(std::move(specs));
 
   PrintBanner("Figure 2: co-run slowdown vs individual runs (Linux 5.5)");
   TablePrinter table({"co-runner", "snappy", "memcached", "xgboost",
                       "managed app itself", "overall natives"});
-  for (const std::string managed : {"spark-lr", "neo4j"}) {
-    std::vector<std::string> names{managed, "snappy", "memcached", "xgboost"};
-    std::vector<SimTime> solo;
-    for (auto& n : names) solo.push_back(Solo(n, scale, 0.25, linux));
-
-    core::Experiment e(linux, ManagedPlusNatives(managed, scale, 0.25));
-    e.Run();
+  for (std::size_t g = 0; g < managed_apps.size(); ++g) {
+    const auto& corun = sweep.runs[corun_idx[g]];
     double geo = 1.0;
     std::vector<double> sd(4);
-    for (int i = 0; i < 4; ++i)
-      sd[std::size_t(i)] = core::Slowdown(e.FinishTime(std::size_t(i)),
-                                          solo[std::size_t(i)]);
+    for (std::size_t i = 0; i < 4; ++i) {
+      SimTime solo = sweep.runs[solo_idx[g][i]].apps[0].metrics.finish_time;
+      sd[i] = core::Slowdown(corun.apps[i].metrics.finish_time, solo);
+    }
     for (int i = 1; i < 4; ++i) geo *= sd[std::size_t(i)];
     geo = std::pow(geo, 1.0 / 3.0);
-    table.AddRow({managed, X(sd[1]), X(sd[2]), X(sd[3]), X(sd[0]), X(geo)});
+    table.AddRow({managed_apps[g], X(sd[1]), X(sd[2]), X(sd[3]), X(sd[0]),
+                  X(geo)});
   }
   table.Print();
   std::puts("\nPaper: natives slow down ~3.9x with Spark, ~2.2x with Neo4j;"

@@ -4,6 +4,10 @@
 // Fastswap, co-run Canvas (all optimizations). Paper result: Canvas improves
 // co-run performance up to 6.2x (avg 3.5x) at 25% and up to 3.8x (avg 1.9x)
 // at 50%.
+//
+// 56 independent runs (2 ratios x 4 groups x (4 solos + 3 co-runs)) — the
+// figure that dominated tier-1 wall-clock serially — now one SweepEngine
+// grid on CANVAS_JOBS worker threads.
 #include <cmath>
 
 #include "bench_util.h"
@@ -13,42 +17,69 @@ using namespace canvas::bench;
 
 int main() {
   double scale = ScaleFromEnv(0.25);
+  const std::vector<std::string> groups = {"spark-lr", "spark-km",
+                                           "cassandra", "neo4j"};
+  const std::vector<double> ratios = {0.25, 0.50};
+  struct CorunSystem {
+    const char* label;
+    core::SystemConfig (*make)();
+  };
+  const std::vector<CorunSystem> systems = {
+      {"linux", &core::SystemConfig::Linux55},
+      {"fastswap", &core::SystemConfig::Fastswap},
+      {"canvas", &core::SystemConfig::CanvasFull}};
 
-  for (double ratio : {0.25, 0.50}) {
+  // Grid: per (ratio, group) four solos then the three co-runs.
+  std::vector<orchestrator::RunSpec> specs;
+  struct GroupRuns {
+    std::vector<std::size_t> solo;   // one per app in the group
+    std::vector<std::size_t> corun;  // one per co-run system
+  };
+  std::vector<std::vector<GroupRuns>> grid(ratios.size());
+  for (std::size_t ri = 0; ri < ratios.size(); ++ri) {
+    for (const std::string& managed : groups) {
+      GroupRuns runs;
+      const std::vector<std::string> names = {managed, "snappy", "memcached",
+                                              "xgboost"};
+      for (const std::string& n : names)
+        runs.solo.push_back(AddRun(specs, "solo/" + n,
+                                   core::SystemConfig::Linux55(),
+                                   {Build(n, scale, ratios[ri])}));
+      for (const CorunSystem& s : systems)
+        runs.corun.push_back(
+            AddRun(specs, std::string("corun/") + s.label + "/" + managed,
+                   s.make(), CorunBuilds(managed, scale, ratios[ri])));
+      grid[ri].push_back(std::move(runs));
+    }
+  }
+
+  auto sweep = RunSweep(std::move(specs));
+
+  for (std::size_t ri = 0; ri < ratios.size(); ++ri) {
+    double ratio = ratios[ri];
     PrintBanner("Figure 10 (" + TablePrinter::Num(ratio * 100, 0) +
                 "% local memory): runtime normalized to solo Linux 5.5");
     TablePrinter table({"group", "app", "solo", "corun linux", "corun fastswap",
                         "corun canvas", "canvas gain vs linux"});
     double gain_product = 1.0;
     int gain_count = 0;
-    for (const std::string managed :
-         {"spark-lr", "spark-km", "cassandra", "neo4j"}) {
-      std::vector<std::string> names{managed, "snappy", "memcached",
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const GroupRuns& runs = grid[ri][g];
+      std::vector<std::string> names{groups[g], "snappy", "memcached",
                                      "xgboost"};
-      std::vector<SimTime> solo;
-      for (auto& n : names)
-        solo.push_back(Solo(n, scale, ratio, core::SystemConfig::Linux55()));
-
-      std::vector<std::vector<SimTime>> corun;
-      for (auto mk :
-           {core::SystemConfig::Linux55, core::SystemConfig::Fastswap,
-            core::SystemConfig::CanvasFull}) {
-        core::Experiment e(mk(), ManagedPlusNatives(managed, scale, ratio));
-        e.Run();
-        std::vector<SimTime> times;
-        for (std::size_t i = 0; i < names.size(); ++i)
-          times.push_back(e.FinishTime(i));
-        corun.push_back(std::move(times));
-      }
       for (std::size_t i = 0; i < names.size(); ++i) {
-        double lin = core::Slowdown(corun[0][i], solo[i]);
-        double fsw = core::Slowdown(corun[1][i], solo[i]);
-        double cvs = core::Slowdown(corun[2][i], solo[i]);
+        SimTime solo = sweep.runs[runs.solo[i]].apps[0].metrics.finish_time;
+        auto corun_time = [&](std::size_t s) {
+          return sweep.runs[runs.corun[s]].apps[i].metrics.finish_time;
+        };
+        double lin = core::Slowdown(corun_time(0), solo);
+        double fsw = core::Slowdown(corun_time(1), solo);
+        double cvs = core::Slowdown(corun_time(2), solo);
         if (cvs > 0) {
           gain_product *= lin / cvs;
           ++gain_count;
         }
-        table.AddRow({i == 0 ? managed + " group" : "", names[i], "1.00x",
+        table.AddRow({i == 0 ? groups[g] + " group" : "", names[i], "1.00x",
                       X(lin), X(fsw), X(cvs),
                       cvs > 0 ? X(lin / cvs) : "-"});
       }

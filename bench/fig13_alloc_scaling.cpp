@@ -5,6 +5,9 @@
 // allocation rate stays low; under Linux the per-entry allocation time
 // grows super-linearly (10us @16 cores -> 130us @48) and swap-out rate
 // collapses.
+//
+// 12 independent runs (6 core counts x 2 systems), executed as one
+// SweepEngine grid on CANVAS_JOBS worker threads.
 #include "bench_util.h"
 
 using namespace canvas;
@@ -19,25 +22,19 @@ struct Point {
   double per_swapout_us;  // total alloc time amortized over all swap-outs
 };
 
-Point RunOne(const core::SystemConfig& cfg, std::uint32_t cores,
-             double scale) {
-  workload::AppParams p;
-  p.scale = scale;
-  p.threads = cores;  // memcached worker per core
-  p.seed = SeedFromEnv();
-  auto w = workload::MakeMemcached(p);
-  auto cg = workload::CgroupFor(w, 0.25, cores);
-  std::vector<core::AppSpec> apps;
-  apps.push_back(core::AppSpec{std::move(w), std::move(cg)});
-  core::Experiment e(cfg, std::move(apps));
-  e.Run();
-  const auto& m = e.system().metrics(0);
+core::AppBuild MemcachedBuild(std::uint32_t cores, double scale) {
+  core::AppBuild b = Build("memcached", scale, 0.25, cores);
+  b.threads = cores;  // memcached worker per core
+  return b;
+}
+
+Point PointFrom(const orchestrator::RunResult& r) {
+  const auto& a = r.apps[0];
+  const core::AppMetrics& m = a.metrics;
   SimTime t = m.finish_time ? m.finish_time : kSecond;
-  double mean_alloc =
-      e.system().partition(0).allocator().alloc_latency().Mean();
   return {double(m.swapouts) * double(kSecond) / double(t) / 1e3,
           double(m.allocations) * double(kSecond) / double(t) / 1e3,
-          mean_alloc / double(kMicrosecond),
+          a.alloc_latency_mean_ns / double(kMicrosecond),
           m.swapouts ? double(m.alloc_time) / double(m.swapouts) /
                            double(kMicrosecond)
                      : 0.0};
@@ -47,16 +44,32 @@ Point RunOne(const core::SystemConfig& cfg, std::uint32_t cores,
 
 int main() {
   double scale = ScaleFromEnv(0.4);
+  const std::vector<std::uint32_t> core_counts = {8, 16, 24, 32, 40, 48};
+
+  std::vector<orchestrator::RunSpec> specs;
+  std::vector<std::pair<std::size_t, std::size_t>> rows;  // canvas, linux
+  for (std::uint32_t cores : core_counts) {
+    std::string suffix = "/memcached-" + std::to_string(cores) + "c";
+    std::size_t c = AddRun(specs, "canvas" + suffix,
+                           core::SystemConfig::CanvasFull(),
+                           {MemcachedBuild(cores, scale)});
+    std::size_t l = AddRun(specs, "linux" + suffix,
+                           core::SystemConfig::Linux55(),
+                           {MemcachedBuild(cores, scale)});
+    rows.emplace_back(c, l);
+  }
+
+  auto sweep = RunSweep(std::move(specs));
 
   PrintBanner("Figure 13: entry allocation vs core count, Memcached solo "
               "(25% local memory)");
   TablePrinter table({"cores", "canvas swap-out K/s", "canvas alloc K/s",
                       "canvas amortized", "linux swap-out K/s",
                       "linux alloc K/s", "linux amortized"});
-  for (std::uint32_t cores : {8u, 16u, 24u, 32u, 40u, 48u}) {
-    Point canvas = RunOne(core::SystemConfig::CanvasFull(), cores, scale);
-    Point linux = RunOne(core::SystemConfig::Linux55(), cores, scale);
-    table.AddRow({std::to_string(cores),
+  for (std::size_t i = 0; i < core_counts.size(); ++i) {
+    Point canvas = PointFrom(sweep.runs[rows[i].first]);
+    Point linux = PointFrom(sweep.runs[rows[i].second]);
+    table.AddRow({std::to_string(core_counts[i]),
                   TablePrinter::Num(canvas.swapout_rate_kps, 0),
                   TablePrinter::Num(canvas.alloc_rate_kps, 0),
                   TablePrinter::Num(canvas.per_swapout_us, 1) + "us",

@@ -1,0 +1,121 @@
+// Sweep orchestrator benchmark (DESIGN.md §10).
+//
+// Runs the same 32-run ScenarioSpec grid twice — serially (--jobs=1) and
+// on a worker pool (default 8 threads, CANVAS_SWEEP_JOBS to override) —
+// verifies the two aggregated reports are byte-identical (the engine's
+// core determinism contract), and writes BENCH_sweep.json with the
+// serial-vs-parallel wall-clock speedup, per-run timings and peak RSS.
+//
+// The speedup is hardware-bound: runs are pure CPU, so the recorded value
+// tracks the machine's usable core count (~Nx on N >= jobs cores, ~1x in
+// a single-core container). hardware_concurrency is recorded alongside so
+// consumers can normalize.
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "bench_util.h"
+#include "core/report.h"
+
+using namespace canvas;
+using namespace canvas::bench;
+
+namespace {
+
+orchestrator::ScenarioSpec MakeScenario(bool quick) {
+  // 4 systems x 2 ratios x 2 scales x 2 seeds = 32 runs.
+  orchestrator::ScenarioSpec spec;
+  spec.systems = {"linux", "fastswap", "leap", "canvas"};
+  spec.apps = {core::AppBuild{"memcached"}, core::AppBuild{"snappy"}};
+  spec.ratios = {0.25, 0.50};
+  spec.scales = quick ? std::vector<double>{0.04, 0.06}
+                      : std::vector<double>{0.10, 0.15};
+  spec.seeds = {7, 11};
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const char* env = std::getenv("CANVAS_SWEEP_JSON");
+  std::string json_path = env ? env : "BENCH_sweep.json";
+  const char* jobs_env = std::getenv("CANVAS_SWEEP_JOBS");
+  unsigned par_jobs = jobs_env ? std::max(1, std::atoi(jobs_env)) : 8u;
+
+  PrintBanner("Sweep orchestrator benchmark (32-run grid)");
+  orchestrator::ScenarioSpec scenario = MakeScenario(quick);
+  std::printf("grid: %zu runs (%zu systems x %zu ratios x %zu scales x "
+              "%zu seeds), hardware_concurrency=%u\n",
+              scenario.RunCount(), scenario.systems.size(),
+              scenario.ratios.size(), scenario.scales.size(),
+              scenario.seeds.size(), std::thread::hardware_concurrency());
+
+  orchestrator::SweepOptions serial_opts;
+  serial_opts.jobs = 1;
+  serial_opts.progress = true;
+  orchestrator::SweepEngine serial_engine(serial_opts);
+  auto serial = serial_engine.Run(scenario);
+
+  orchestrator::SweepOptions par_opts;
+  par_opts.jobs = par_jobs;
+  par_opts.progress = true;
+  orchestrator::SweepEngine par_engine(par_opts);
+  auto parallel = par_engine.Run(scenario);
+
+  std::ostringstream agg_serial, agg_parallel;
+  serial.WriteJson(agg_serial, /*include_timing=*/false);
+  parallel.WriteJson(agg_parallel, /*include_timing=*/false);
+  bool identical = agg_serial.str() == agg_parallel.str();
+
+  double speedup =
+      parallel.wall_sec > 0 ? serial.wall_sec / parallel.wall_sec : 0;
+  std::printf("serial (1 job): %.2fs   parallel (%u jobs): %.2fs   "
+              "speedup: %.2fx   byte-identical aggregate: %s\n",
+              serial.wall_sec, par_jobs, parallel.wall_sec, speedup,
+              identical ? "yes" : "NO");
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema_version\": %d,\n", core::kReportSchemaVersion);
+  std::fprintf(f, "  \"benchmark\": \"sweep_orchestrator\",\n");
+  std::fprintf(f, "  \"run_count\": %zu,\n", serial.runs.size());
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"serial_jobs\": 1,\n");
+  std::fprintf(f, "  \"parallel_jobs\": %u,\n", par_jobs);
+  std::fprintf(f, "  \"serial_wall_sec\": %.3f,\n", serial.wall_sec);
+  std::fprintf(f, "  \"parallel_wall_sec\": %.3f,\n", parallel.wall_sec);
+  std::fprintf(f, "  \"speedup\": %.3f,\n", speedup);
+  std::fprintf(f, "  \"byte_identical_aggregate\": %s,\n",
+               identical ? "true" : "false");
+  std::fprintf(f, "  \"all_ok\": %s,\n",
+               serial.all_ok && parallel.all_ok ? "true" : "false");
+  std::fprintf(f, "  \"per_run\": [\n");
+  for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+    const orchestrator::RunResult& s = serial.runs[i];
+    const orchestrator::RunResult& p = parallel.runs[i];
+    std::fprintf(f,
+                 "    {\"label\": \"%s\", \"serial_wall_sec\": %.3f, "
+                 "\"parallel_wall_sec\": %.3f, \"sim_events\": %llu}%s\n",
+                 s.label.c_str(), s.wall_sec, p.wall_sec,
+                 (unsigned long long)s.sim_events,
+                 i + 1 < serial.runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::uint64_t peak_rss = 0;
+  for (const orchestrator::RunResult& r : parallel.runs)
+    peak_rss = std::max(peak_rss, r.peak_rss_bytes);
+  std::fprintf(f, "  \"peak_rss_bytes\": %llu\n",
+               (unsigned long long)peak_rss);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+  return identical && serial.all_ok && parallel.all_ok ? 0 : 1;
+}

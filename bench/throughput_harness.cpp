@@ -27,6 +27,7 @@
 
 #include "bench_util.h"
 #include "fault/fault_plan.h"
+#include "orchestrator/sweep.h"
 #include "sim/simulator.h"
 
 namespace canvas::bench {
@@ -297,27 +298,33 @@ int main(int argc, char** argv) {
               fast_eps / legacy_eps);
 
   // --- representative figure scenarios ---
+  // Composed as RunSpecs and executed by the SweepEngine with jobs=1: the
+  // per-run wall clock is the quantity being measured, so runs must not
+  // contend with each other for cores.
   double scale = ScaleFromEnv(quick ? 0.05 : 0.15);
-  std::vector<ScenarioResult> scenarios;
-
-  scenarios.push_back(RunScenario(
-      "fig02_linux55_corun", core::SystemConfig::Linux55(),
-      ManagedPlusNatives("spark-lr", scale, 0.25)));
-  scenarios.push_back(RunScenario(
-      "fig10_canvas_corun", core::SystemConfig::CanvasFull(),
-      ManagedPlusNatives("spark-lr", scale, 0.25)));
+  std::vector<orchestrator::RunSpec> scenario_specs;
+  AddRun(scenario_specs, "fig02_linux55_corun", core::SystemConfig::Linux55(),
+         CorunBuilds("spark-lr", scale, 0.25));
+  AddRun(scenario_specs, "fig10_canvas_corun", core::SystemConfig::CanvasFull(),
+         CorunBuilds("spark-lr", scale, 0.25));
   {
-    workload::AppParams p;
-    p.scale = scale;
-    p.threads = 16;
-    p.seed = SeedFromEnv();
-    auto w = workload::MakeMemcached(p);
-    auto cg = workload::CgroupFor(w, 0.25, 16);
-    std::vector<core::AppSpec> apps;
-    apps.push_back(core::AppSpec{std::move(w), std::move(cg)});
-    scenarios.push_back(RunScenario(
-        "fig13_memcached_16c", core::SystemConfig::CanvasFull(),
-        std::move(apps)));
+    core::AppBuild b = Build("memcached", scale, 0.25, /*cores=*/16);
+    b.threads = 16;
+    AddRun(scenario_specs, "fig13_memcached_16c",
+           core::SystemConfig::CanvasFull(), {std::move(b)});
+  }
+  auto scenario_sweep = RunSweep(std::move(scenario_specs), /*jobs=*/1);
+
+  std::vector<ScenarioResult> scenarios;
+  for (const orchestrator::RunResult& r : scenario_sweep.runs) {
+    ScenarioResult s;
+    s.name = r.label;
+    s.wall_sec = r.wall_sec;
+    s.sim_events = r.sim_events;
+    s.events_per_sec = s.wall_sec > 0 ? double(s.sim_events) / s.wall_sec : 0;
+    for (const orchestrator::AppResult& a : r.apps)
+      s.finish_sec.push_back(double(a.metrics.finish_time) / double(kSecond));
+    scenarios.push_back(std::move(s));
   }
 
   TablePrinter table({"scenario", "wall sec", "sim events", "events/sec"});

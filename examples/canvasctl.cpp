@@ -5,26 +5,47 @@
 // the adoption surface for using this repository as a far-memory
 // swap-policy simulator rather than only as a paper reproduction.
 //
-// Usage:
-//   canvasctl [options] app[:cores] [app[:cores] ...]
+// Subcommands:
+//   canvasctl run   [options] app[:cores] ...   one experiment
+//   canvasctl sweep [options] app[:cores] ...   grid of experiments on a
+//                                               worker pool (SweepEngine)
+//   canvasctl list-apps                         Table 2 application names
+//   canvasctl list-systems                      system presets + aliases
 //
-// Options:
-//   --system=NAME    linux | infiniswap | leap | fastswap | isolation |
-//                    canvas (default: canvas)
-//   --ratio=R        local memory fraction of working set (default 0.25)
+// Shared options (run + sweep):
+//   --system=NAME    preset from `canvasctl list-systems` (default canvas)
 //   --scale=S        workload scale factor (default 0.3)
+//   --ratio=R        local memory fraction of working set (default 0.25)
 //   --seed=N         workload seed (default 7)
-//   --format=F       table | csv | json (default table)
 //   --no-adaptive    disable adaptive swap-entry allocation
 //   --no-horizontal  disable timeliness-based prefetch dropping
 //   --prefetcher=P   none | readahead | leap | two-tier (override preset)
-//   --list           list available applications and exit
+//
+// run-only options:
+//   --format=F       table | csv | json (default table)
+//
+// sweep-only options (comma-separated lists expand as a full grid):
+//   --systems=A,B    preset axis (overrides --system)
+//   --ratios=R1,R2   local-memory-ratio axis (overrides --ratio)
+//   --scales=S1,S2   scale axis (overrides --scale)
+//   --seeds=N1,N2    seed axis (overrides --seed)
+//   --jobs=N         worker threads (default: hardware concurrency)
+//   --max-live=N     cap concurrently live swap systems (default: jobs)
+//   --cancel-on-failure   stop dispatching after the first failed run
+//   --progress       progress line on stderr
+//   --out=PATH       write the sweep JSON there instead of stdout
+//
+// The pre-subcommand flat form (`canvasctl --system=... app ...`) still
+// works as an alias for `canvasctl run` but is deprecated; see --help.
 //
 // Examples:
-//   canvasctl spark-lr snappy memcached xgboost
-//   canvasctl --system=linux --format=csv cassandra:24 memcached:4
+//   canvasctl run spark-lr snappy memcached xgboost
+//   canvasctl run --system=linux --format=csv cassandra:24 memcached:4
+//   canvasctl sweep --systems=linux,canvas --ratios=0.25,0.5 --jobs=8
+//       spark-lr snappy memcached xgboost        (one command line)
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -32,6 +53,7 @@
 #include "common/table.h"
 #include "core/experiment.h"
 #include "core/report.h"
+#include "orchestrator/sweep.h"
 #include "workload/apps.h"
 
 using namespace canvas;
@@ -39,125 +61,180 @@ using namespace canvas;
 namespace {
 
 struct Options {
-  std::string system = "canvas";
-  double ratio = 0.25;
-  double scale = 0.3;
-  std::uint64_t seed = 7;
+  std::vector<std::string> systems = {"canvas"};
+  std::vector<double> ratios = {0.25};
+  std::vector<double> scales = {0.3};
+  std::vector<std::uint64_t> seeds = {7};
   std::string format = "table";
-  bool no_adaptive = false;
-  bool no_horizontal = false;
-  std::string prefetcher;
+  orchestrator::FeatureOverrides overrides;
+  // sweep execution
+  unsigned jobs = 0;  // 0 = hardware concurrency
+  unsigned max_live = 0;
+  bool cancel_on_failure = false;
+  bool progress = false;
+  std::string out;
   std::vector<std::pair<std::string, std::uint32_t>> apps;
 };
 
-core::SystemConfig ResolveSystem(const Options& opt) {
-  core::SystemConfig cfg;
-  if (opt.system == "linux") cfg = core::SystemConfig::Linux55();
-  else if (opt.system == "infiniswap") cfg = core::SystemConfig::Infiniswap();
-  else if (opt.system == "leap") cfg = core::SystemConfig::InfiniswapLeap();
-  else if (opt.system == "fastswap") cfg = core::SystemConfig::Fastswap();
-  else if (opt.system == "isolation")
-    cfg = core::SystemConfig::CanvasIsolation();
-  else if (opt.system == "canvas") cfg = core::SystemConfig::CanvasFull();
-  else {
-    std::fprintf(stderr, "unknown system '%s'\n", opt.system.c_str());
+int Usage(FILE* to, int code) {
+  std::fprintf(
+      to,
+      "usage: canvasctl run   [options] app[:cores] ...\n"
+      "       canvasctl sweep [--systems=A,B] [--ratios=..] [--scales=..]\n"
+      "                       [--seeds=..] [--jobs=N] [--max-live=N]\n"
+      "                       [--cancel-on-failure] [--progress] [--out=F]\n"
+      "                       app[:cores] ...\n"
+      "       canvasctl list-apps\n"
+      "       canvasctl list-systems\n"
+      "options: --system=NAME --ratio=R --scale=S --seed=N\n"
+      "         --format=table|csv|json --no-adaptive --no-horizontal\n"
+      "         --prefetcher=none|readahead|leap|two-tier\n"
+      "note: the old flat form `canvasctl [options] app ...` (without a\n"
+      "subcommand) is deprecated; use `canvasctl run ...`.\n");
+  return code;
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+core::SystemConfig ResolveSystem(const std::string& name,
+                                 const orchestrator::FeatureOverrides& ov) {
+  auto cfg = core::SystemConfig::FromName(name);
+  if (!cfg) {
+    std::fprintf(stderr,
+                 "unknown system '%s' (see `canvasctl list-systems`)\n",
+                 name.c_str());
     std::exit(2);
   }
-  if (opt.no_adaptive) cfg.adaptive_alloc = false;
-  if (opt.no_horizontal) cfg.horizontal_sched = false;
-  if (!opt.prefetcher.empty()) {
-    if (opt.prefetcher == "none") cfg.prefetcher = core::PrefetcherKind::kNone;
-    else if (opt.prefetcher == "readahead")
-      cfg.prefetcher = core::PrefetcherKind::kReadahead;
-    else if (opt.prefetcher == "leap")
-      cfg.prefetcher = core::PrefetcherKind::kLeap;
-    else if (opt.prefetcher == "two-tier")
-      cfg.prefetcher = core::PrefetcherKind::kTwoTier;
-    else {
+  ov.Apply(*cfg);
+  return *cfg;
+}
+
+bool ParseCommon(const std::string& arg, Options& opt) {
+  auto value = [&](const char* prefix) {
+    return arg.substr(std::strlen(prefix));
+  };
+  if (arg.rfind("--system=", 0) == 0) {
+    opt.systems = {value("--system=")};
+  } else if (arg.rfind("--ratio=", 0) == 0) {
+    opt.ratios = {std::atof(value("--ratio=").c_str())};
+  } else if (arg.rfind("--scale=", 0) == 0) {
+    opt.scales = {std::atof(value("--scale=").c_str())};
+  } else if (arg.rfind("--seed=", 0) == 0) {
+    opt.seeds = {std::strtoull(value("--seed=").c_str(), nullptr, 10)};
+  } else if (arg.rfind("--format=", 0) == 0) {
+    opt.format = value("--format=");
+  } else if (arg.rfind("--prefetcher=", 0) == 0) {
+    auto kind = orchestrator::PrefetcherFromName(value("--prefetcher="));
+    if (!kind) {
       std::fprintf(stderr, "unknown prefetcher '%s'\n",
-                   opt.prefetcher.c_str());
+                   value("--prefetcher=").c_str());
       std::exit(2);
     }
+    opt.overrides.prefetcher = *kind;
+  } else if (arg == "--no-adaptive") {
+    opt.overrides.adaptive_alloc = false;
+  } else if (arg == "--no-horizontal") {
+    opt.overrides.horizontal_sched = false;
+  } else {
+    return false;
   }
-  return cfg;
+  return true;
 }
 
-std::uint32_t DefaultCores(const std::string& name) {
-  if (name == "xgboost") return 16;
-  if (name == "memcached") return 4;
-  if (name == "snappy") return 1;
-  return 24;
+bool ParseSweepOnly(const std::string& arg, Options& opt) {
+  auto value = [&](const char* prefix) {
+    return arg.substr(std::strlen(prefix));
+  };
+  if (arg.rfind("--systems=", 0) == 0) {
+    opt.systems = SplitCommas(value("--systems="));
+  } else if (arg.rfind("--ratios=", 0) == 0) {
+    opt.ratios.clear();
+    for (const std::string& v : SplitCommas(value("--ratios=")))
+      opt.ratios.push_back(std::atof(v.c_str()));
+  } else if (arg.rfind("--scales=", 0) == 0) {
+    opt.scales.clear();
+    for (const std::string& v : SplitCommas(value("--scales=")))
+      opt.scales.push_back(std::atof(v.c_str()));
+  } else if (arg.rfind("--seeds=", 0) == 0) {
+    opt.seeds.clear();
+    for (const std::string& v : SplitCommas(value("--seeds=")))
+      opt.seeds.push_back(std::strtoull(v.c_str(), nullptr, 10));
+  } else if (arg.rfind("--jobs=", 0) == 0) {
+    opt.jobs = unsigned(std::atoi(value("--jobs=").c_str()));
+  } else if (arg.rfind("--max-live=", 0) == 0) {
+    opt.max_live = unsigned(std::atoi(value("--max-live=").c_str()));
+  } else if (arg == "--cancel-on-failure") {
+    opt.cancel_on_failure = true;
+  } else if (arg == "--progress") {
+    opt.progress = true;
+  } else if (arg.rfind("--out=", 0) == 0) {
+    opt.out = value("--out=");
+  } else {
+    return false;
+  }
+  return true;
 }
 
-bool ParseArgs(int argc, char** argv, Options& opt) {
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    auto value = [&](const char* prefix) {
-      return arg.substr(std::strlen(prefix));
-    };
-    if (arg == "--list") {
-      for (const char* n :
-           {"spark-lr", "spark-km", "spark-pr", "spark-sg", "spark-tc",
-            "mllib-bc", "graphx-cc", "graphx-pr", "graphx-sp", "cassandra",
-            "neo4j", "xgboost", "snappy", "memcached"})
-        std::puts(n);
-      std::exit(0);
-    } else if (arg.rfind("--system=", 0) == 0) {
-      opt.system = value("--system=");
-    } else if (arg.rfind("--ratio=", 0) == 0) {
-      opt.ratio = std::atof(value("--ratio=").c_str());
-    } else if (arg.rfind("--scale=", 0) == 0) {
-      opt.scale = std::atof(value("--scale=").c_str());
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      opt.seed = std::strtoull(value("--seed=").c_str(), nullptr, 10);
-    } else if (arg.rfind("--format=", 0) == 0) {
-      opt.format = value("--format=");
-    } else if (arg.rfind("--prefetcher=", 0) == 0) {
-      opt.prefetcher = value("--prefetcher=");
-    } else if (arg == "--no-adaptive") {
-      opt.no_adaptive = true;
-    } else if (arg == "--no-horizontal") {
-      opt.no_horizontal = true;
-    } else if (arg.rfind("--", 0) == 0) {
-      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
-      return false;
-    } else {
-      auto colon = arg.find(':');
-      std::string name = arg.substr(0, colon);
-      std::uint32_t cores = colon == std::string::npos
-                                ? DefaultCores(name)
-                                : std::uint32_t(std::atoi(
-                                      arg.substr(colon + 1).c_str()));
-      opt.apps.emplace_back(name, cores);
+bool ParseApp(const std::string& arg, Options& opt) {
+  auto colon = arg.find(':');
+  std::string name = arg.substr(0, colon);
+  std::uint32_t cores =
+      colon == std::string::npos
+          ? core::PaperCores(name)
+          : std::uint32_t(std::atoi(arg.substr(colon + 1).c_str()));
+  opt.apps.emplace_back(name, cores);
+  return true;
+}
+
+int ListApps() {
+  for (const std::string& n : workload::ManagedAppNames()) std::puts(n.c_str());
+  for (const char* n : {"xgboost", "snappy", "memcached"}) std::puts(n);
+  return 0;
+}
+
+int ListSystems() {
+  TablePrinter t({"name", "aliases", "description"});
+  for (const core::PresetInfo& p : core::SystemConfig::ListPresets()) {
+    std::string aliases;
+    for (std::string_view a : p.aliases) {
+      if (!aliases.empty()) aliases += ", ";
+      aliases += a;
     }
+    t.AddRow({std::string(p.name), aliases.empty() ? "-" : aliases,
+              std::string(p.description)});
   }
-  return !opt.apps.empty();
+  t.Print();
+  return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Options opt;
-  if (!ParseArgs(argc, argv, opt)) {
-    std::fprintf(stderr,
-                 "usage: canvasctl [--system=...] [--ratio=R] [--scale=S] "
-                 "[--format=table|csv|json] app[:cores] ...\n"
-                 "       canvasctl --list\n");
-    return 2;
-  }
-
-  auto cfg = ResolveSystem(opt);
-  std::vector<core::AppSpec> apps;
+int RunOne(const Options& opt) {
+  auto cfg = ResolveSystem(opt.systems.front(), opt.overrides);
+  core::ExperimentSpec spec;
+  spec.config = cfg;
   for (auto& [name, cores] : opt.apps) {
-    workload::AppParams params;
-    params.scale = opt.scale;
-    params.seed = opt.seed;
-    auto w = workload::MakeByName(name, params);
-    auto cg = workload::CgroupFor(w, opt.ratio, cores);
-    apps.push_back(core::AppSpec{std::move(w), std::move(cg)});
+    core::AppBuild b;
+    b.name = name;
+    b.scale = opt.scales.front();
+    b.ratio = opt.ratios.front();
+    b.cores = cores;
+    b.seed = opt.seeds.front();
+    spec.apps.push_back(std::move(b));
   }
 
-  core::Experiment exp(cfg, std::move(apps));
+  core::Experiment exp(spec);
   bool finished = exp.Run();
 
   if (opt.format == "csv") {
@@ -194,4 +271,75 @@ int main(int argc, char** argv) {
                 exp.system().Wmmr(rdma::Direction::kIngress));
   }
   return finished ? 0 : 1;
+}
+
+int RunSweep(const Options& opt) {
+  orchestrator::ScenarioSpec scenario;
+  scenario.systems = opt.systems;
+  scenario.overrides = opt.overrides;
+  scenario.ratios = opt.ratios;
+  scenario.scales = opt.scales;
+  scenario.seeds = opt.seeds;
+  for (auto& [name, cores] : opt.apps) {
+    core::AppBuild b;
+    b.name = name;
+    b.cores = cores;
+    scenario.apps.push_back(std::move(b));
+  }
+  // Validate preset names before spinning up the pool.
+  for (const std::string& s : scenario.systems) ResolveSystem(s, {});
+
+  orchestrator::SweepOptions sweep_opts;
+  sweep_opts.jobs = opt.jobs;
+  sweep_opts.max_live = opt.max_live;
+  sweep_opts.cancel_on_failure = opt.cancel_on_failure;
+  sweep_opts.progress = opt.progress;
+  orchestrator::SweepEngine engine(sweep_opts);
+  auto result = engine.Run(scenario);
+
+  if (!opt.out.empty()) {
+    std::ofstream os(opt.out);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
+      return 1;
+    }
+    result.WriteJson(os);
+    std::fprintf(stderr, "wrote %s (%zu runs, %u jobs, %.2fs)\n",
+                 opt.out.c_str(), result.runs.size(), result.jobs,
+                 result.wall_sec);
+  } else {
+    result.WriteJson(std::cout);
+  }
+  return result.all_ok ? 0 : 1;
+}
+
+int ParseAndRun(int argc, char** argv, int first_arg, bool sweep) {
+  Options opt;
+  for (int i = first_arg; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return Usage(stdout, 0);
+    if (ParseCommon(arg, opt)) continue;
+    if (sweep && ParseSweepOnly(arg, opt)) continue;
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return Usage(stderr, 2);
+    }
+    ParseApp(arg, opt);
+  }
+  if (opt.apps.empty()) return Usage(stderr, 2);
+  return sweep ? RunSweep(opt) : RunOne(opt);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(stderr, 2);
+  std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") return Usage(stdout, 0);
+  if (cmd == "list-apps" || cmd == "--list") return ListApps();
+  if (cmd == "list-systems") return ListSystems();
+  if (cmd == "run") return ParseAndRun(argc, argv, 2, /*sweep=*/false);
+  if (cmd == "sweep") return ParseAndRun(argc, argv, 2, /*sweep=*/true);
+  // Deprecated flat form: `canvasctl [options] app ...` == `canvasctl run`.
+  return ParseAndRun(argc, argv, 1, /*sweep=*/false);
 }

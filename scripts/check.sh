@@ -19,22 +19,41 @@ cmake -B "$BUILD" -S "$ROOT" \
 cmake --build "$BUILD" -j"$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS"
 
-# Sanitized pass over the fault + trace suites (ctest labels "fault" and
-# "trace"): the chaos/property tests drive the retry/failover paths where
-# request-lifetime bugs would hide, and the trace suite exercises the ring
-# and exporters, so they always also run under ASan+UBSan. Skipped when the
-# main build is already sanitized.
+# Sanitized pass over the fault + trace + orchestrator suites (ctest
+# labels): the chaos/property tests drive the retry/failover paths where
+# request-lifetime bugs would hide, the trace suite exercises the ring and
+# exporters, and the orchestrator suite runs multi-threaded sweeps, so
+# they always also run under ASan+UBSan. Skipped when the main build is
+# already sanitized.
 if [ -z "${CANVAS_SANITIZE:-}" ] && [ "${CANVAS_NO_ASAN_FAULT:-0}" != "1" ]; then
   SAN_BUILD="${SAN_BUILD_DIR:-$ROOT/build-asan}"
   cmake -B "$SAN_BUILD" -S "$ROOT" -DCANVAS_SANITIZE=address,undefined
   cmake --build "$SAN_BUILD" -j"$JOBS" \
-    --target fault_injection_test fault_property_test trace_test
-  ctest --test-dir "$SAN_BUILD" -L 'fault|trace' --output-on-failure -j"$JOBS"
+    --target fault_injection_test fault_property_test trace_test \
+             orchestrator_test
+  ctest --test-dir "$SAN_BUILD" -L 'fault|trace|orchestrator' \
+    --output-on-failure -j"$JOBS"
+fi
+
+# TSan pass over the orchestrator suite: the SweepEngine is the only place
+# real threads touch simulator state, so its label also runs under
+# ThreadSanitizer (which cannot be combined with ASan — separate build).
+# CANVAS_NO_TSAN=1 skips it.
+if [ -z "${CANVAS_SANITIZE:-}" ] && [ "${CANVAS_NO_TSAN:-0}" != "1" ]; then
+  TSAN_BUILD="${TSAN_BUILD_DIR:-$ROOT/build-tsan}"
+  cmake -B "$TSAN_BUILD" -S "$ROOT" -DCANVAS_SANITIZE=thread
+  cmake --build "$TSAN_BUILD" -j"$JOBS" --target orchestrator_test
+  ctest --test-dir "$TSAN_BUILD" -L orchestrator --output-on-failure -j"$JOBS"
 fi
 
 HARNESS_ARGS=()
 [ "${CANVAS_QUICK:-0}" = "1" ] && HARNESS_ARGS+=(--quick)
 CANVAS_BENCH_JSON="${CANVAS_BENCH_JSON:-$BUILD/BENCH_simulator.json}" \
   "$BUILD/bench/throughput_harness" "${HARNESS_ARGS[@]:-}"
+
+# Sweep orchestrator benchmark: serial vs parallel over the same 32-run
+# grid, with a hard byte-identity check on the aggregated results.
+CANVAS_SWEEP_JSON="${CANVAS_SWEEP_JSON:-$BUILD/BENCH_sweep.json}" \
+  "$BUILD/bench/sweep_bench" "${HARNESS_ARGS[@]:-}"
 
 echo "check.sh: all green"

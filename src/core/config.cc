@@ -68,4 +68,55 @@ SystemConfig SystemConfig::CanvasFull() {
   return c;
 }
 
+namespace {
+
+struct PresetEntry {
+  PresetInfo info;
+  SystemConfig (*make)();
+};
+
+const std::vector<PresetEntry>& Registry() {
+  static const std::vector<PresetEntry> entries = {
+      {{"linux", "tuned Linux 5.5 baseline (cluster alloc, per-VMA readahead)",
+        {"linux-5.5", "linux55"}},
+       &SystemConfig::Linux55},
+      {{"infiniswap", "Linux 4.4 era: free-list alloc, global readahead",
+        {}},
+       &SystemConfig::Infiniswap},
+      {{"leap", "Infiniswap + Leap majority-vote prefetcher",
+        {"infiniswap+leap", "infiniswap-leap"}},
+       &SystemConfig::InfiniswapLeap},
+      {{"fastswap", "Fastswap: sync/async priority scheduler, no fairness",
+        {}},
+       &SystemConfig::Fastswap},
+      {{"isolation", "Canvas isolation only (§4 partitions/caches + WFQ)",
+        {"canvas-isolation"}},
+       &SystemConfig::CanvasIsolation},
+      {{"canvas", "full Canvas: isolation + all §5 adaptive optimizations",
+        {"canvas-full"}},
+       &SystemConfig::CanvasFull},
+  };
+  return entries;
+}
+
+}  // namespace
+
+std::optional<SystemConfig> SystemConfig::FromName(std::string_view name) {
+  for (const PresetEntry& e : Registry()) {
+    if (name == e.info.name) return e.make();
+    for (std::string_view alias : e.info.aliases)
+      if (name == alias) return e.make();
+  }
+  return std::nullopt;
+}
+
+const std::vector<PresetInfo>& SystemConfig::ListPresets() {
+  static const std::vector<PresetInfo> infos = [] {
+    std::vector<PresetInfo> v;
+    for (const PresetEntry& e : Registry()) v.push_back(e.info);
+    return v;
+  }();
+  return infos;
+}
+
 }  // namespace canvas::core

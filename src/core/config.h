@@ -3,7 +3,10 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "fault/disk_backend.h"
 #include "fault/fault_plan.h"
@@ -15,6 +18,13 @@
 #include "trace/trace.h"
 
 namespace canvas::core {
+
+/// One entry of the preset registry (see SystemConfig::ListPresets).
+struct PresetInfo {
+  std::string_view name;         ///< canonical CLI name ("canvas")
+  std::string_view description;  ///< one-line summary for list output
+  std::vector<std::string_view> aliases;
+};
 
 enum class PrefetcherKind : std::uint8_t {
   kNone,
@@ -108,6 +118,13 @@ struct SystemConfig {
   static SystemConfig CanvasIsolation();
   /// Canvas with all adaptive optimizations (§5).
   static SystemConfig CanvasFull();
+
+  /// Registry lookup by preset name or alias ("linux", "linux-5.5",
+  /// "canvas", ...). The single source of truth for every CLI / bench /
+  /// sweep surface; returns nullopt for unknown names.
+  static std::optional<SystemConfig> FromName(std::string_view name);
+  /// All registered presets in display order.
+  static const std::vector<PresetInfo>& ListPresets();
 };
 
 }  // namespace canvas::core

@@ -33,7 +33,8 @@ std::string JsonEscape(const std::string& s) {
 
 void WriteCsv(std::ostream& os, const SwapSystem& system,
               const std::string& label, bool header) {
-  if (header) os << kCsvHeader << '\n';
+  if (header)
+    os << "# schema: v" << kReportSchemaVersion << '\n' << kCsvHeader << '\n';
   for (std::size_t i = 0; i < system.app_count(); ++i) {
     const AppMetrics& m = system.metrics(i);
     CgroupId cg = system.cgroup_of(i);
@@ -62,7 +63,8 @@ void WriteCsv(std::ostream& os, const SwapSystem& system,
 
 void WriteJson(std::ostream& os, const SwapSystem& system,
                const std::string& label) {
-  os << "{\n  \"label\": \"" << JsonEscape(label) << "\",\n"
+  os << "{\n  \"schema_version\": " << kReportSchemaVersion << ",\n"
+     << "  \"label\": \"" << JsonEscape(label) << "\",\n"
      << "  \"system\": \"" << JsonEscape(system.config().name) << "\",\n"
      << "  \"wmmr_ingress\": "
      << system.Wmmr(rdma::Direction::kIngress) << ",\n"

@@ -10,9 +10,15 @@
 
 namespace canvas::core {
 
+/// Version of the machine-readable report formats (CSV column set + JSON
+/// object shape). Bumped on any breaking change; emitted as a
+/// `# schema: vN` comment line ahead of the CSV header and as the
+/// `"schema_version"` key in every JSON report (experiment and sweep).
+inline constexpr int kReportSchemaVersion = 2;
+
 /// Write one CSV row per application with the full metric set. When
-/// `header` is true, a header row is emitted first. `label` tags the run
-/// (system name, scenario id, ...).
+/// `header` is true, a `# schema: vN` comment line plus a header row are
+/// emitted first. `label` tags the run (system name, scenario id, ...).
 void WriteCsv(std::ostream& os, const SwapSystem& system,
               const std::string& label, bool header = true);
 

@@ -510,9 +510,11 @@ void SwapSystem::ReissueDemand(AppState& app, rdma::RequestPtr req) {
   ++app.metrics.demand_reissues;
   req->attempts = 0;
   req->status = rdma::RequestStatus::kOk;
+  // Moved into the event so an abandoned run (deadline miss) still frees
+  // the in-flight request when the simulator tears down its queue.
   sim_.Schedule(cfg_.recovery.demand_reissue_delay,
-                [this, r = req.release()] {
-                  scheduler_->Enqueue(rdma::RequestPtr(r));
+                [this, r = std::move(req)]() mutable {
+                  scheduler_->Enqueue(std::move(r));
                 });
 }
 

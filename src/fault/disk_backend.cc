@@ -14,8 +14,7 @@ void DiskBackend::Submit(rdma::RequestPtr req) {
                          double(kSecond));
   busy_until_ = std::max(busy_until_, now) + ser;
   SimTime completion = busy_until_ + cfg_.latency;
-  sim_.ScheduleAt(completion, [this, r = req.release()] {
-    rdma::RequestPtr owned(r);
+  sim_.ScheduleAt(completion, [this, owned = std::move(req)]() mutable {
     owned->completed = sim_.Now();
     owned->status = rdma::RequestStatus::kOk;
     --inflight_;

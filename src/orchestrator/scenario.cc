@@ -1,0 +1,69 @@
+#include "orchestrator/scenario.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace canvas::orchestrator {
+
+void FeatureOverrides::Apply(core::SystemConfig& cfg) const {
+  if (adaptive_alloc) cfg.adaptive_alloc = *adaptive_alloc;
+  if (horizontal_sched) cfg.horizontal_sched = *horizontal_sched;
+  if (prefetcher) cfg.prefetcher = *prefetcher;
+  if (scheduler) cfg.scheduler = *scheduler;
+  if (isolated_partitions) cfg.isolated_partitions = *isolated_partitions;
+  if (isolated_caches) cfg.isolated_caches = *isolated_caches;
+}
+
+bool FeatureOverrides::Any() const {
+  return adaptive_alloc || horizontal_sched || prefetcher || scheduler ||
+         isolated_partitions || isolated_caches;
+}
+
+std::optional<core::PrefetcherKind> PrefetcherFromName(
+    const std::string& name) {
+  if (name == "none") return core::PrefetcherKind::kNone;
+  if (name == "readahead") return core::PrefetcherKind::kReadahead;
+  if (name == "leap") return core::PrefetcherKind::kLeap;
+  if (name == "two-tier") return core::PrefetcherKind::kTwoTier;
+  return std::nullopt;
+}
+
+std::string RunLabel(const std::string& system, double ratio, double scale,
+                     std::uint64_t seed) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s/r%.2f/s%.2f/seed%llu",
+                system.c_str(), ratio, scale, (unsigned long long)seed);
+  return buf;
+}
+
+std::vector<RunSpec> ScenarioSpec::Expand() const {
+  std::vector<RunSpec> runs;
+  runs.reserve(RunCount());
+  for (const std::string& sys : systems) {
+    auto preset = core::SystemConfig::FromName(sys);
+    if (!preset)
+      throw std::invalid_argument("unknown system preset: " + sys);
+    overrides.Apply(*preset);
+    for (double ratio : ratios) {
+      for (double scale : scales) {
+        for (std::uint64_t seed : seeds) {
+          RunSpec r;
+          r.index = runs.size();
+          r.label = RunLabel(sys, ratio, scale, seed);
+          r.exp.config = *preset;
+          r.exp.deadline = deadline;
+          r.exp.apps = apps;
+          for (core::AppBuild& b : r.exp.apps) {
+            b.ratio = ratio;
+            b.scale = scale;
+            b.seed = seed;
+          }
+          runs.push_back(std::move(r));
+        }
+      }
+    }
+  }
+  return runs;
+}
+
+}  // namespace canvas::orchestrator

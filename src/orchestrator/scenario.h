@@ -1,0 +1,76 @@
+// Declarative sweep description (DESIGN.md §10).
+//
+// A ScenarioSpec names WHAT to run — system presets (plus feature
+// overrides), a co-run application template, and sweep axes (local-memory
+// ratio, workload scale, seed) — and Expand() turns it into the flat,
+// index-ordered list of RunSpecs the SweepEngine executes. The expansion
+// order is part of the contract: results are aggregated by spec index, so
+// the same ScenarioSpec always produces the same run list and therefore
+// the same aggregated report, regardless of how many worker threads
+// execute it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace canvas::orchestrator {
+
+/// Feature toggles applied on top of a resolved preset (the canvasctl
+/// `--no-adaptive` / `--prefetcher=` surface, made composable).
+struct FeatureOverrides {
+  std::optional<bool> adaptive_alloc;
+  std::optional<bool> horizontal_sched;
+  std::optional<core::PrefetcherKind> prefetcher;
+  std::optional<core::SchedulerKind> scheduler;
+  std::optional<bool> isolated_partitions;
+  std::optional<bool> isolated_caches;
+
+  void Apply(core::SystemConfig& cfg) const;
+  bool Any() const;
+};
+
+/// Parse a prefetcher name ("none" | "readahead" | "leap" | "two-tier").
+std::optional<core::PrefetcherKind> PrefetcherFromName(
+    const std::string& name);
+
+/// One fully resolved run: position in the expanded grid, a human-readable
+/// label, and the complete experiment description.
+struct RunSpec {
+  std::size_t index = 0;
+  std::string label;
+  core::ExperimentSpec exp;
+};
+
+/// The declarative experiment surface. Axes combine as a full grid in
+/// fixed nesting order: system (outer) -> ratio -> scale -> seed (inner).
+struct ScenarioSpec {
+  /// Preset names resolved via SystemConfig::FromName.
+  std::vector<std::string> systems = {"canvas"};
+  FeatureOverrides overrides;
+  /// Co-run template. Each AppBuild's ratio/scale/seed fields are
+  /// overwritten by the axis values at expansion; name/cores/threads are
+  /// taken as-is.
+  std::vector<core::AppBuild> apps;
+  std::vector<double> ratios = {0.25};
+  std::vector<double> scales = {0.3};
+  std::vector<std::uint64_t> seeds = {7};
+  SimTime deadline = 600 * kSecond;
+
+  std::size_t RunCount() const {
+    return systems.size() * ratios.size() * scales.size() * seeds.size();
+  }
+
+  /// Expand the grid into RunSpecs, index-ordered. Throws
+  /// std::invalid_argument on an unknown preset name.
+  std::vector<RunSpec> Expand() const;
+};
+
+/// Label for one grid point, e.g. "canvas/r0.25/s0.30/seed7". Used both
+/// for progress output and as the stable per-run key in sweep reports.
+std::string RunLabel(const std::string& system, double ratio, double scale,
+                     std::uint64_t seed);
+
+}  // namespace canvas::orchestrator

@@ -138,8 +138,7 @@ void Nic::Pump(Direction dir) {
   it->second.Add(now, double(req->bytes));
   cg_bytes_[key] += double(req->bytes);
 
-  sim_.ScheduleAt(event_at, [this, outcome, r = req.release()]() mutable {
-    RequestPtr owned(r);
+  sim_.ScheduleAt(event_at, [this, outcome, owned = std::move(req)]() mutable {
     owned->completed = sim_.Now();
     owned->status = outcome;
     if (outcome == RequestStatus::kOk) {
@@ -180,8 +179,8 @@ void Nic::HandleAttemptFailure(RequestPtr req, RequestStatus status) {
                        trace::Name::kRetry, sim_.Now(), backoff);
     if (retry_observer_) retry_observer_(*req, backoff);
     SimTime resume = sim_.Now() + backoff;
-    sim_.ScheduleAt(resume, [this, dir, r = req.release()]() mutable {
-      retry_q_[std::size_t(dir)].push_back(RequestPtr(r));
+    sim_.ScheduleAt(resume, [this, dir, r = std::move(req)]() mutable {
+      retry_q_[std::size_t(dir)].push_back(std::move(r));
       Pump(dir);
     });
     return;

@@ -30,9 +30,10 @@ TEST(Report, CsvHasHeaderAndOneRowPerApp) {
   std::ostringstream os;
   WriteCsv(os, e->system(), "run1");
   std::string s = os.str();
-  // Header + 2 app rows.
-  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);
-  EXPECT_EQ(s.rfind("label,app,finish_ns", 0), 0u);
+  // Schema comment + header + 2 app rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  EXPECT_EQ(s.rfind("# schema: v2\n", 0), 0u);
+  EXPECT_NE(s.find("\nlabel,app,finish_ns"), std::string::npos);
   EXPECT_NE(s.find("run1,memcached,"), std::string::npos);
   EXPECT_NE(s.find("run1,snappy,"), std::string::npos);
 }
@@ -50,7 +51,9 @@ TEST(Report, CsvColumnCountConsistent) {
   WriteCsv(os, e->system(), "x");
   std::istringstream is(os.str());
   std::string line;
-  std::getline(is, line);
+  std::getline(is, line);  // "# schema: vN" comment
+  EXPECT_EQ(line.rfind("# ", 0), 0u);
+  std::getline(is, line);  // column header
   auto commas = std::count(line.begin(), line.end(), ',');
   while (std::getline(is, line))
     EXPECT_EQ(std::count(line.begin(), line.end(), ','), commas);
@@ -61,6 +64,7 @@ TEST(Report, JsonContainsAppsAndStats) {
   std::ostringstream os;
   WriteJson(os, e->system(), "jrun");
   std::string s = os.str();
+  EXPECT_NE(s.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(s.find("\"label\": \"jrun\""), std::string::npos);
   EXPECT_NE(s.find("\"system\": \"canvas\""), std::string::npos);
   EXPECT_NE(s.find("\"name\": \"memcached\""), std::string::npos);
@@ -80,14 +84,17 @@ TEST(Report, JsonEscapesQuotes) {
   EXPECT_NE(os.str().find("with\\\"quote"), std::string::npos);
 }
 
-// Golden format guard: the CSV header is the exporters' wire format — any
-// column change must update this string (and downstream consumers).
+// Golden format guard: the schema comment + CSV header are the exporters'
+// wire format — any column change must bump kReportSchemaVersion and
+// update these strings (and downstream consumers).
 TEST(Report, CsvGoldenHeader) {
   auto e = RunSmall();
   std::ostringstream os;
   WriteCsv(os, e->system(), "g");
   std::istringstream is(os.str());
-  std::string header;
+  std::string schema_line, header;
+  std::getline(is, schema_line);
+  EXPECT_EQ(schema_line, "# schema: v2");
   std::getline(is, header);
   EXPECT_EQ(header,
             "label,app,finish_ns,accesses,faults,faults_major,faults_minor,"
