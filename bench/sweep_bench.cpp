@@ -72,9 +72,15 @@ int main(int argc, char** argv) {
 
   double speedup =
       parallel.wall_sec > 0 ? serial.wall_sec / parallel.wall_sec : 0;
+  // On a single-core host the parallel pass cannot beat the serial one, so
+  // the recorded speedup is an artifact of scheduling noise; mark it
+  // advisory so consumers do not gate on it.
+  unsigned cpus = std::thread::hardware_concurrency();
+  bool speedup_advisory = cpus < 2;
   std::printf("serial (1 job): %.2fs   parallel (%u jobs): %.2fs   "
-              "speedup: %.2fx   byte-identical aggregate: %s\n",
+              "speedup: %.2fx%s   byte-identical aggregate: %s\n",
               serial.wall_sec, par_jobs, parallel.wall_sec, speedup,
+              speedup_advisory ? " (advisory: <2 cpus)" : "",
               identical ? "yes" : "NO");
 
   std::FILE* f = std::fopen(json_path.c_str(), "w");
@@ -88,11 +94,14 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"run_count\": %zu,\n", serial.runs.size());
   std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
                std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"cpus_available\": %u,\n", cpus);
   std::fprintf(f, "  \"serial_jobs\": 1,\n");
   std::fprintf(f, "  \"parallel_jobs\": %u,\n", par_jobs);
   std::fprintf(f, "  \"serial_wall_sec\": %.3f,\n", serial.wall_sec);
   std::fprintf(f, "  \"parallel_wall_sec\": %.3f,\n", parallel.wall_sec);
   std::fprintf(f, "  \"speedup\": %.3f,\n", speedup);
+  std::fprintf(f, "  \"speedup_advisory\": %s,\n",
+               speedup_advisory ? "true" : "false");
   std::fprintf(f, "  \"byte_identical_aggregate\": %s,\n",
                identical ? "true" : "false");
   std::fprintf(f, "  \"all_ok\": %s,\n",

@@ -11,9 +11,12 @@
 //                                               worker pool (SweepEngine)
 //   canvasctl list-apps                         Table 2 application names
 //   canvasctl list-systems                      system presets + aliases
+//   canvasctl list-servers                      server-pool topologies
 //
 // Shared options (run + sweep):
 //   --system=NAME    preset from `canvasctl list-systems` (default canvas)
+//   --topology=T     server-pool topology from `canvasctl list-servers`
+//                    (default single)
 //   --scale=S        workload scale factor (default 0.3)
 //   --ratio=R        local memory fraction of working set (default 0.25)
 //   --seed=N         workload seed (default 7)
@@ -26,6 +29,7 @@
 //
 // sweep-only options (comma-separated lists expand as a full grid):
 //   --systems=A,B    preset axis (overrides --system)
+//   --topologies=T1,T2  server-topology axis (overrides --topology)
 //   --ratios=R1,R2   local-memory-ratio axis (overrides --ratio)
 //   --scales=S1,S2   scale axis (overrides --scale)
 //   --seeds=N1,N2    seed axis (overrides --seed)
@@ -35,8 +39,9 @@
 //   --progress       progress line on stderr
 //   --out=PATH       write the sweep JSON there instead of stdout
 //
-// The pre-subcommand flat form (`canvasctl --system=... app ...`) still
-// works as an alias for `canvasctl run` but is deprecated; see --help.
+// The pre-subcommand flat form (`canvasctl --system=... app ...`) was
+// deprecated for several releases and is now rejected with a migration
+// hint; spell it `canvasctl run ...`.
 //
 // Examples:
 //   canvasctl run spark-lr snappy memcached xgboost
@@ -47,6 +52,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -54,6 +60,7 @@
 #include "core/experiment.h"
 #include "core/report.h"
 #include "orchestrator/sweep.h"
+#include "remote/pool.h"
 #include "workload/apps.h"
 
 using namespace canvas;
@@ -62,6 +69,7 @@ namespace {
 
 struct Options {
   std::vector<std::string> systems = {"canvas"};
+  std::vector<std::string> topologies = {"single"};
   std::vector<double> ratios = {0.25};
   std::vector<double> scales = {0.3};
   std::vector<std::uint64_t> seeds = {7};
@@ -86,11 +94,12 @@ int Usage(FILE* to, int code) {
       "                       app[:cores] ...\n"
       "       canvasctl list-apps\n"
       "       canvasctl list-systems\n"
-      "options: --system=NAME --ratio=R --scale=S --seed=N\n"
+      "       canvasctl list-servers\n"
+      "options: --system=NAME --topology=T --ratio=R --scale=S --seed=N\n"
       "         --format=table|csv|json --no-adaptive --no-horizontal\n"
       "         --prefetcher=none|readahead|leap|two-tier\n"
-      "note: the old flat form `canvasctl [options] app ...` (without a\n"
-      "subcommand) is deprecated; use `canvasctl run ...`.\n");
+      "sweep:   --topologies=T1,T2 (server-topology axis; see\n"
+      "         `canvasctl list-servers`)\n");
   return code;
 }
 
@@ -128,6 +137,8 @@ bool ParseCommon(const std::string& arg, Options& opt) {
   };
   if (arg.rfind("--system=", 0) == 0) {
     opt.systems = {value("--system=")};
+  } else if (arg.rfind("--topology=", 0) == 0) {
+    opt.topologies = {value("--topology=")};
   } else if (arg.rfind("--ratio=", 0) == 0) {
     opt.ratios = {std::atof(value("--ratio=").c_str())};
   } else if (arg.rfind("--scale=", 0) == 0) {
@@ -160,6 +171,8 @@ bool ParseSweepOnly(const std::string& arg, Options& opt) {
   };
   if (arg.rfind("--systems=", 0) == 0) {
     opt.systems = SplitCommas(value("--systems="));
+  } else if (arg.rfind("--topologies=", 0) == 0) {
+    opt.topologies = SplitCommas(value("--topologies="));
   } else if (arg.rfind("--ratios=", 0) == 0) {
     opt.ratios.clear();
     for (const std::string& v : SplitCommas(value("--ratios=")))
@@ -220,8 +233,26 @@ int ListSystems() {
   return 0;
 }
 
+int ListServers() {
+  TablePrinter t({"name", "description"});
+  for (const auto& [name, description] : remote::PoolConfig::ListTopologies())
+    t.AddRow({name, description});
+  t.Print();
+  return 0;
+}
+
+remote::PoolConfig ResolveTopology(const std::string& name) {
+  try {
+    return remote::PoolConfig::FromName(name);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s (see `canvasctl list-servers`)\n", e.what());
+    std::exit(2);
+  }
+}
+
 int RunOne(const Options& opt) {
   auto cfg = ResolveSystem(opt.systems.front(), opt.overrides);
+  cfg.remote = ResolveTopology(opt.topologies.front());
   core::ExperimentSpec spec;
   spec.config = cfg;
   for (auto& [name, cores] : opt.apps) {
@@ -276,6 +307,7 @@ int RunOne(const Options& opt) {
 int RunSweep(const Options& opt) {
   orchestrator::ScenarioSpec scenario;
   scenario.systems = opt.systems;
+  scenario.topologies = opt.topologies;
   scenario.overrides = opt.overrides;
   scenario.ratios = opt.ratios;
   scenario.scales = opt.scales;
@@ -286,8 +318,9 @@ int RunSweep(const Options& opt) {
     b.cores = cores;
     scenario.apps.push_back(std::move(b));
   }
-  // Validate preset names before spinning up the pool.
+  // Validate preset + topology names before spinning up the pool.
   for (const std::string& s : scenario.systems) ResolveSystem(s, {});
+  for (const std::string& t : scenario.topologies) ResolveTopology(t);
 
   orchestrator::SweepOptions sweep_opts;
   sweep_opts.jobs = opt.jobs;
@@ -338,8 +371,15 @@ int main(int argc, char** argv) {
   if (cmd == "--help" || cmd == "-h" || cmd == "help") return Usage(stdout, 0);
   if (cmd == "list-apps" || cmd == "--list") return ListApps();
   if (cmd == "list-systems") return ListSystems();
+  if (cmd == "list-servers") return ListServers();
   if (cmd == "run") return ParseAndRun(argc, argv, 2, /*sweep=*/false);
   if (cmd == "sweep") return ParseAndRun(argc, argv, 2, /*sweep=*/true);
-  // Deprecated flat form: `canvasctl [options] app ...` == `canvasctl run`.
-  return ParseAndRun(argc, argv, 1, /*sweep=*/false);
+  // The flat form `canvasctl [options] app ...` (no subcommand) was
+  // deprecated and is now a hard error — fail loudly rather than guessing.
+  std::fprintf(stderr,
+               "canvasctl: '%s' is not a subcommand; the old flat form was "
+               "removed.\nMigrate to `canvasctl run %s ...` (see "
+               "`canvasctl --help`).\n",
+               cmd.c_str(), cmd.c_str());
+  return 2;
 }

@@ -19,10 +19,11 @@ cmake -B "$BUILD" -S "$ROOT" \
 cmake --build "$BUILD" -j"$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS"
 
-# Sanitized pass over the fault + trace + orchestrator suites (ctest
-# labels): the chaos/property tests drive the retry/failover paths where
-# request-lifetime bugs would hide, the trace suite exercises the ring and
-# exporters, and the orchestrator suite runs multi-threaded sweeps, so
+# Sanitized pass over the fault + trace + orchestrator + remote suites
+# (ctest labels): the chaos/property tests drive the retry/failover paths
+# where request-lifetime bugs would hide, the trace suite exercises the
+# ring and exporters, the orchestrator suite runs multi-threaded sweeps,
+# and the remote suite churns slab migration/eviction under harvesting, so
 # they always also run under ASan+UBSan. Skipped when the main build is
 # already sanitized.
 if [ -z "${CANVAS_SANITIZE:-}" ] && [ "${CANVAS_NO_ASAN_FAULT:-0}" != "1" ]; then
@@ -30,14 +31,16 @@ if [ -z "${CANVAS_SANITIZE:-}" ] && [ "${CANVAS_NO_ASAN_FAULT:-0}" != "1" ]; the
   cmake -B "$SAN_BUILD" -S "$ROOT" -DCANVAS_SANITIZE=address,undefined
   cmake --build "$SAN_BUILD" -j"$JOBS" \
     --target fault_injection_test fault_property_test trace_test \
-             orchestrator_test
-  ctest --test-dir "$SAN_BUILD" -L 'fault|trace|orchestrator' \
+             orchestrator_test remote_test
+  ctest --test-dir "$SAN_BUILD" -L 'fault|trace|orchestrator|remote' \
     --output-on-failure -j"$JOBS"
 fi
 
 # TSan pass over the orchestrator suite: the SweepEngine is the only place
 # real threads touch simulator state, so its label also runs under
 # ThreadSanitizer (which cannot be combined with ASan — separate build).
+# The suite includes a multi-server topology sweep (pool2 / pool4-harvest),
+# so pooled runs are also raced across worker threads here.
 # CANVAS_NO_TSAN=1 skips it.
 if [ -z "${CANVAS_SANITIZE:-}" ] && [ "${CANVAS_NO_TSAN:-0}" != "1" ]; then
   TSAN_BUILD="${TSAN_BUILD_DIR:-$ROOT/build-tsan}"
@@ -55,5 +58,11 @@ CANVAS_BENCH_JSON="${CANVAS_BENCH_JSON:-$BUILD/BENCH_simulator.json}" \
 # grid, with a hard byte-identity check on the aggregated results.
 CANVAS_SWEEP_JSON="${CANVAS_SWEEP_JSON:-$BUILD/BENCH_sweep.json}" \
   "$BUILD/bench/sweep_bench" "${HARNESS_ARGS[@]:-}"
+
+# Remote memory-server pool benchmark: placement policies under harvest
+# churn, with hard checks (deterministic reports, slab-table audit, zero
+# stale reads, p2c beating first-fit on placement imbalance).
+CANVAS_REMOTE_JSON="${CANVAS_REMOTE_JSON:-$BUILD/BENCH_remote.json}" \
+  "$BUILD/bench/remote_pool" "${HARNESS_ARGS[@]:-}"
 
 echo "check.sh: all green"

@@ -12,6 +12,7 @@
 #include "fault/fault_plan.h"
 #include "fault/injector.h"
 #include "rdma/nic.h"
+#include "remote/pool.h"
 #include "sched/timeliness.h"
 #include "swapalloc/partition.h"
 #include "swapalloc/reservation.h"
@@ -80,6 +81,12 @@ struct SystemConfig {
   std::uint64_t fault_seed = 0x1234'5678'9abc'def0ull;
   fault::RecoveryConfig recovery;
   fault::DiskBackend::Config disk;
+
+  // --- remote memory-server pool (DESIGN.md §11) ---
+  /// Server topology behind the NIC. The default (no servers) is the
+  /// single-infinite-server fast path, byte-identical to pre-pool builds;
+  /// see remote::PoolConfig::FromName for the preset registry.
+  remote::PoolConfig remote;
 
   // --- tracing & telemetry (DESIGN.md §9) ---
   /// Runtime-toggleable sim-time tracing: span/instant records on the

@@ -105,7 +105,41 @@ void WriteJson(std::ostream& os, const SwapSystem& system,
      << ",\n    \"p99_ns\": " << merged.Percentile(99)
      << ",\n    \"p999_ns\": " << merged.Percentile(99.9)
      << ",\n    \"max_ns\": " << merged.max()
-     << "\n  },\n  \"apps\": [\n";
+     << "\n  },\n";
+  // Server-pool section only when a multi-server topology is configured —
+  // default (single-server) output stays byte-identical to pre-pool builds.
+  if (const remote::ServerPool* pool = system.pool()) {
+    os << "  \"remote\": {\n"
+       << "    \"topology\": \"" << JsonEscape(pool->config().topology)
+       << "\",\n    \"placement\": \""
+       << remote::PlacementKindName(pool->config().placement)
+       << "\",\n    \"slabs_placed\": " << pool->slabs_placed()
+       << ",\n    \"migrations\": " << pool->migrations()
+       << ",\n    \"evictions_to_disk\": " << pool->evictions_to_disk()
+       << ",\n    \"harvest_events\": " << pool->harvest_events()
+       << ",\n    \"unplaceable\": " << pool->unplaceable()
+       << ",\n    \"peak_imbalance\": " << pool->PeakImbalance()
+       << ",\n    \"occupancy_cv\": " << pool->OccupancyCV()
+       << ",\n    \"servers\": [\n";
+    const auto& servers = pool->servers();
+    for (std::size_t s = 0; s < servers.size(); ++s) {
+      const remote::ServerState& sv = servers[s];
+      os << "      {\"name\": \"" << JsonEscape(sv.cfg.name)
+         << "\", \"slabs_held\": " << sv.slabs_held
+         << ", \"peak_slabs_held\": " << sv.peak_slabs_held
+         << ", \"peak_inflight\": " << sv.peak_inflight
+         << ", \"requests_served\": " << sv.requests_served
+         << ", \"ingress_bytes\": " << sv.bytes[0]
+         << ", \"egress_bytes\": " << sv.bytes[1]
+         << ", \"slabs_harvested\": " << sv.slabs_harvested
+         << ", \"migrations_out\": " << sv.migrations_out
+         << ", \"migrations_in\": " << sv.migrations_in
+         << ", \"down\": " << (sv.down ? "true" : "false") << "}"
+         << (s + 1 < servers.size() ? ",\n" : "\n");
+    }
+    os << "    ]\n  },\n";
+  }
+  os << "  \"apps\": [\n";
   for (std::size_t i = 0; i < system.app_count(); ++i) {
     const AppMetrics& m = system.metrics(i);
     os << "    {\"name\": \"" << JsonEscape(m.name) << "\", \"finish_ns\": "

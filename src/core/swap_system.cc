@@ -111,8 +111,22 @@ SwapSystem::SwapSystem(sim::Simulator& sim, SystemConfig cfg,
                                                        cfg_.fault_seed);
     nic_->AttachInjector(injector_.get());
     disk_ = std::make_unique<fault::DiskBackend>(sim_, cfg_.disk);
-    injector_->OnServerDown([this] { OnFabricDown(); });
-    injector_->OnServerUp([this] { OnFabricUp(); });
+    injector_->OnServerDown([this](int server) { OnFabricDown(server); });
+    injector_->OnServerUp([this](int server) { OnFabricUp(server); });
+  }
+
+  // --- remote memory-server pool (DESIGN.md §11) ---
+  if (cfg_.remote.enabled()) {
+    pool_ = std::make_unique<remote::ServerPool>(sim_, cfg_.remote);
+    pool_->AttachTracer(&tracer_);
+    pool_->SetSlabEvictedHandler(
+        [this](std::uint32_t pid, std::uint64_t lo, std::uint64_t hi) {
+          OnSlabEvicted(pid, lo, hi);
+        });
+    nic_->AttachPool(pool_.get());
+    // Harvest eviction and per-server failover need the disk backstop even
+    // without a fault plan.
+    if (!disk_) disk_ = std::make_unique<fault::DiskBackend>(sim_, cfg_.disk);
   }
 
   // --- applications ---
@@ -190,12 +204,25 @@ SwapSystem::SwapSystem(sim::Simulator& sim, SystemConfig cfg,
   shared_spec.swap_entry_limit = global_partition_->capacity();
   shared_cg_ = cgroups_.Create(shared_spec);
   if (two_dim_) two_dim_->RegisterCgroup(shared_cg_, 1.0);
+
+  // Shard every partition onto the server pool at slab granularity. Ids are
+  // assigned in creation order (shared first, then per-app) so the placement
+  // stream is deterministic across runs.
+  if (pool_) {
+    auto shard = [this](swapalloc::SwapPartition& part) {
+      part.set_pool_id(pool_->RegisterPartition(part.capacity()));
+      pool_partitions_.push_back(&part);
+    };
+    shard(*global_partition_);
+    for (auto& own : owned_partitions_) shard(*own);
+  }
 }
 
 SwapSystem::~SwapSystem() = default;
 
 void SwapSystem::Start() {
   if (injector_) injector_->Start();
+  if (pool_) pool_->Start([this] { return !AllFinished(); });
   for (auto& app : apps_) {
     if (app->reservation) app->reservation->Start();
     for (auto& th : app->threads) {
@@ -246,6 +273,17 @@ void SwapSystem::SampleTick() {
                           : trace::Name::kBandwidthEgress,
                       now, (total - last) / period_sec);
       last = total;
+    }
+  }
+  if (pool_) {
+    const auto& servers = pool_->servers();
+    for (std::size_t s = 0; s < servers.size(); ++s) {
+      tracer_.Counter(trace::kRemotePoolPid, std::uint32_t(s),
+                      trace::Name::kServerInflight, now,
+                      double(servers[s].inflight));
+      tracer_.Counter(trace::kRemotePoolPid, std::uint32_t(s),
+                      trace::Name::kServerSlabs, now,
+                      double(servers[s].slabs_held));
     }
   }
 }
@@ -428,7 +466,17 @@ void SwapSystem::CheckSwapInOracle(AppState& app, mem::Page& p,
 // Fault recovery (DESIGN.md §8)
 // ---------------------------------------------------------------------------
 
-void SwapSystem::OnFabricDown() {
+void SwapSystem::OnFabricDown(int server) {
+  if (pool_ && server != fault::kAllServers) {
+    // Per-server failover: only this server's slabs move to disk; the rest
+    // of the pool (and the fabric) keeps serving.
+    if (std::size_t(server) < pool_->servers().size()) {
+      tracer_.Instant(trace::kRemotePoolPid, std::uint32_t(server),
+                      trace::Name::kServerDown, sim_.Now());
+      pool_->MarkServerDown(server);
+    }
+    return;
+  }
   tracer_.Instant(trace::kRdmaPid, trace::kFabricControlTrack,
                   trace::Name::kServerDown, sim_.Now());
   // Proactive failover: every cgroup's writeback traffic turns toward the
@@ -456,7 +504,17 @@ void SwapSystem::OnFabricDown() {
   }
 }
 
-void SwapSystem::OnFabricUp() {
+void SwapSystem::OnFabricUp(int server) {
+  if (pool_ && server != fault::kAllServers) {
+    if (std::size_t(server) < pool_->servers().size()) {
+      tracer_.Instant(trace::kRemotePoolPid, std::uint32_t(server),
+                      trace::Name::kServerUp, sim_.Now());
+      // Capacity is reachable again; slabs evicted during the outage stay
+      // on disk (their data lives there now) and re-place on future churn.
+      pool_->MarkServerUp(server);
+    }
+    return;
+  }
   tracer_.Instant(trace::kRdmaPid, trace::kFabricControlTrack,
                   trace::Name::kServerUp, sim_.Now());
   for (auto& app : apps_) FailbackApp(*app);
@@ -507,6 +565,17 @@ void SwapSystem::ReissueDemand(AppState& app, rdma::RequestPtr req) {
   // after a pause and keeps trying until the fabric heals.
   ++app.metrics.rdma_exhausted;
   NoteExhausted(app);
+  if (pool_ && req->partition != rdma::kNoPoolPartition &&
+      pool_->OnDisk(req->partition, req->entry)) {
+    // The slab was evicted (harvest or server failover) while this read was
+    // burning retries: the data now lives on the disk backend, so reissuing
+    // remotely would spin forever. Route it home.
+    ++app.metrics.disk_swapins;
+    req->attempts = 0;
+    req->status = rdma::RequestStatus::kOk;
+    disk_->Submit(std::move(req));
+    return;
+  }
   ++app.metrics.demand_reissues;
   req->attempts = 0;
   req->status = rdma::RequestStatus::kOk;
@@ -516,6 +585,93 @@ void SwapSystem::ReissueDemand(AppState& app, rdma::RequestPtr req) {
                 [this, r = std::move(req)]() mutable {
                   scheduler_->Enqueue(std::move(r));
                 });
+}
+
+// ---------------------------------------------------------------------------
+// Remote memory-server pool (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+void SwapSystem::StampPool(AppState& app, const mem::Page& p,
+                           rdma::Request& req, bool place) {
+  if (!pool_ || req.entry == kInvalidEntry) return;
+  swapalloc::SwapPartition& part = PartitionFor(app, p);
+  if (part.pool_id() == swapalloc::SwapPartition::kNoPoolId) return;
+  req.partition = part.pool_id();
+  if (place) pool_->EnsurePlaced(part.pool_id(), req.entry);
+}
+
+void SwapSystem::OnSlabEvicted(std::uint32_t pid, std::uint64_t lo,
+                               std::uint64_t hi) {
+  swapalloc::SwapPartition* part =
+      pid < pool_partitions_.size() ? pool_partitions_[pid] : nullptr;
+  if (!part || !disk_) return;
+
+  // 1. The disk is now the copy of record for every entry in the slab
+  //    (unwritten entries get overwritten consistently at their first
+  //    writeback, which the disk-homed routing sends straight to disk).
+  for (std::uint64_t e = lo; e < hi; ++e) part->meta(e).on_disk = true;
+
+  // 2. Redirect page backing, and collect in-flight reads whose remote
+  //    completion would now trip the copy-of-record oracle.
+  struct Rescue {
+    AppState* app;
+    PageId page;
+  };
+  std::vector<Rescue> rescues;
+  for (auto& app : apps_) {
+    for (PageId i = 0; i < app->pages.size(); ++i) {
+      mem::Page& p = app->pages[i];
+      if (p.entry == kInvalidEntry || p.entry < lo || p.entry >= hi) continue;
+      if (&PartitionFor(*app, p) != part) continue;
+      p.disk_backed = true;
+      if (p.state == mem::PageState::kSwapCache && p.in_flight &&
+          !p.under_writeback)
+        rescues.push_back({app.get(), i});
+    }
+  }
+
+  // 3. Queued requests for the range must not march toward the old server.
+  auto drained =
+      scheduler_->DrainMatching([pid, lo, hi](const rdma::Request& r) {
+        return r.partition == pid && r.entry >= lo && r.entry < hi;
+      });
+  std::vector<std::uint64_t> redirected;
+  for (auto& r : drained) {
+    AppState& owner = r->owner_app < apps_.size() ? *apps_[r->owner_app]
+                                                  : *apps_.front();
+    if (r->op == rdma::Op::kSwapOut) {
+      ++owner.metrics.disk_swapouts;
+      disk_->Submit(std::move(r));
+    } else if (r->op == rdma::Op::kDemandIn) {
+      redirected.push_back(WaiterKey(owner, r->page));
+      ++owner.metrics.disk_swapins;
+      disk_->Submit(std::move(r));
+    } else if (r->on_drop) {
+      // Prefetch: the drop handler unwinds the page or converts it to a
+      // rescue demand, which now routes to the disk (disk_backed is set).
+      redirected.push_back(WaiterKey(owner, r->page));
+      r->on_drop(*r);
+    }
+  }
+
+  // 4. Reads already on the wire: take the page over via the incarnation
+  //    (seq-bump) protocol so the stale remote completion discards itself,
+  //    and fetch the authoritative copy from the disk instead.
+  auto was_redirected = [&redirected](std::uint64_t key) {
+    for (std::uint64_t k : redirected)
+      if (k == key) return true;
+    return false;
+  };
+  for (const Rescue& rs : rescues) {
+    mem::Page& p = rs.app->pages[rs.page];
+    if (p.state != mem::PageState::kSwapCache || !p.in_flight) continue;
+    if (was_redirected(WaiterKey(*rs.app, rs.page))) continue;
+    p.in_flight_prefetch = false;
+    p.prefetched_unused = false;
+    if (p.entry != kInvalidEntry)
+      PartitionFor(*rs.app, p).meta(p.entry).prefetch_ts = kTimeNever;
+    IssueRescueDemand(*rs.app, rs.page);
+  }
 }
 
 void SwapSystem::BeginStall(ThreadCtx& th) { th.stall_started = sim_.Now(); }
@@ -805,6 +961,7 @@ void SwapSystem::DemandSwapIn(AppState& app, ThreadCtx& th,
       req->entry = pg.entry;
       req->owner_app = std::uint32_t(a->index);
       req->created = sim_.Now();
+      StampPool(*a, pg, *req, /*place=*/false);
       bool from_disk = pg.disk_backed;
       req->on_complete = [this, a, t, page = acc.page, acc, expected,
                           resume](const rdma::Request& r) {
@@ -916,6 +1073,7 @@ void SwapSystem::IssuePrefetches(AppState& app,
     req->entry = p.entry;
     req->owner_app = std::uint32_t(app.index);
     req->created = sim_.Now();
+    StampPool(app, p, *req, /*place=*/false);
     req->on_complete = [this, a = &app, cand,
                         expected](const rdma::Request& r) {
       if (a->prefetch_inflight > 0) --a->prefetch_inflight;
@@ -994,6 +1152,7 @@ void SwapSystem::IssueRescueDemand(AppState& app, PageId page) {
   req->entry = p.entry;
   req->owner_app = std::uint32_t(app.index);
   req->created = sim_.Now();
+  StampPool(app, p, *req, /*place=*/false);
   bool from_disk = p.disk_backed;
   req->on_complete = [this, a = &app, page,
                       expected](const rdma::Request& r) {
@@ -1206,6 +1365,9 @@ void SwapSystem::IssueSwapOut(AppState& app, PageId victim,
   req->entry = entry;
   req->owner_app = std::uint32_t(app.index);
   req->created = sim_.Now();
+  // Writebacks home the entry's slab: the first swap-out into a slab picks
+  // its server via the placement policy (reads only follow).
+  StampPool(app, p, *req, /*place=*/true);
   // The page is writeback-locked until completion, so its content version
   // cannot change under the transfer; record the version the entry's data
   // will carry.
@@ -1220,18 +1382,31 @@ void SwapSystem::IssueSwapOut(AppState& app, PageId victim,
     pg.under_writeback = false;
     pg.entry = entry;
     pg.dirty = false;
-    pg.disk_backed = r.served_by_disk;
+    // Where does the data live *now*? A remote writeback whose slab was
+    // harvested mid-flight landed on a server that immediately forwarded it
+    // to disk — record the disk as the copy of record in that case.
+    bool on_disk_now = r.served_by_disk ||
+                       (pool_ && r.partition != rdma::kNoPoolPartition &&
+                        pool_->OnDisk(r.partition, entry));
+    pg.disk_backed = on_disk_now;
     auto& m = PartitionFor(*a, pg).meta(entry);
     m.content_version = version;
-    m.on_disk = r.served_by_disk;
+    m.on_disk = on_disk_now;
     if (!r.served_by_disk) cgroups_.Get(a->cg).NoteRemoteSuccess();
     ++a->metrics.swapouts;
     GrantFrames(*a);
     WakeWaiters(*a, victim);  // threads that faulted during writeback
   };
-  if (disk_ &&
-      cgroups_.Get(app.cg).backend() == SwapBackend::kLocalDisk) {
-    // Failed-over cgroup: writebacks are absorbed by the local disk.
+  bool to_disk =
+      disk_ && cgroups_.Get(app.cg).backend() == SwapBackend::kLocalDisk;
+  if (!to_disk && pool_ && req->partition != rdma::kNoPoolPartition &&
+      pool_->OnDisk(req->partition, entry))
+    // The entry's slab is disk-homed (evicted by harvest pressure or a
+    // server outage): write straight to the copy of record.
+    to_disk = true;
+  if (to_disk) {
+    // Failed-over cgroup (or disk-homed slab): writebacks are absorbed by
+    // the local disk.
     ++app.metrics.disk_swapouts;
     disk_->Submit(std::move(req));
   } else {

@@ -78,6 +78,9 @@ class SwapSystem {
   /// Fault subsystem views (null unless SystemConfig::fault_plan is set).
   const fault::FaultInjector* injector() const { return injector_.get(); }
   const fault::DiskBackend* disk() const { return disk_.get(); }
+  /// Remote memory-server pool (DESIGN.md §11); null unless
+  /// SystemConfig::remote names a multi-server topology.
+  const remote::ServerPool* pool() const { return pool_.get(); }
   /// Raw page metadata (test oracles: content versions, backing location).
   const mem::Page& page(std::size_t app, PageId p) const {
     return apps_.at(app)->pages.at(p);
@@ -174,11 +177,15 @@ class SwapSystem {
   void FinishReclaimer(AppState& app, CoreId core);
 
   // --- fault recovery (DESIGN.md §8) ---
-  /// Blackout onset: proactively fail every cgroup over to the disk backend
-  /// and drain queued swap-outs/prefetches away from the dead fabric.
-  void OnFabricDown();
-  /// Blackout end: fail every cgroup back to the remote path.
-  void OnFabricUp();
+  /// Blackout onset. Untargeted (`server` = fault::kAllServers): proactively
+  /// fail every cgroup over to the disk backend and drain queued
+  /// swap-outs/prefetches away from the dead fabric. Targeted with a pool:
+  /// only that server goes down — its slabs evict to disk and everything
+  /// else keeps running (per-server failover).
+  void OnFabricDown(int server);
+  /// Blackout end: fail every cgroup back to the remote path (untargeted),
+  /// or mark the one server reachable again.
+  void OnFabricUp(int server);
   /// A request exhausted its retry budget; cross the consecutive-failure
   /// threshold and the cgroup fails over.
   void NoteExhausted(AppState& app);
@@ -194,6 +201,18 @@ class SwapSystem {
   /// backing location must match the page's. Violations count as
   /// `stale_reads` (always zero — checked by the chaos suite).
   void CheckSwapInOracle(AppState& app, mem::Page& p, const rdma::Request& r);
+
+  // --- remote memory-server pool (DESIGN.md §11) ---
+  /// Stamp the pool routing fields on a request about to be issued for
+  /// `p`'s entry. `place` (writeback path) also homes the entry's slab on
+  /// first use — reads never place, they follow.
+  void StampPool(AppState& app, const mem::Page& p, rdma::Request& req,
+                 bool place);
+  /// A slab's entries [lo, hi) moved to the disk backend (harvest pressure
+  /// or server failover). Flips entry metadata and page backing flags,
+  /// drains queued requests for the range to the disk, and rescues
+  /// in-flight reads through the incarnation (seq-bump) protocol.
+  void OnSlabEvicted(std::uint32_t pid, std::uint64_t lo, std::uint64_t hi);
 
   // --- helpers ---
   swapalloc::SwapPartition& PartitionFor(AppState& app, const mem::Page& p);
@@ -239,6 +258,9 @@ class SwapSystem {
   std::unique_ptr<rdma::Nic> nic_;
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<fault::DiskBackend> disk_;
+  std::unique_ptr<remote::ServerPool> pool_;
+  /// Partitions indexed by their pool partition id (registration order).
+  std::vector<swapalloc::SwapPartition*> pool_partitions_;
 
   /// Continuations blocked on an in-flight page, keyed by the packed
   /// (app index, page) composite key.

@@ -6,8 +6,8 @@
 namespace canvas::fault {
 
 FaultPlan& FaultPlan::AddLatencySpike(SimTime start, SimTime end,
-                                      SimDuration extra, int dir) {
-  latency_.push_back({{start, end}, extra, dir});
+                                      SimDuration extra, int dir, int server) {
+  latency_.push_back({{start, end}, extra, dir, server});
   return *this;
 }
 
@@ -23,13 +23,14 @@ FaultPlan& FaultPlan::AddErrorBurst(SimTime start, SimTime end,
   return *this;
 }
 
-FaultPlan& FaultPlan::AddQpStall(SimTime start, SimTime end, int dir) {
-  stalls_.push_back({{start, end}, dir});
+FaultPlan& FaultPlan::AddQpStall(SimTime start, SimTime end, int dir,
+                                 int server) {
+  stalls_.push_back({{start, end}, dir, server});
   return *this;
 }
 
-FaultPlan& FaultPlan::AddBlackout(SimTime start, SimTime end) {
-  blackouts_.push_back({{start, end}});
+FaultPlan& FaultPlan::AddBlackout(SimTime start, SimTime end, int server) {
+  blackouts_.push_back({{start, end}, server});
   return *this;
 }
 
@@ -49,6 +50,29 @@ bool ParseOp(const std::string& tok, int* op) {
   else if (tok == "swapout") *op = 2;   // rdma::Op::kSwapOut
   else if (tok == "all" || tok.empty()) *op = kAllOps;
   else return false;
+  return true;
+}
+
+/// Pops a trailing `server=N` token off `tok` (already-read optional token)
+/// or the stream. Returns false on a malformed server id.
+bool TakeServer(std::istringstream& ls, std::string* tok, int* server) {
+  *server = kAllServers;
+  std::string t;
+  if (tok->rfind("server=", 0) == 0) {
+    t = *tok;
+    tok->clear();
+  } else {
+    ls >> t;
+    if (t.rfind("server=", 0) != 0) return t.empty();
+  }
+  try {
+    std::size_t used = 0;
+    int v = std::stoi(t.substr(7), &used);
+    if (used != t.size() - 7 || v < 0) return false;
+    *server = v;
+  } catch (...) {
+    return false;
+  }
   return true;
 }
 
@@ -93,13 +117,19 @@ std::optional<FaultPlan> FaultPlan::Parse(const std::string& text,
         return std::nullopt;
       }
       ls >> d;
+      int server;
+      if (!TakeServer(ls, &d, &server)) {
+        SetError(err, line_no, line, "bad server target");
+        return std::nullopt;
+      }
       int dir;
       if (!ParseDir(d, &dir)) {
         SetError(err, line_no, line, "bad direction");
         return std::nullopt;
       }
       plan.AddLatencySpike(start, end,
-                           SimDuration(extra_us * double(kMicrosecond)), dir);
+                           SimDuration(extra_us * double(kMicrosecond)), dir,
+                           server);
     } else if (kind == "bandwidth") {
       double factor = 1.0;
       std::string d;
@@ -131,14 +161,25 @@ std::optional<FaultPlan> FaultPlan::Parse(const std::string& text,
     } else if (kind == "stall") {
       std::string d;
       ls >> d;
+      int server;
+      if (!TakeServer(ls, &d, &server)) {
+        SetError(err, line_no, line, "bad server target");
+        return std::nullopt;
+      }
       int dir;
       if (!ParseDir(d, &dir)) {
         SetError(err, line_no, line, "bad direction");
         return std::nullopt;
       }
-      plan.AddQpStall(start, end, dir);
+      plan.AddQpStall(start, end, dir, server);
     } else if (kind == "blackout") {
-      plan.AddBlackout(start, end);
+      std::string s;
+      int server;
+      if (!TakeServer(ls, &s, &server)) {
+        SetError(err, line_no, line, "bad server target");
+        return std::nullopt;
+      }
+      plan.AddBlackout(start, end, server);
     } else {
       SetError(err, line_no, line, "unknown fault kind");
       return std::nullopt;

@@ -41,11 +41,22 @@ struct TimeWindow {
 inline constexpr int kBothDirections = -1;
 /// Op filter: -1 = every op, otherwise int(rdma::Op).
 inline constexpr int kAllOps = -1;
+/// Server filter: -1 = every memory server. Matches remote::kNoServer, so
+/// requests on the un-pooled fast path are hit by untargeted windows only.
+inline constexpr int kAllServers = -1;
+
+/// True when a window targeting `target` applies to a request bound for
+/// `server`. Untargeted windows hit everything; targeted windows hit only
+/// their server (an un-pooled caller passes kAllServers and sees all).
+inline bool ServerMatches(int target, int server) {
+  return target == kAllServers || server == kAllServers || target == server;
+}
 
 struct LatencySpike {
   TimeWindow window;
   SimDuration extra = 0;
   int dir = kBothDirections;
+  int server = kAllServers;
 };
 
 struct BandwidthDegrade {
@@ -63,10 +74,12 @@ struct ErrorBurst {
 struct QpStall {
   TimeWindow window;
   int dir = kBothDirections;
+  int server = kAllServers;
 };
 
 struct Blackout {
   TimeWindow window;
+  int server = kAllServers;
 };
 
 class FaultPlan {
@@ -75,14 +88,15 @@ class FaultPlan {
 
   // --- programmatic builders (times in ns; return *this for chaining) ---
   FaultPlan& AddLatencySpike(SimTime start, SimTime end, SimDuration extra,
-                             int dir = kBothDirections);
+                             int dir = kBothDirections,
+                             int server = kAllServers);
   FaultPlan& AddBandwidthDegrade(SimTime start, SimTime end, double factor,
                                  int dir = kBothDirections);
   FaultPlan& AddErrorBurst(SimTime start, SimTime end, double probability,
                            int op = kAllOps);
-  FaultPlan& AddQpStall(SimTime start, SimTime end,
-                        int dir = kBothDirections);
-  FaultPlan& AddBlackout(SimTime start, SimTime end);
+  FaultPlan& AddQpStall(SimTime start, SimTime end, int dir = kBothDirections,
+                        int server = kAllServers);
+  FaultPlan& AddBlackout(SimTime start, SimTime end, int server = kAllServers);
 
   bool empty() const {
     return latency_.empty() && bandwidth_.empty() && errors_.empty() &&
@@ -100,11 +114,15 @@ class FaultPlan {
   /// Parse the line-oriented config format. Times are microseconds, one
   /// fault per line, '#' starts a comment:
   ///
-  ///   latency   <start_us> <end_us> <extra_us> [in|out|both]
+  ///   latency   <start_us> <end_us> <extra_us> [in|out|both] [server=N]
   ///   bandwidth <start_us> <end_us> <factor>   [in|out|both]
   ///   error     <start_us> <end_us> <prob>     [demand|prefetch|swapout|all]
-  ///   stall     <start_us> <end_us>            [in|out|both]
-  ///   blackout  <start_us> <end_us>
+  ///   stall     <start_us> <end_us>            [in|out|both] [server=N]
+  ///   blackout  <start_us> <end_us>            [server=N]
+  ///
+  /// The optional trailing `server=N` (latency / stall / blackout) targets
+  /// memory server N of the remote pool; omitted means every server, so
+  /// pre-pool plan files parse to identical plans.
   ///
   /// Returns nullopt on malformed input and, when `err` is non-null, a
   /// message naming the offending line.

@@ -11,24 +11,24 @@ void FaultInjector::Start() {
   // for windows the plan actually contains, so an empty plan adds zero
   // events to the simulation.
   for (const Blackout& b : plan_.blackouts()) {
-    sim_.ScheduleAt(b.window.start, [this] {
-      for (auto& cb : down_cbs_) cb();
+    sim_.ScheduleAt(b.window.start, [this, server = b.server] {
+      for (auto& cb : down_cbs_) cb(server);
     });
-    sim_.ScheduleAt(b.window.end, [this] {
-      for (auto& cb : up_cbs_) cb();
+    sim_.ScheduleAt(b.window.end, [this, server = b.server] {
+      for (auto& cb : up_cbs_) cb(server);
     });
   }
 }
 
-bool FaultInjector::ServerDown(SimTime now) const {
+bool FaultInjector::ServerDown(SimTime now, int server) const {
   for (const Blackout& b : plan_.blackouts())
-    if (b.window.Covers(now)) return true;
+    if (ServerMatches(b.server, server) && b.window.Covers(now)) return true;
   return false;
 }
 
-bool FaultInjector::BlackoutOverlaps(SimTime a, SimTime b) {
+bool FaultInjector::BlackoutOverlaps(SimTime a, SimTime b, int server) {
   for (const Blackout& bo : plan_.blackouts()) {
-    if (bo.window.Overlaps(a, b)) {
+    if (ServerMatches(bo.server, server) && bo.window.Overlaps(a, b)) {
       ++stats_.blackout_kills;
       return true;
     }
@@ -36,10 +36,12 @@ bool FaultInjector::BlackoutOverlaps(SimTime a, SimTime b) {
   return false;
 }
 
-SimDuration FaultInjector::ExtraLatency(int dir, SimTime now) const {
+SimDuration FaultInjector::ExtraLatency(int dir, SimTime now,
+                                        int server) const {
   SimDuration extra = 0;
   for (const LatencySpike& s : plan_.latency_spikes())
-    if ((s.dir == kBothDirections || s.dir == dir) && s.window.Covers(now))
+    if ((s.dir == kBothDirections || s.dir == dir) &&
+        ServerMatches(s.server, server) && s.window.Covers(now))
       extra += s.extra;
   return extra;
 }
@@ -52,13 +54,26 @@ double FaultInjector::BandwidthFactor(int dir, SimTime now) const {
   return factor;
 }
 
-SimTime FaultInjector::StalledUntil(int dir, SimTime now) {
+SimTime FaultInjector::StalledUntil(int dir, SimTime now,
+                                    bool untargeted_only) {
   SimTime until = 0;
-  for (const QpStall& s : plan_.qp_stalls())
+  for (const QpStall& s : plan_.qp_stalls()) {
+    if (untargeted_only && s.server != kAllServers) continue;
     if ((s.dir == kBothDirections || s.dir == dir) && s.window.Covers(now))
       until = std::max(until, s.window.end);
+  }
   if (until) ++stats_.stalled_pumps;
   return until;
+}
+
+SimDuration FaultInjector::TargetedStallExtra(int server, int dir,
+                                              SimTime now) const {
+  SimTime until = 0;
+  for (const QpStall& s : plan_.qp_stalls())
+    if (s.server != kAllServers && ServerMatches(s.server, server) &&
+        (s.dir == kBothDirections || s.dir == dir) && s.window.Covers(now))
+      until = std::max(until, s.window.end);
+  return until > now ? until - now : 0;
 }
 
 bool FaultInjector::DrawCompletionError(int op, SimTime now) {

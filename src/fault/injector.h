@@ -59,20 +59,31 @@ class FaultInjector {
   const Stats& stats() const { return stats_; }
 
   // --- transport queries (hot path, called by the NIC at dispatch) ---
+  //
+  // `server` narrows a query to windows that target that memory server
+  // (plus all untargeted windows). The default kAllServers preserves the
+  // pre-pool behavior: every window applies.
 
   /// True while a blackout window covers `now`.
-  bool ServerDown(SimTime now) const;
+  bool ServerDown(SimTime now, int server = kAllServers) const;
   /// True if any blackout window intersects the attempt span [a, b]: the
   /// request's completion would never arrive, so it dies by timeout.
-  bool BlackoutOverlaps(SimTime a, SimTime b);
+  bool BlackoutOverlaps(SimTime a, SimTime b, int server = kAllServers);
   /// Additional one-way latency for a transfer dispatched at `now`.
-  SimDuration ExtraLatency(int dir, SimTime now) const;
+  SimDuration ExtraLatency(int dir, SimTime now,
+                           int server = kAllServers) const;
   /// Link-rate multiplier at `now` (1.0 = healthy; compounding windows
   /// multiply).
   double BandwidthFactor(int dir, SimTime now) const;
   /// End of a QP stall window covering `now`, or 0 if the lane may
-  /// dispatch.
-  SimTime StalledUntil(int dir, SimTime now);
+  /// dispatch. With `untargeted_only` (a pooled NIC), server-targeted
+  /// stalls do not freeze the shared lane — they surface per-request via
+  /// TargetedStallExtra instead.
+  SimTime StalledUntil(int dir, SimTime now, bool untargeted_only = false);
+  /// Extra service delay a request bound for `server` pays at `now` from
+  /// stall windows targeting that server (the remote QP is wedged until
+  /// the window closes, but the local lane keeps dispatching to others).
+  SimDuration TargetedStallExtra(int server, int dir, SimTime now) const;
   /// Draw a CQE completion error for op `op` at `now` (consumes RNG state
   /// only when an error window covers `now`).
   bool DrawCompletionError(int op, SimTime now);
@@ -82,10 +93,12 @@ class FaultInjector {
   double JitterDraw() { return rng_.NextDouble(); }
 
   // --- control-plane subscriptions (blackout edges) ---
-  void OnServerDown(std::function<void()> cb) {
+  // The callback argument is the blackout's server target (kAllServers for
+  // untargeted windows — the whole-fabric blackout of pre-pool plans).
+  void OnServerDown(std::function<void(int)> cb) {
     down_cbs_.push_back(std::move(cb));
   }
-  void OnServerUp(std::function<void()> cb) {
+  void OnServerUp(std::function<void(int)> cb) {
     up_cbs_.push_back(std::move(cb));
   }
 
@@ -94,8 +107,8 @@ class FaultInjector {
   FaultPlan plan_;
   Rng rng_;
   Stats stats_;
-  std::vector<std::function<void()>> down_cbs_;
-  std::vector<std::function<void()>> up_cbs_;
+  std::vector<std::function<void(int)>> down_cbs_;
+  std::vector<std::function<void(int)>> up_cbs_;
 };
 
 }  // namespace canvas::fault

@@ -28,12 +28,16 @@ std::optional<core::PrefetcherKind> PrefetcherFromName(
   return std::nullopt;
 }
 
-std::string RunLabel(const std::string& system, double ratio, double scale,
-                     std::uint64_t seed) {
-  char buf[128];
+std::string RunLabel(const std::string& system, const std::string& topology,
+                     double ratio, double scale, std::uint64_t seed) {
+  char buf[160];
   std::snprintf(buf, sizeof(buf), "%s/r%.2f/s%.2f/seed%llu",
                 system.c_str(), ratio, scale, (unsigned long long)seed);
-  return buf;
+  std::string label = buf;
+  // The default topology stays invisible so pre-pool sweep reports keep
+  // their per-run keys byte-for-byte.
+  if (topology != "single") label += "/" + topology;
+  return label;
 }
 
 std::vector<RunSpec> ScenarioSpec::Expand() const {
@@ -44,21 +48,26 @@ std::vector<RunSpec> ScenarioSpec::Expand() const {
     if (!preset)
       throw std::invalid_argument("unknown system preset: " + sys);
     overrides.Apply(*preset);
-    for (double ratio : ratios) {
-      for (double scale : scales) {
-        for (std::uint64_t seed : seeds) {
-          RunSpec r;
-          r.index = runs.size();
-          r.label = RunLabel(sys, ratio, scale, seed);
-          r.exp.config = *preset;
-          r.exp.deadline = deadline;
-          r.exp.apps = apps;
-          for (core::AppBuild& b : r.exp.apps) {
-            b.ratio = ratio;
-            b.scale = scale;
-            b.seed = seed;
+    for (const std::string& topo : topologies) {
+      // Throws std::invalid_argument on an unknown topology name.
+      remote::PoolConfig pool = remote::PoolConfig::FromName(topo);
+      for (double ratio : ratios) {
+        for (double scale : scales) {
+          for (std::uint64_t seed : seeds) {
+            RunSpec r;
+            r.index = runs.size();
+            r.label = RunLabel(sys, topo, ratio, scale, seed);
+            r.exp.config = *preset;
+            r.exp.config.remote = pool;
+            r.exp.deadline = deadline;
+            r.exp.apps = apps;
+            for (core::AppBuild& b : r.exp.apps) {
+              b.ratio = ratio;
+              b.scale = scale;
+              b.seed = seed;
+            }
+            runs.push_back(std::move(r));
           }
-          runs.push_back(std::move(r));
         }
       }
     }

@@ -45,11 +45,16 @@ struct RunSpec {
 };
 
 /// The declarative experiment surface. Axes combine as a full grid in
-/// fixed nesting order: system (outer) -> ratio -> scale -> seed (inner).
+/// fixed nesting order: system (outer) -> topology -> ratio -> scale ->
+/// seed (inner).
 struct ScenarioSpec {
   /// Preset names resolved via SystemConfig::FromName.
   std::vector<std::string> systems = {"canvas"};
   FeatureOverrides overrides;
+  /// Server-topology axis (DESIGN.md §11), resolved via
+  /// remote::PoolConfig::FromName. The default {"single"} keeps the
+  /// single-infinite-server fast path and leaves run labels unchanged.
+  std::vector<std::string> topologies = {"single"};
   /// Co-run template. Each AppBuild's ratio/scale/seed fields are
   /// overwritten by the axis values at expansion; name/cores/threads are
   /// taken as-is.
@@ -60,7 +65,8 @@ struct ScenarioSpec {
   SimTime deadline = 600 * kSecond;
 
   std::size_t RunCount() const {
-    return systems.size() * ratios.size() * scales.size() * seeds.size();
+    return systems.size() * topologies.size() * ratios.size() *
+           scales.size() * seeds.size();
   }
 
   /// Expand the grid into RunSpecs, index-ordered. Throws
@@ -68,9 +74,12 @@ struct ScenarioSpec {
   std::vector<RunSpec> Expand() const;
 };
 
-/// Label for one grid point, e.g. "canvas/r0.25/s0.30/seed7". Used both
-/// for progress output and as the stable per-run key in sweep reports.
-std::string RunLabel(const std::string& system, double ratio, double scale,
-                     std::uint64_t seed);
+/// Label for one grid point, e.g. "canvas/r0.25/s0.30/seed7". A
+/// non-default topology is appended as a trailing "/pool4" segment; the
+/// default "single" leaves the label exactly as before, so existing sweep
+/// reports keep their keys. Used both for progress output and as the
+/// stable per-run key in sweep reports.
+std::string RunLabel(const std::string& system, const std::string& topology,
+                     double ratio, double scale, std::uint64_t seed);
 
 }  // namespace canvas::orchestrator

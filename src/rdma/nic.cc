@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "remote/pool.h"
+
 namespace canvas::rdma {
 
 SimDuration ComputeBackoff(const RetryPolicy& policy, std::uint32_t attempt,
@@ -31,7 +33,9 @@ SimDuration Nic::EstimateServiceDelay(Direction dir, SimTime now) const {
     // Fold in the degraded fabric so the horizontal scheduler's timeliness
     // estimates stay honest under injection. Stall windows are scanned
     // directly off the plan (StalledUntil() is a counting hook reserved for
-    // actual pump deferrals).
+    // actual pump deferrals). Server-targeted windows are folded in at
+    // fabric level here — the estimator has no destination yet, so it
+    // conservatively assumes the worst covering window.
     for (const fault::QpStall& s : injector_->plan().qp_stalls())
       if ((s.dir == fault::kBothDirections || s.dir == int(dir)) &&
           s.window.Covers(free_at))
@@ -60,7 +64,11 @@ void Nic::Pump(Direction dir) {
   SimTime now = sim_.Now();
   if (injector_ && injector_->active()) {
     // A QP stall freezes dispatch on this lane until the window closes.
-    SimTime stalled_until = injector_->StalledUntil(int(dir), now);
+    // With a pool attached, server-targeted stalls wedge only the remote
+    // QP — they surface as per-request latency below, not a lane freeze.
+    SimTime stalled_until =
+        injector_->StalledUntil(int(dir), now, /*untargeted_only=*/
+                                pool_ != nullptr);
     if (stalled_until > now) {
       lane.pump_scheduled = true;
       sim_.ScheduleAt(stalled_until, [this, dir] {
@@ -95,15 +103,27 @@ void Nic::Pump(Direction dir) {
   if (!req) return;
 
   req->dispatched = now;
+  // Late-bound routing: the slab's *current* home decides the destination,
+  // so retries issued after a migration or eviction chase the data.
+  if (pool_ && req->partition != kNoPoolPartition)
+    req->server = pool_->RouteAtDispatch(req->partition, req->entry);
   double bw = cfg_.bandwidth_bytes_per_sec;
   SimDuration extra_lat = 0;
   if (injector_ && injector_->active()) {
     bw *= injector_->BandwidthFactor(int(dir), now);
-    extra_lat = injector_->ExtraLatency(int(dir), now);
+    extra_lat = injector_->ExtraLatency(int(dir), now, req->server);
+    if (pool_)
+      extra_lat += injector_->TargetedStallExtra(req->server, int(dir), now);
   }
   auto ser = SimDuration(double(req->bytes) / bw * double(kSecond));
   lane.busy_until = now + ser;
   SimTime completion = lane.busy_until + cfg_.base_latency + extra_lat;
+  if (pool_ && req->server >= 0)
+    // Fold in the destination server: link serialization behind other
+    // transfers to the same server, fixed processing latency, and
+    // queue-depth congestion. Transparent servers return it unchanged.
+    completion = pool_->BeginService(req->server, int(dir), req->bytes,
+                                     lane.busy_until, completion);
   if (tracer_)
     // Lane occupancy: consecutive dispatches on a lane begin at or after
     // the previous serialization window ends, so wire spans never overlap
@@ -117,7 +137,7 @@ void Nic::Pump(Direction dir) {
   RequestStatus outcome = RequestStatus::kOk;
   SimTime event_at = completion;
   if (injector_ && injector_->active()) {
-    if (injector_->BlackoutOverlaps(now, completion)) {
+    if (injector_->BlackoutOverlaps(now, completion, req->server)) {
       // The server never answers: the attempt dies by timeout.
       outcome = RequestStatus::kTimeout;
       event_at = now + cfg_.retry.timeout;
@@ -139,6 +159,9 @@ void Nic::Pump(Direction dir) {
   cg_bytes_[key] += double(req->bytes);
 
   sim_.ScheduleAt(event_at, [this, outcome, owned = std::move(req)]() mutable {
+    // Balance the server's inflight depth at the attempt's terminal event
+    // (a timed-out attempt stops congesting once we stop waiting on it).
+    if (pool_ && owned->server >= 0) pool_->EndService(owned->server);
     owned->completed = sim_.Now();
     owned->status = outcome;
     if (outcome == RequestStatus::kOk) {

@@ -32,6 +32,10 @@
 #include "sim/simulator.h"
 #include "trace/trace.h"
 
+namespace canvas::remote {
+class ServerPool;
+}
+
 namespace canvas::rdma {
 
 /// Interface the dispatch scheduler exposes to the NIC.
@@ -107,6 +111,15 @@ class Nic {
   /// tracks. Recording only — never affects dispatch order or timing.
   void AttachTracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Attach the remote memory-server pool (nullptr detaches). With a pool,
+  /// each pooled request is routed to its slab's current home server at
+  /// dispatch, the server's service model (link serialization, base
+  /// latency, queue-depth congestion) folds into the completion time, and
+  /// server-targeted fault windows apply only to requests bound for that
+  /// server. Without one — or for requests without a pool partition — the
+  /// single-server fast path is byte-identical to pre-pool builds.
+  void AttachPool(remote::ServerPool* pool) { pool_ = pool; }
+
   /// Notify the NIC that the source may have new work in `dir`.
   void Kick(Direction dir);
 
@@ -165,6 +178,7 @@ class Nic {
   RequestSource& source_;
   fault::FaultInjector* injector_ = nullptr;
   trace::Tracer* tracer_ = nullptr;
+  remote::ServerPool* pool_ = nullptr;
   std::array<Lane, 2> lanes_;
   std::array<std::deque<RequestPtr>, 2> retry_q_;
   std::array<LatencyRecorder, 3> latency_;

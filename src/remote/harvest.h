@@ -1,0 +1,42 @@
+// Harvesting model (Memtrade-style): memory servers are harvested VMs whose
+// producer can reclaim capacity at any time. A HarvestConfig is either an
+// explicit event list (tests) or a seeded generator (benches) producing
+// capacity-delta events; the pool applies them, evicting or migrating slabs
+// when a server shrinks below its current holdings.
+//
+// Events are pure data — all scheduling happens in ServerPool::Start so the
+// whole schedule is replayable from (config, seed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "remote/server.h"
+
+namespace canvas::remote {
+
+struct HarvestEvent {
+  SimTime at = 0;
+  ServerId server = 0;
+  /// Negative: producer reclaims capacity (harvest). Positive: returns it.
+  std::int64_t delta_slabs = 0;
+};
+
+struct HarvestConfig {
+  /// Explicit schedule, applied verbatim (in addition to the generator).
+  std::vector<HarvestEvent> events;
+
+  /// Seeded generator: every `period` (+/- jitter), one server (seeded pick
+  /// among those with finite capacity) loses `slabs` of capacity, returned
+  /// after `hold` (0 = never returned). period == 0 disables the generator.
+  SimDuration period = 0;
+  double jitter_frac = 0.0;
+  std::uint64_t slabs = 0;
+  SimDuration hold = 0;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+
+  bool active() const { return period > 0 || !events.empty(); }
+};
+
+}  // namespace canvas::remote

@@ -1,0 +1,96 @@
+#include "remote/placement.h"
+
+namespace canvas::remote {
+
+const char* PlacementKindName(PlacementKind k) {
+  switch (k) {
+    case PlacementKind::kFirstFit: return "first-fit";
+    case PlacementKind::kRoundRobin: return "round-robin";
+    case PlacementKind::kPowerOfTwo: return "p2c";
+  }
+  return "?";
+}
+
+bool ParsePlacementKind(const std::string& s, PlacementKind* out) {
+  if (s == "first-fit" || s == "firstfit") {
+    *out = PlacementKind::kFirstFit;
+  } else if (s == "round-robin" || s == "roundrobin") {
+    *out = PlacementKind::kRoundRobin;
+  } else if (s == "p2c" || s == "power-of-two" || s == "pow2") {
+    *out = PlacementKind::kPowerOfTwo;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool Eligible(const ServerState& s, ServerId id, ServerId exclude) {
+  return id != exclude && s.HasRoom();
+}
+
+class FirstFit final : public PlacementPolicy {
+ public:
+  ServerId Pick(const std::vector<ServerState>& servers, ServerId exclude,
+                Rng&) override {
+    for (std::size_t i = 0; i < servers.size(); ++i)
+      if (Eligible(servers[i], ServerId(i), exclude)) return ServerId(i);
+    return kNoServer;
+  }
+};
+
+class RoundRobin final : public PlacementPolicy {
+ public:
+  ServerId Pick(const std::vector<ServerState>& servers, ServerId exclude,
+                Rng&) override {
+    std::size_t n = servers.size();
+    for (std::size_t step = 0; step < n; ++step) {
+      std::size_t i = (cursor_ + step) % n;
+      if (Eligible(servers[i], ServerId(i), exclude)) {
+        cursor_ = (i + 1) % n;
+        return ServerId(i);
+      }
+    }
+    return kNoServer;
+  }
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+class PowerOfTwo final : public PlacementPolicy {
+ public:
+  ServerId Pick(const std::vector<ServerState>& servers, ServerId exclude,
+                Rng& rng) override {
+    std::vector<ServerId> eligible;
+    eligible.reserve(servers.size());
+    for (std::size_t i = 0; i < servers.size(); ++i)
+      if (Eligible(servers[i], ServerId(i), exclude))
+        eligible.push_back(ServerId(i));
+    if (eligible.empty()) return kNoServer;
+    if (eligible.size() == 1) return eligible[0];
+    // Two independent draws (they may coincide); take the emptier server.
+    // Occupancy is the fraction of current capacity in use, so harvesting
+    // that shrinks a server steers new slabs away from it automatically.
+    ServerId a = eligible[rng.NextBounded(std::uint64_t(eligible.size()))];
+    ServerId b = eligible[rng.NextBounded(std::uint64_t(eligible.size()))];
+    double occ_a = servers[std::size_t(a)].Occupancy();
+    double occ_b = servers[std::size_t(b)].Occupancy();
+    if (occ_b < occ_a || (occ_b == occ_a && b < a)) return b;
+    return a;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(PlacementKind kind) {
+  switch (kind) {
+    case PlacementKind::kFirstFit: return std::make_unique<FirstFit>();
+    case PlacementKind::kRoundRobin: return std::make_unique<RoundRobin>();
+    case PlacementKind::kPowerOfTwo: return std::make_unique<PowerOfTwo>();
+  }
+  return nullptr;
+}
+
+}  // namespace canvas::remote

@@ -1,0 +1,43 @@
+// Pluggable slab placement policies (Infiniswap-style).
+//
+// A policy picks the server that will home a newly materialized slab. All
+// policies see the same eligibility filter (server up, below capacity) and
+// must be deterministic given the pool's seeded RNG: the pool owns one Rng
+// and passes it in, so identical (topology, seed, workload) runs place
+// identically.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "remote/server.h"
+
+namespace canvas::remote {
+
+enum class PlacementKind {
+  kFirstFit,     // lowest-id server with room — concentrates load
+  kRoundRobin,   // stripe slabs across servers in id order
+  kPowerOfTwo,   // two seeded draws, pick the lower-occupancy one
+};
+
+const char* PlacementKindName(PlacementKind k);
+/// Parses "first-fit" / "round-robin" / "p2c" (aliases "power-of-two",
+/// "pow2"). Returns false on unknown names.
+bool ParsePlacementKind(const std::string& s, PlacementKind* out);
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  /// Returns the chosen server id, or kNoServer when no server is eligible
+  /// (all down/full — the slab then falls through to the disk backend).
+  /// `exclude` (kNoServer = none) bars one server, used when migrating a
+  /// slab off its current home.
+  virtual ServerId Pick(const std::vector<ServerState>& servers,
+                        ServerId exclude, Rng& rng) = 0;
+};
+
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(PlacementKind kind);
+
+}  // namespace canvas::remote

@@ -1,0 +1,407 @@
+#include "remote/pool.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "trace/trace.h"
+
+namespace canvas::remote {
+
+namespace {
+
+std::vector<ServerConfig> MakeServers(int n, std::uint64_t capacity,
+                                      double bw, SimDuration lat,
+                                      SimDuration cong, SimDuration cap) {
+  std::vector<ServerConfig> out;
+  out.reserve(std::size_t(n));
+  for (int i = 0; i < n; ++i) {
+    ServerConfig s;
+    s.name = "ms" + std::to_string(i);
+    s.capacity_slabs = capacity;
+    s.bandwidth_bytes_per_sec = bw;
+    s.base_latency = lat;
+    s.congestion_per_inflight = cong;
+    s.congestion_cap = cap;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+PoolConfig MakePool(int n) {
+  // Per-server link slightly below the NIC rate so fan-in to one server can
+  // saturate its destination even when the initiator NIC has headroom —
+  // the per-destination bottleneck the flat fabric model lacks.
+  PoolConfig cfg;
+  cfg.servers = MakeServers(n, /*capacity=*/256, /*bw=*/4.8e9,
+                            /*lat=*/1 * kMicrosecond,
+                            /*cong=*/SimDuration(150),
+                            /*cap=*/20 * kMicrosecond);
+  return cfg;
+}
+
+}  // namespace
+
+PoolConfig PoolConfig::FromName(const std::string& name) {
+  PoolConfig cfg;
+  cfg.topology = name;
+  if (name == "single") {
+    // No pool: the NIC fast path, bit-identical to pre-pool builds.
+    return cfg;
+  }
+  if (name == "transparent") {
+    // One unlimited zero-cost server: exercises the routing layer while
+    // provably reproducing "single" byte-for-byte (the equivalence test).
+    cfg.servers = MakeServers(1, 0, 0.0, 0, 0, 0);
+    return cfg;
+  }
+  if (name == "pool2" || name == "pool4" || name == "pool8") {
+    int n = name == "pool2" ? 2 : name == "pool4" ? 4 : 8;
+    PoolConfig p = MakePool(n);
+    p.topology = name;
+    return p;
+  }
+  if (name == "pool4-harvest") {
+    PoolConfig p = MakePool(4);
+    p.topology = name;
+    for (ServerConfig& s : p.servers) s.capacity_slabs = 64;
+    p.harvest.period = 5 * kMillisecond;
+    p.harvest.jitter_frac = 0.25;
+    p.harvest.slabs = 8;
+    p.harvest.hold = 20 * kMillisecond;
+    return p;
+  }
+  throw std::invalid_argument(
+      "unknown server topology '" + name +
+      "' (known: single, transparent, pool2, pool4, pool8, pool4-harvest)");
+}
+
+std::vector<std::pair<std::string, std::string>> PoolConfig::ListTopologies() {
+  return {
+      {"single", "no pool: flat fabric, infinite far memory (default)"},
+      {"transparent", "1 zero-cost server; byte-identical to 'single'"},
+      {"pool2", "2 servers, 256 slabs each, congestion-aware links"},
+      {"pool4", "4 servers, 256 slabs each, congestion-aware links"},
+      {"pool8", "8 servers, 256 slabs each, congestion-aware links"},
+      {"pool4-harvest", "4 tight servers + seeded Memtrade-style harvesting"},
+  };
+}
+
+ServerPool::ServerPool(sim::Simulator& sim, PoolConfig cfg)
+    : sim_(sim),
+      cfg_(std::move(cfg)),
+      policy_(MakePlacementPolicy(cfg_.placement)),
+      placement_rng_(cfg_.placement_seed),
+      harvest_rng_(cfg_.harvest.seed) {
+  servers_.reserve(cfg_.servers.size());
+  for (const ServerConfig& s : cfg_.servers)
+    servers_.emplace_back(s, cfg_.series_bucket);
+  placed_.resize(servers_.size());
+}
+
+std::uint32_t ServerPool::RegisterPartition(std::uint64_t entries) {
+  PartitionShard shard;
+  shard.entries = entries;
+  shard.slabs.resize(
+      std::size_t((entries + cfg_.slab_entries - 1) / cfg_.slab_entries));
+  partitions_.push_back(std::move(shard));
+  return std::uint32_t(partitions_.size() - 1);
+}
+
+void ServerPool::Start(std::function<bool()> active) {
+  active_ = std::move(active);
+  for (const HarvestEvent& e : cfg_.harvest.events)
+    sim_.ScheduleAt(e.at, [this, e] { ApplyHarvest(e); });
+  if (cfg_.harvest.period > 0) ScheduleNextHarvest();
+}
+
+ServerPool::SlabInfo& ServerPool::SlabFor(std::uint32_t pid,
+                                          std::uint64_t entry) {
+  return partitions_.at(pid).slabs.at(std::size_t(entry / cfg_.slab_entries));
+}
+
+const ServerPool::SlabInfo& ServerPool::SlabFor(std::uint32_t pid,
+                                                std::uint64_t entry) const {
+  return partitions_.at(pid).slabs.at(std::size_t(entry / cfg_.slab_entries));
+}
+
+ServerId ServerPool::EnsurePlaced(std::uint32_t pid, std::uint64_t entry) {
+  SlabInfo& slab = SlabFor(pid, entry);
+  if (slab.home != kSlabUnplaced) return slab.home;
+  std::uint32_t index = std::uint32_t(entry / cfg_.slab_entries);
+  ServerId target = policy_->Pick(servers_, kNoServer, placement_rng_);
+  if (target == kNoServer) {
+    // Every server full or down: the slab is disk-homed from birth.
+    slab.home = kServerDisk;
+    ++unplaceable_;
+    if (tracer_)
+      tracer_->Instant(trace::kRemotePoolPid, 0, trace::Name::kSlabToDiskEvt,
+                       sim_.Now(), index);
+    return slab.home;
+  }
+  slab.home = target;
+  slab.last_remote = target;
+  ServerState& s = servers_[std::size_t(target)];
+  ++s.slabs_held;
+  s.peak_slabs_held = std::max(s.peak_slabs_held, s.slabs_held);
+  placed_[std::size_t(target)].push_back({pid, index});
+  ++slabs_placed_;
+  if (tracer_)
+    tracer_->Instant(trace::kRemotePoolPid, std::uint32_t(target),
+                     trace::Name::kSlabPlaceEvt, sim_.Now(), index);
+  return target;
+}
+
+ServerId ServerPool::RouteAtDispatch(std::uint32_t pid,
+                                     std::uint64_t entry) const {
+  const SlabInfo& slab = SlabFor(pid, entry);
+  if (slab.home >= 0) return slab.home;
+  // Disk-homed (or never-placed) slabs: requests still in the fabric are
+  // forwarded through the slab's last remote home; the issuer's disk
+  // redirection (incarnation bump / served-by check) owns correctness.
+  return slab.last_remote;
+}
+
+bool ServerPool::OnDisk(std::uint32_t pid, std::uint64_t entry) const {
+  return SlabFor(pid, entry).home == kServerDisk;
+}
+
+ServerId ServerPool::HomeOf(std::uint32_t pid, std::uint64_t entry) const {
+  return SlabFor(pid, entry).home;
+}
+
+SimTime ServerPool::BeginService(ServerId id, int dir, std::uint64_t bytes,
+                                 SimTime start, SimTime completion) {
+  ServerState& s = servers_.at(std::size_t(id));
+  SimTime done = completion;
+  if (s.cfg.bandwidth_bytes_per_sec > 0) {
+    // The server link serializes independently of the initiator NIC lane:
+    // fan-in from many cgroups queues here even when the NIC has headroom.
+    SimTime begin = std::max(start, s.busy_until[std::size_t(dir)]);
+    auto ser = SimDuration(double(bytes) / s.cfg.bandwidth_bytes_per_sec *
+                           double(kSecond));
+    s.busy_until[std::size_t(dir)] = begin + ser;
+    done = std::max(done, s.busy_until[std::size_t(dir)]);
+  }
+  SimDuration congestion =
+      SimDuration(double(s.cfg.congestion_per_inflight) * double(s.inflight));
+  if (s.cfg.congestion_cap > 0)
+    congestion = std::min(congestion, s.cfg.congestion_cap);
+  done += s.cfg.base_latency + congestion;
+  ++s.inflight;
+  s.peak_inflight = std::max(s.peak_inflight, s.inflight);
+  s.bytes[std::size_t(dir)] += double(bytes);
+  s.bytes_series[std::size_t(dir)].Add(start, double(bytes));
+  return done;
+}
+
+void ServerPool::EndService(ServerId id) {
+  ServerState& s = servers_.at(std::size_t(id));
+  if (s.inflight > 0) --s.inflight;
+  ++s.requests_served;
+}
+
+void ServerPool::MarkServerDown(ServerId id) {
+  ServerState& s = servers_.at(std::size_t(id));
+  if (s.down) return;
+  s.down = true;
+  // Failover: data on an unreachable server cannot be copied out, so every
+  // slab it held flips to the disk backend (the backup path) and the
+  // issuer redirects outstanding work there.
+  auto& list = placed_[std::size_t(id)];
+  while (!list.empty()) {
+    SlabRef ref = list.back();
+    EvictSlabToDisk(id, ref);
+  }
+}
+
+void ServerPool::MarkServerUp(ServerId id) {
+  servers_.at(std::size_t(id)).down = false;
+}
+
+void ServerPool::ApplyHarvest(const HarvestEvent& e) {
+  ServerState& s = servers_.at(std::size_t(e.server));
+  if (s.cfg.capacity_slabs == 0) return;  // unlimited servers aren't harvested
+  ++harvest_events_;
+  ++s.harvest_events;
+  if (e.delta_slabs < 0) {
+    std::uint64_t take =
+        std::min(s.capacity_slabs, std::uint64_t(-e.delta_slabs));
+    s.capacity_slabs -= take;
+    s.slabs_harvested += take;
+    if (tracer_)
+      tracer_->Instant(trace::kRemotePoolPid, std::uint32_t(e.server),
+                       trace::Name::kHarvestEvt, sim_.Now(), take);
+    ShedOverflow(e.server);
+  } else {
+    ReturnCapacity(e.server, std::uint64_t(e.delta_slabs));
+  }
+}
+
+void ServerPool::ShedOverflow(ServerId id) {
+  ServerState& s = servers_[std::size_t(id)];
+  auto& list = placed_[std::size_t(id)];
+  while (s.slabs_held > s.capacity_slabs && !list.empty()) {
+    SlabRef ref = list.back();
+    // Newest-placed slab is the victim: deterministic, and the cheapest
+    // choice to re-balance since cold slabs stay put.
+    ServerId target = policy_->Pick(servers_, id, placement_rng_);
+    if (target != kNoServer) {
+      MigrateSlab(id, target, ref);
+    } else {
+      EvictSlabToDisk(id, ref);
+    }
+  }
+}
+
+void ServerPool::MigrateSlab(ServerId src, ServerId dst, SlabRef ref) {
+  ServerState& from = servers_[std::size_t(src)];
+  ServerState& to = servers_[std::size_t(dst)];
+  SlabInfo& slab = partitions_[ref.pid].slabs[ref.slab];
+  placed_[std::size_t(src)].pop_back();
+  placed_[std::size_t(dst)].push_back(ref);
+  --from.slabs_held;
+  ++to.slabs_held;
+  to.peak_slabs_held = std::max(to.peak_slabs_held, to.slabs_held);
+  ++from.migrations_out;
+  ++to.migrations_in;
+  ++migrations_;
+  // The home flips at the decision instant — a slab never has two homes.
+  // The bulk copy occupies the source's migration lane for its transfer
+  // time; requests dispatched meanwhile already route to the new home.
+  slab.home = dst;
+  slab.last_remote = dst;
+  if (tracer_) {
+    SimTime begin = std::max(sim_.Now(), from.migration_busy_until);
+    double bw = cfg_.migration_bandwidth_bytes_per_sec;
+    auto bytes = double(cfg_.slab_entries) * double(kPageSize);
+    auto dur = SimDuration(std::max(1.0, bytes / bw * double(kSecond)));
+    from.migration_busy_until = begin + dur;
+    tracer_->Span(trace::kRemotePoolPid, std::uint32_t(src),
+                  trace::Name::kMigrateSpan, begin, begin + dur, ref.slab);
+  }
+}
+
+void ServerPool::EvictSlabToDisk(ServerId src, SlabRef ref) {
+  ServerState& from = servers_[std::size_t(src)];
+  SlabInfo& slab = partitions_[ref.pid].slabs[ref.slab];
+  placed_[std::size_t(src)].pop_back();
+  --from.slabs_held;
+  slab.last_remote = slab.home;
+  slab.home = kServerDisk;
+  ++evictions_to_disk_;
+  if (tracer_)
+    tracer_->Instant(trace::kRemotePoolPid, std::uint32_t(src),
+                     trace::Name::kSlabToDiskEvt, sim_.Now(), ref.slab);
+  if (on_evict_) {
+    std::uint64_t lo = std::uint64_t(ref.slab) * cfg_.slab_entries;
+    std::uint64_t hi =
+        std::min(lo + cfg_.slab_entries, partitions_[ref.pid].entries);
+    on_evict_(ref.pid, lo, hi);
+  }
+}
+
+void ServerPool::ScheduleNextHarvest() {
+  const HarvestConfig& h = cfg_.harvest;
+  double jitter =
+      1.0 + h.jitter_frac * (2.0 * harvest_rng_.NextDouble() - 1.0);
+  auto delay = SimDuration(std::max(1.0, double(h.period) * jitter));
+  sim_.ScheduleAt(sim_.Now() + delay, [this] {
+    if (active_ && !active_()) return;  // workload drained: stop generating
+    std::vector<ServerId> candidates;
+    for (std::size_t i = 0; i < servers_.size(); ++i)
+      if (servers_[i].cfg.capacity_slabs > 0 && !servers_[i].down)
+        candidates.push_back(ServerId(i));
+    if (!candidates.empty()) {
+      ServerId victim = candidates[std::size_t(
+          harvest_rng_.NextBounded(std::uint64_t(candidates.size())))];
+      ApplyHarvest({sim_.Now(), victim, -std::int64_t(cfg_.harvest.slabs)});
+      if (cfg_.harvest.hold > 0) {
+        std::uint64_t give = cfg_.harvest.slabs;
+        sim_.ScheduleAt(sim_.Now() + cfg_.harvest.hold, [this, victim, give] {
+          ReturnCapacity(victim, give);
+        });
+      }
+    }
+    ScheduleNextHarvest();
+  });
+}
+
+void ServerPool::ReturnCapacity(ServerId id, std::uint64_t slabs) {
+  ServerState& s = servers_.at(std::size_t(id));
+  if (s.cfg.capacity_slabs == 0) return;
+  // Overlapping holds can't inflate a server past its configured size.
+  s.capacity_slabs = std::min(s.cfg.capacity_slabs, s.capacity_slabs + slabs);
+}
+
+double ServerPool::PeakImbalance() const {
+  std::uint64_t max_peak = 0, sum_peak = 0;
+  for (const ServerState& s : servers_) {
+    max_peak = std::max(max_peak, s.peak_slabs_held);
+    sum_peak += s.peak_slabs_held;
+  }
+  if (sum_peak == 0) return 1.0;
+  return double(max_peak) * double(servers_.size()) / double(sum_peak);
+}
+
+double ServerPool::OccupancyCV() const {
+  if (servers_.empty()) return 0.0;
+  double mean = 0.0;
+  for (const ServerState& s : servers_) mean += double(s.peak_slabs_held);
+  mean /= double(servers_.size());
+  if (mean == 0.0) return 0.0;
+  double var = 0.0;
+  for (const ServerState& s : servers_) {
+    double d = double(s.peak_slabs_held) - mean;
+    var += d * d;
+  }
+  var /= double(servers_.size());
+  return std::sqrt(var) / mean;
+}
+
+bool ServerPool::Audit(std::string* err) const {
+  auto fail = [err](const std::string& m) {
+    if (err) *err = m;
+    return false;
+  };
+  std::vector<std::uint64_t> held(servers_.size(), 0);
+  std::uint64_t disk_homed = 0, unplaced = 0, total = 0;
+  for (const PartitionShard& part : partitions_) {
+    total += part.slabs.size();
+    for (const SlabInfo& slab : part.slabs) {
+      if (slab.home >= 0) {
+        if (std::size_t(slab.home) >= servers_.size())
+          return fail("slab homed on nonexistent server");
+        ++held[std::size_t(slab.home)];
+      } else if (slab.home == kServerDisk) {
+        ++disk_homed;
+      } else if (slab.home == kSlabUnplaced) {
+        ++unplaced;
+      } else {
+        return fail("slab has invalid home");
+      }
+    }
+  }
+  std::uint64_t live = 0;
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    if (held[i] != servers_[i].slabs_held)
+      return fail("server " + std::to_string(i) + " holds " +
+                  std::to_string(servers_[i].slabs_held) +
+                  " slabs but the tables say " + std::to_string(held[i]));
+    if (held[i] != placed_[i].size())
+      return fail("server " + std::to_string(i) + " placement list out of sync");
+    if (servers_[i].capacity_slabs !=
+            std::numeric_limits<std::uint64_t>::max() &&
+        servers_[i].slabs_held > servers_[i].capacity_slabs)
+      return fail("server " + std::to_string(i) + " over capacity");
+    live += held[i];
+  }
+  if (live + disk_homed + unplaced != total)
+    return fail("slab conservation violated: " + std::to_string(live) + "+" +
+                std::to_string(disk_homed) + "+" + std::to_string(unplaced) +
+                " != " + std::to_string(total));
+  return true;
+}
+
+}  // namespace canvas::remote

@@ -1,0 +1,183 @@
+// ServerPool: the far side of the RDMA fabric as a set of memory servers
+// (DESIGN.md §11).
+//
+// Swap partitions shard onto servers at slab granularity (a slab is
+// `slab_entries` consecutive swap entries). A slab is placed lazily on
+// first use by the configured PlacementPolicy; every slab has exactly ONE
+// home at any instant — a server, the disk backend, or "unplaced" — which
+// structurally enforces the no-dual-residency property.
+//
+// Harvesting (Memtrade-style) shrinks a server's capacity on a seeded
+// schedule; the pool responds by migrating the victim slabs to another
+// server (bulk copy modeled on the source's migration lane) or, when no
+// server has room, evicting them to the disk backend via the registered
+// handler (SwapSystem then redirects queued and in-flight requests using
+// the incarnation/content_version machinery).
+//
+// The pool adds zero behavior when every server is "transparent"
+// (unlimited capacity, zero bandwidth/latency/congestion): completions
+// pass through unmodified and no events are scheduled, so a single
+// transparent server reproduces the no-pool fast path bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "remote/harvest.h"
+#include "remote/placement.h"
+#include "remote/server.h"
+#include "sim/simulator.h"
+
+namespace canvas::trace {
+class Tracer;
+}
+
+namespace canvas::remote {
+
+struct PoolConfig {
+  /// Empty = subsystem disabled (the NIC never consults the pool).
+  std::vector<ServerConfig> servers;
+  /// Slab size in swap entries (4096 entries = 16 MiB of pages).
+  std::uint64_t slab_entries = 4096;
+  PlacementKind placement = PlacementKind::kPowerOfTwo;
+  std::uint64_t placement_seed = 0xc0ffee'5eedull;
+  /// Bulk-copy rate for live slab migration between servers.
+  double migration_bandwidth_bytes_per_sec = 2.4e9;
+  HarvestConfig harvest;
+  /// Name of the topology preset this config came from ("single", ...).
+  std::string topology = "single";
+  SimDuration series_bucket = 100 * kMillisecond;
+
+  bool enabled() const { return !servers.empty(); }
+
+  /// Topology preset registry (mirrors SystemConfig::FromName). Throws
+  /// std::invalid_argument on unknown names.
+  static PoolConfig FromName(const std::string& name);
+  static std::vector<std::pair<std::string, std::string>> ListTopologies();
+};
+
+class ServerPool {
+ public:
+  ServerPool(sim::Simulator& sim, PoolConfig cfg);
+
+  void AttachTracer(trace::Tracer* t) { tracer_ = t; }
+
+  /// Called when a slab's entries move to the disk backend; receiver must
+  /// redirect queued/in-flight requests for entries in [lo, hi).
+  using SlabEvictedHandler =
+      std::function<void(std::uint32_t pid, std::uint64_t lo,
+                         std::uint64_t hi)>;
+  void SetSlabEvictedHandler(SlabEvictedHandler h) { on_evict_ = std::move(h); }
+
+  /// Registers a swap partition of `entries` capacity; returns its pool id.
+  std::uint32_t RegisterPartition(std::uint64_t entries);
+
+  /// Schedules the harvest plan. `active` gates the recurring generator so
+  /// it stops once the workload drains (nullptr = always active).
+  void Start(std::function<bool()> active);
+
+  // --- placement & routing ---
+
+  /// Home of `entry`'s slab, placing the slab first if it has never been
+  /// touched. Returns a server id or kServerDisk (nothing eligible).
+  ServerId EnsurePlaced(std::uint32_t pid, std::uint64_t entry);
+  /// Current routing target at NIC dispatch time. Disk-homed slabs forward
+  /// through their last remote home (kNoServer if they never had one).
+  ServerId RouteAtDispatch(std::uint32_t pid, std::uint64_t entry) const;
+  /// True if the slab holding `entry` is currently homed on disk.
+  bool OnDisk(std::uint32_t pid, std::uint64_t entry) const;
+  ServerId HomeOf(std::uint32_t pid, std::uint64_t entry) const;
+
+  // --- server-side service model (called from the NIC) ---
+
+  /// Folds server link serialization + base latency + queue-depth
+  /// congestion into `completion`; `start` is the NIC-lane serialization
+  /// end. Increments the inflight depth. Transparent servers return
+  /// `completion` unchanged.
+  SimTime BeginService(ServerId id, int dir, std::uint64_t bytes,
+                       SimTime start, SimTime completion);
+  /// Balances BeginService at the attempt's terminal event.
+  void EndService(ServerId id);
+
+  // --- failover & harvesting ---
+
+  /// Per-server blackout onset: marks the server down and evicts all its
+  /// slabs to the disk backend (the backup path — data on an unreachable
+  /// server is re-fetched from disk, not migrated).
+  void MarkServerDown(ServerId id);
+  void MarkServerUp(ServerId id);
+  /// Applies one capacity-delta event (negative = reclaim). Exposed for
+  /// tests; the seeded generator calls this internally.
+  void ApplyHarvest(const HarvestEvent& e);
+
+  // --- metrics ---
+
+  const PoolConfig& config() const { return cfg_; }
+  const std::vector<ServerState>& servers() const { return servers_; }
+  std::uint64_t slabs_placed() const { return slabs_placed_; }
+  std::uint64_t migrations() const { return migrations_; }
+  std::uint64_t evictions_to_disk() const { return evictions_to_disk_; }
+  std::uint64_t harvest_events() const { return harvest_events_; }
+  std::uint64_t unplaceable() const { return unplaceable_; }
+  /// max(peak_slabs_held) * N / sum(peak_slabs_held): 1.0 = perfectly even
+  /// peaks, N = one server absorbed everything.
+  double PeakImbalance() const;
+  /// Coefficient of variation of peak slab counts across servers.
+  double OccupancyCV() const;
+
+  /// Recomputes per-server holdings from the slab tables and checks them
+  /// against the live counters (single-home + capacity conservation).
+  bool Audit(std::string* err) const;
+
+ private:
+  struct SlabInfo {
+    ServerId home = kSlabUnplaced;
+    ServerId last_remote = kNoServer;
+  };
+  struct PartitionShard {
+    std::uint64_t entries = 0;
+    std::vector<SlabInfo> slabs;
+  };
+  struct SlabRef {
+    std::uint32_t pid;
+    std::uint32_t slab;
+  };
+
+  SlabInfo& SlabFor(std::uint32_t pid, std::uint64_t entry);
+  const SlabInfo& SlabFor(std::uint32_t pid, std::uint64_t entry) const;
+  /// Shrinks `id` until holdings fit capacity: migrate victims (newest
+  /// first) if any server has room, else evict to disk.
+  void ShedOverflow(ServerId id);
+  void MigrateSlab(ServerId src, ServerId dst, SlabRef ref);
+  void EvictSlabToDisk(ServerId src, SlabRef ref);
+  void ScheduleNextHarvest();
+  void ReturnCapacity(ServerId id, std::uint64_t slabs);
+
+  sim::Simulator& sim_;
+  PoolConfig cfg_;
+  std::vector<ServerState> servers_;
+  std::vector<PartitionShard> partitions_;
+  /// Per-server placed slabs in placement order (back = newest = first
+  /// migration victim).
+  std::vector<std::vector<SlabRef>> placed_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  Rng placement_rng_;
+  Rng harvest_rng_;
+  trace::Tracer* tracer_ = nullptr;
+  SlabEvictedHandler on_evict_;
+  std::function<bool()> active_;
+
+  std::uint64_t slabs_placed_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t evictions_to_disk_ = 0;
+  std::uint64_t harvest_events_ = 0;
+  std::uint64_t unplaceable_ = 0;
+};
+
+}  // namespace canvas::remote

@@ -65,11 +65,18 @@ class SwapPartition {
 
   EntryMeta& meta(SwapEntryId e) { return meta_.at(e); }
 
+  /// Remote-pool partition id assigned at registration (DESIGN.md §11);
+  /// kNoPoolId when the partition is not sharded onto a server pool.
+  static constexpr std::uint32_t kNoPoolId = 0xFFFF'FFFFu;
+  std::uint32_t pool_id() const { return pool_id_; }
+  void set_pool_id(std::uint32_t id) { pool_id_ = id; }
+
  private:
   std::string name_;
   std::uint64_t capacity_;
   std::unique_ptr<SwapEntryAllocator> allocator_;
   std::vector<EntryMeta> meta_;
+  std::uint32_t pool_id_ = kNoPoolId;
 };
 
 }  // namespace canvas::swapalloc

@@ -26,6 +26,10 @@ const char* NameString(Name n) {
     case Name::kFailback: return "failback";
     case Name::kServerDown: return "server_down";
     case Name::kServerUp: return "server_up";
+    case Name::kMigrateSpan: return "slab_migrate";
+    case Name::kSlabPlaceEvt: return "slab_place";
+    case Name::kSlabToDiskEvt: return "slab_to_disk";
+    case Name::kHarvestEvt: return "harvest";
     case Name::kRssPages: return "rss_pages";
     case Name::kCachePages: return "cache_pages";
     case Name::kCacheHitRatio: return "cache_hit_ratio";
@@ -33,6 +37,8 @@ const char* NameString(Name n) {
     case Name::kQueueDepth: return "queue_depth";
     case Name::kBandwidthIngress: return "bandwidth_ingress_Bps";
     case Name::kBandwidthEgress: return "bandwidth_egress_Bps";
+    case Name::kServerInflight: return "server_inflight";
+    case Name::kServerSlabs: return "server_slabs";
     case Name::kNumNames: break;
   }
   return "?";

@@ -53,6 +53,11 @@ enum class Name : std::uint16_t {
   kFailback,         ///< cgroup failed back to the remote path
   kServerDown,       ///< memory-server blackout began
   kServerUp,         ///< memory-server blackout ended
+  // --- remote memory-server pool (DESIGN.md §11) ---
+  kMigrateSpan,      ///< live slab migration bulk copy (source server track)
+  kSlabPlaceEvt,     ///< slab placed on a server; arg = slab index
+  kSlabToDiskEvt,    ///< slab evicted to the disk backend; arg = slab index
+  kHarvestEvt,       ///< producer reclaimed capacity; arg = slabs taken
   // --- sampler counters (per-cgroup time series) ---
   kRssPages,          ///< resident pages
   kCachePages,        ///< swap-cache pages charged
@@ -61,6 +66,9 @@ enum class Name : std::uint16_t {
   kQueueDepth,        ///< requests queued in the dispatch scheduler
   kBandwidthIngress,  ///< bytes/sec over the last sample period
   kBandwidthEgress,   ///< bytes/sec over the last sample period
+  // --- per-server counters (remote pool; tid = server id) ---
+  kServerInflight,    ///< requests dispatched to the server, not yet done
+  kServerSlabs,       ///< slabs currently homed on the server
   kNumNames,
 };
 
@@ -75,6 +83,8 @@ inline constexpr std::uint32_t kRdmaPid = 0xFFFF'0000u;
 inline constexpr std::uint32_t kCgroupTrack = 0;
 /// tid of the fabric control track under kRdmaPid.
 inline constexpr std::uint32_t kFabricControlTrack = 2;
+/// Synthetic pid for the remote memory-server pool; tid = server id.
+inline constexpr std::uint32_t kRemotePoolPid = 0xFFFF'0001u;
 
 /// One fixed-size binary record. Counters store their double value
 /// bit-cast into `arg`.

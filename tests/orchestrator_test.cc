@@ -91,6 +91,52 @@ TEST(Scenario, ExpandRejectsUnknownPreset) {
   EXPECT_THROW(spec.Expand(), std::invalid_argument);
 }
 
+// Topology axis (DESIGN.md §11): each system expands once per topology,
+// labels carry the topology only when it is not the default, and the
+// resolved PoolConfig lands in every run's config.
+TEST(Scenario, TopologyAxisExpandsAndLabels) {
+  ScenarioSpec spec = SmallScenario();
+  spec.systems = {"canvas"};
+  spec.seeds = {3};
+  spec.topologies = {"single", "pool2"};
+  auto runs = spec.Expand();
+  ASSERT_EQ(runs.size(), spec.RunCount());
+  ASSERT_EQ(runs.size(), 2u);
+  // The default topology stays invisible so pre-pool labels are unchanged;
+  // non-default topologies are suffixed.
+  EXPECT_EQ(runs[0].label, "canvas/r0.25/s0.05/seed3");
+  EXPECT_EQ(runs[1].label, "canvas/r0.25/s0.05/seed3/pool2");
+  EXPECT_FALSE(runs[0].exp.config.remote.enabled());
+  ASSERT_TRUE(runs[1].exp.config.remote.enabled());
+  EXPECT_EQ(runs[1].exp.config.remote.servers.size(), 2u);
+
+  spec.topologies = {"mesh16"};
+  EXPECT_THROW(spec.Expand(), std::invalid_argument);
+}
+
+// Pooled runs obey the same determinism contract as the rest of the sweep:
+// the aggregate is byte-identical for any worker-thread count.
+TEST(SweepEngine, TopologySweepAggregateByteIdenticalAcrossJobs) {
+  ScenarioSpec spec = SmallScenario();
+  spec.systems = {"canvas"};
+  spec.seeds = {3};
+  spec.topologies = {"single", "pool2", "pool4-harvest"};
+
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepEngine serial_engine(serial);
+  auto r1 = serial_engine.Run(spec);
+
+  SweepOptions parallel;
+  parallel.jobs = 2;
+  SweepEngine parallel_engine(parallel);
+  auto r2 = parallel_engine.Run(spec);
+
+  EXPECT_TRUE(r1.all_ok);
+  ASSERT_EQ(r1.runs.size(), 3u);
+  EXPECT_EQ(Aggregate(r1), Aggregate(r2));
+}
+
 // The engine's core contract: the aggregated report is a pure function of
 // the spec list — byte-identical for any worker-thread count.
 TEST(SweepEngine, AggregateByteIdenticalAcrossThreadCounts) {
