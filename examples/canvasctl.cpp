@@ -23,6 +23,9 @@
 //   --no-adaptive    disable adaptive swap-entry allocation
 //   --no-horizontal  disable timeliness-based prefetch dropping
 //   --prefetcher=P   none | readahead | leap | two-tier (override preset)
+//   --sim-threads=N  parallel DES engine threads per run (default 1 =
+//                    serial; needs a multi-server topology, results are
+//                    byte-identical either way)
 //
 // run-only options:
 //   --format=F       table | csv | json (default table)
@@ -35,6 +38,9 @@
 //   --seeds=N1,N2    seed axis (overrides --seed)
 //   --jobs=N         worker threads (default: hardware concurrency)
 //   --max-live=N     cap concurrently live swap systems (default: jobs)
+//   --thread-budget=N  total thread budget shared by --jobs and
+//                    --sim-threads: concurrent runs are clamped to
+//                    budget / sim-threads so the two never oversubscribe
 //   --cancel-on-failure   stop dispatching after the first failed run
 //   --progress       progress line on stderr
 //   --out=PATH       write the sweep JSON there instead of stdout
@@ -48,6 +54,7 @@
 //   canvasctl run --system=linux --format=csv cassandra:24 memcached:4
 //   canvasctl sweep --systems=linux,canvas --ratios=0.25,0.5 --jobs=8
 //       spark-lr snappy memcached xgboost        (one command line)
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -75,9 +82,11 @@ struct Options {
   std::vector<std::uint64_t> seeds = {7};
   std::string format = "table";
   orchestrator::FeatureOverrides overrides;
+  unsigned sim_threads = 1;  // parallel DES engine threads per run
   // sweep execution
   unsigned jobs = 0;  // 0 = hardware concurrency
   unsigned max_live = 0;
+  unsigned thread_budget = 0;  // 0 = unbounded
   bool cancel_on_failure = false;
   bool progress = false;
   std::string out;
@@ -97,9 +106,9 @@ int Usage(FILE* to, int code) {
       "       canvasctl list-servers\n"
       "options: --system=NAME --topology=T --ratio=R --scale=S --seed=N\n"
       "         --format=table|csv|json --no-adaptive --no-horizontal\n"
-      "         --prefetcher=none|readahead|leap|two-tier\n"
+      "         --prefetcher=none|readahead|leap|two-tier --sim-threads=N\n"
       "sweep:   --topologies=T1,T2 (server-topology axis; see\n"
-      "         `canvasctl list-servers`)\n");
+      "         `canvasctl list-servers`) --thread-budget=N\n");
   return code;
 }
 
@@ -155,6 +164,9 @@ bool ParseCommon(const std::string& arg, Options& opt) {
       std::exit(2);
     }
     opt.overrides.prefetcher = *kind;
+  } else if (arg.rfind("--sim-threads=", 0) == 0) {
+    opt.sim_threads =
+        std::max(1u, unsigned(std::atoi(value("--sim-threads=").c_str())));
   } else if (arg == "--no-adaptive") {
     opt.overrides.adaptive_alloc = false;
   } else if (arg == "--no-horizontal") {
@@ -189,6 +201,9 @@ bool ParseSweepOnly(const std::string& arg, Options& opt) {
     opt.jobs = unsigned(std::atoi(value("--jobs=").c_str()));
   } else if (arg.rfind("--max-live=", 0) == 0) {
     opt.max_live = unsigned(std::atoi(value("--max-live=").c_str()));
+  } else if (arg.rfind("--thread-budget=", 0) == 0) {
+    opt.thread_budget =
+        unsigned(std::atoi(value("--thread-budget=").c_str()));
   } else if (arg == "--cancel-on-failure") {
     opt.cancel_on_failure = true;
   } else if (arg == "--progress") {
@@ -253,6 +268,7 @@ remote::PoolConfig ResolveTopology(const std::string& name) {
 int RunOne(const Options& opt) {
   auto cfg = ResolveSystem(opt.systems.front(), opt.overrides);
   cfg.remote = ResolveTopology(opt.topologies.front());
+  cfg.sim_threads = opt.sim_threads;
   core::ExperimentSpec spec;
   spec.config = cfg;
   for (auto& [name, cores] : opt.apps) {
@@ -312,6 +328,7 @@ int RunSweep(const Options& opt) {
   scenario.ratios = opt.ratios;
   scenario.scales = opt.scales;
   scenario.seeds = opt.seeds;
+  scenario.sim_threads = opt.sim_threads;
   for (auto& [name, cores] : opt.apps) {
     core::AppBuild b;
     b.name = name;
@@ -325,6 +342,7 @@ int RunSweep(const Options& opt) {
   orchestrator::SweepOptions sweep_opts;
   sweep_opts.jobs = opt.jobs;
   sweep_opts.max_live = opt.max_live;
+  sweep_opts.thread_budget = opt.thread_budget;
   sweep_opts.cancel_on_failure = opt.cancel_on_failure;
   sweep_opts.progress = opt.progress;
   orchestrator::SweepEngine engine(sweep_opts);

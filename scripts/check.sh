@@ -36,17 +36,20 @@ if [ -z "${CANVAS_SANITIZE:-}" ] && [ "${CANVAS_NO_ASAN_FAULT:-0}" != "1" ]; the
     --output-on-failure -j"$JOBS"
 fi
 
-# TSan pass over the orchestrator suite: the SweepEngine is the only place
-# real threads touch simulator state, so its label also runs under
-# ThreadSanitizer (which cannot be combined with ASan — separate build).
-# The suite includes a multi-server topology sweep (pool2 / pool4-harvest),
-# so pooled runs are also raced across worker threads here.
-# CANVAS_NO_TSAN=1 skips it.
+# TSan pass over the threaded suites: the SweepEngine races whole runs
+# across worker threads (label `orchestrator`), and the parallel DES engine
+# (DESIGN.md §12) races LPs inside one run over SPSC rings and watermark
+# atomics (labels `sim` / `parallel` / `determinism`, which also pull in
+# the serial-vs-parallel byte-identity differentials). TSan cannot be
+# combined with ASan — separate build. CANVAS_NO_TSAN=1 skips it.
 if [ -z "${CANVAS_SANITIZE:-}" ] && [ "${CANVAS_NO_TSAN:-0}" != "1" ]; then
   TSAN_BUILD="${TSAN_BUILD_DIR:-$ROOT/build-tsan}"
   cmake -B "$TSAN_BUILD" -S "$ROOT" -DCANVAS_SANITIZE=thread
-  cmake --build "$TSAN_BUILD" -j"$JOBS" --target orchestrator_test
-  ctest --test-dir "$TSAN_BUILD" -L orchestrator --output-on-failure -j"$JOBS"
+  cmake --build "$TSAN_BUILD" -j"$JOBS" \
+    --target orchestrator_test parallel_test sim_test determinism_test \
+             fault_injection_test trace_test remote_test
+  ctest --test-dir "$TSAN_BUILD" -L 'orchestrator|sim|parallel|determinism' \
+    --output-on-failure -j"$JOBS"
 fi
 
 HARNESS_ARGS=()

@@ -88,6 +88,15 @@ struct SystemConfig {
   /// see remote::PoolConfig::FromName for the preset registry.
   remote::PoolConfig remote;
 
+  // --- parallel DES engine (DESIGN.md §12) ---
+  /// Worker threads for one simulation run. 1 (default) = the serial
+  /// engine, byte-identical to pre-parallel builds. With >1 and a
+  /// multi-server remote topology, each memory server runs as its own
+  /// logical process; reports stay byte-identical at any thread count.
+  /// Silently falls back to serial when the run is ineligible (no pool,
+  /// fault plan set, or tracing enabled — see SwapSystem).
+  unsigned sim_threads = 1;
+
   // --- tracing & telemetry (DESIGN.md §9) ---
   /// Runtime-toggleable sim-time tracing: span/instant records on the
   /// fault/RDMA paths plus the periodic per-cgroup counter sampler. Off by

@@ -33,6 +33,7 @@
 #include "prefetch/readahead.h"
 #include "prefetch/two_tier.h"
 #include "rdma/nic.h"
+#include "rdma/server_bridge.h"
 #include "sched/fastswap.h"
 #include "sched/fifo.h"
 #include "sched/two_dim.h"
@@ -60,6 +61,19 @@ class SwapSystem {
 
   /// Launch all application threads (call once, then Simulator::Run()).
   void Start();
+
+  /// Opt this run into the parallel DES engine (DESIGN.md §12): builds the
+  /// per-server LP topology on `par` and routes pooled dispatches through
+  /// the cross-LP bridge. Only takes effect on the eligible fast path — a
+  /// multi-server pool, no fault injector (its RNG draws are consumed
+  /// conditionally on the service fold), and tracing off (the sampler reads
+  /// server-LP-owned state). Otherwise a no-op: the caller should then
+  /// drive the plain serial simulator, which is byte-identical anyway.
+  /// Call after construction and before Start(); toggling the tracer on
+  /// mid-run is unsupported while a bridge is active.
+  void EnableParallelServers(sim::ParallelSimulator& par);
+  /// True when EnableParallelServers attached a bridge.
+  bool parallel_active() const { return bridge_ != nullptr; }
 
   /// True when every thread of every app has drained its stream.
   bool AllFinished() const;
@@ -259,6 +273,7 @@ class SwapSystem {
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<fault::DiskBackend> disk_;
   std::unique_ptr<remote::ServerPool> pool_;
+  std::unique_ptr<rdma::ServerBridge> bridge_;
   /// Partitions indexed by their pool partition id (registration order).
   std::vector<swapalloc::SwapPartition*> pool_partitions_;
 

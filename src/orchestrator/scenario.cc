@@ -59,6 +59,7 @@ std::vector<RunSpec> ScenarioSpec::Expand() const {
             r.label = RunLabel(sys, topo, ratio, scale, seed);
             r.exp.config = *preset;
             r.exp.config.remote = pool;
+            r.exp.config.sim_threads = sim_threads ? sim_threads : 1;
             r.exp.deadline = deadline;
             r.exp.apps = apps;
             for (core::AppBuild& b : r.exp.apps) {

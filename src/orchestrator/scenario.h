@@ -63,6 +63,11 @@ struct ScenarioSpec {
   std::vector<double> scales = {0.3};
   std::vector<std::uint64_t> seeds = {7};
   SimTime deadline = 600 * kSecond;
+  /// Worker threads per single run (SystemConfig::sim_threads, DESIGN.md
+  /// §12). 1 = serial engine. Stamped onto every expanded run; results are
+  /// byte-identical either way, so this is not a sweep axis — it never
+  /// appears in run labels.
+  unsigned sim_threads = 1;
 
   std::size_t RunCount() const {
     return systems.size() * topologies.size() * ratios.size() *

@@ -32,6 +32,13 @@ struct SweepOptions {
   unsigned jobs = 1;
   /// Cap on concurrently live swap systems (memory bound). 0 = jobs.
   unsigned max_live = 0;
+  /// Engine threads each run may use (max over the specs'
+  /// config.sim_threads; recomputed per sweep). Composes with `jobs` under
+  /// `thread_budget`: the effective job count is clamped to
+  /// max(1, budget / sim_threads) so sweep-level and run-level parallelism
+  /// never oversubscribe the budget together.
+  /// 0 = no budget (jobs used as-is).
+  unsigned thread_budget = 0;
   /// Stop dispatching new runs after the first failed run (deadline miss
   /// or exception); undispatched runs report Status::kCancelled.
   bool cancel_on_failure = false;

@@ -1,0 +1,66 @@
+#include "rdma/server_bridge.h"
+
+#include <cassert>
+#include <utility>
+
+#include "rdma/nic.h"
+#include "remote/pool.h"
+
+namespace canvas::rdma {
+
+ServerBridge::ServerBridge(sim::ParallelSimulator& par, sim::Simulator& root,
+                           Nic& nic, remote::ServerPool& pool)
+    : par_(par), root_(root), nic_(nic), pool_(pool) {
+  assert(par_.lp_count() == 0 && "bridge must build the LP topology");
+  const auto root_lp = par_.AddLp("root", &root_);
+  const auto& servers = pool_.servers();
+  servers_.resize(servers.size());
+  for (std::size_t s = 0; s < servers.size(); ++s) {
+    const auto lp = par_.AddLp("server-" + servers[s].cfg.name);
+    // Forward (dispatch order) needs no lookahead; the positive cycle
+    // lookahead that keeps the engine live comes from the return path:
+    // BeginService can never return a completion below the dispatch instant
+    // plus the NIC wire latency plus the server's fixed processing latency.
+    servers_[s].fwd = par_.Connect(root_lp, lp, 0);
+    servers_[s].back = par_.Connect(
+        lp, root_lp,
+        nic_.config().base_latency + servers[s].cfg.base_latency);
+  }
+}
+
+void ServerBridge::DispatchAsync(RequestPtr req, Direction dir, SimTime start,
+                                 SimTime completion) {
+  const std::size_t s = std::size_t(req->server);
+  assert(s < servers_.size());
+  PerServer& ps = servers_[s];
+  // Reserve the rank the serial engine's ScheduleAt(completion, terminal)
+  // would have assigned right here: local pushes stay monotone past the
+  // hole, so the completion executes at exactly the serial position in the
+  // root's (when, seq) order.
+  const std::uint64_t rseq = root_.ReserveSeq();
+  const std::uint64_t bytes = req->bytes;
+  const std::uint8_t d8 = std::uint8_t(dir);
+  par_.Send(
+      ps.fwd, root_.Now(), ps.fwd_seq++,
+      [this, r = std::move(req), bytes, start, completion, rseq,
+       d8]() mutable {
+        // Server LP, at the dispatch instant: the fold, against this
+        // server's private link state, in root dispatch order (forward
+        // channels deliver in rank order = send order).
+        const std::int32_t sid = r->server;
+        const SimTime done =
+            pool_.BeginService(sid, int(d8), bytes, start, completion);
+        par_.Send(servers_[std::size_t(sid)].back, done, rseq,
+                  [this, r2 = std::move(r)]() mutable {
+                    nic_.CompleteFromBridge(std::move(r2));
+                  });
+      });
+}
+
+void ServerBridge::NotifyEndService(std::int32_t server) {
+  PerServer& ps = servers_[std::size_t(server)];
+  par_.Send(ps.fwd, root_.Now(), ps.fwd_seq++,
+            [this, server] { pool_.EndService(server); });
+}
+
+}  // namespace canvas::rdma

@@ -1,0 +1,84 @@
+// ServerBridge: cross-LP dispatch between the root LP (NIC/scheduler/cgroup
+// domain) and per-memory-server LPs of the parallel DES engine.
+//
+// In the serial engine the NIC folds the destination server's service model
+// (ServerPool::BeginService) into the completion time synchronously and
+// schedules the terminal event on the one global queue. Under the parallel
+// engine each server owns an LP, and the fold runs there instead:
+//
+//   root LP, dispatch at d:  reserve seq X from the root queue's insertion
+//     counter (exactly where the serial engine's ScheduleAt would have
+//     assigned it), then send BeginService(args) to the server LP on the
+//     forward channel (lookahead 0, when = d).
+//   server LP, at d:  run the fold against its private link state — the
+//     same call sequence in the same order as the serial engine, because
+//     forward-channel rank order equals root execution order — and send the
+//     computed completion time c back (when = c, seq = X).
+//   root LP, at (c, X):  the completion executes at exactly the rank the
+//     serial terminal event had, so the root event stream — and therefore
+//     every report byte — is identical at any thread count.
+//   root LP, inside the completion:  send EndService as a message on the
+//     same forward channel (when = c), keeping the server's Begin/End call
+//     order identical to the serial engine's global order.
+//
+// The back channel's lookahead is nic.base_latency + server.base_latency:
+// BeginService can never return a completion earlier than dispatch plus
+// both fixed latencies, which is the conservative promise the engine
+// synchronizes on (DESIGN.md §12).
+//
+// The bridge requires the healthy fast path: no fault injector (the
+// injector's RNG draws are consumed conditionally on the fold result, which
+// would order the stream nondeterministically) and tracing off (the sampler
+// reads server-LP-owned fields). SwapSystem::EnableParallelServers enforces
+// this and silently keeps the serial path otherwise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rdma/request.h"
+#include "sim/parallel.h"
+
+namespace canvas::remote {
+class ServerPool;
+}
+
+namespace canvas::rdma {
+
+class Nic;
+
+class ServerBridge {
+ public:
+  /// Builds the LP topology on `par`: LP 0 wraps `root` (the Experiment's
+  /// simulator, so all component references stay valid), plus one LP and a
+  /// forward/back channel pair per pool server. Must run before the
+  /// engine's first RunUntil.
+  ServerBridge(sim::ParallelSimulator& par, sim::Simulator& root, Nic& nic,
+               remote::ServerPool& pool);
+
+  /// Root LP, NIC dispatch path. Takes ownership of `req` (routed to
+  /// `req->server` >= 0); `start` is the NIC lane serialization end and
+  /// `completion` the pre-fold completion estimate, exactly the arguments
+  /// the serial path hands to ServerPool::BeginService.
+  void DispatchAsync(RequestPtr req, Direction dir, SimTime start,
+                     SimTime completion);
+
+  /// Root LP, from inside a completion event: balance the server's inflight
+  /// depth in server-LP order (the serial engine's EndService call site).
+  void NotifyEndService(std::int32_t server);
+
+ private:
+  struct PerServer {
+    sim::ParallelSimulator::ChannelId fwd = 0;   // root -> server
+    sim::ParallelSimulator::ChannelId back = 0;  // server -> root
+    std::uint64_t fwd_seq = 0;  // per-channel send tag (root-side only)
+  };
+
+  sim::ParallelSimulator& par_;
+  sim::Simulator& root_;
+  Nic& nic_;
+  remote::ServerPool& pool_;
+  std::vector<PerServer> servers_;
+};
+
+}  // namespace canvas::rdma

@@ -1,0 +1,353 @@
+#include "sim/parallel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <utility>
+
+namespace canvas::sim {
+namespace {
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+/// Min-heap order on (when, seq): `a` fires after `b`.
+inline bool StagedAfter(const CrossEvent& a, const CrossEvent& b) {
+  if (a.when != b.when) return a.when > b.when;
+  return a.seq > b.seq;
+}
+
+// Which engine/worker the current thread is executing for. Send() uses this
+// to route setup-time sends and to self-drain a full ring when source and
+// destination LPs share a worker (spinning there would deadlock).
+thread_local const ParallelSimulator* tls_engine = nullptr;
+thread_local unsigned tls_worker = 0;
+
+}  // namespace
+
+ParallelSimulator::ParallelSimulator(unsigned threads)
+    : threads_requested_(threads == 0 ? 1 : threads) {}
+
+ParallelSimulator::~ParallelSimulator() { Shutdown(); }
+
+ParallelSimulator::LpId ParallelSimulator::AddLp(std::string name,
+                                                 Simulator* external) {
+  assert(!started_ && "LPs must be added before the first run");
+  Lp lp;
+  lp.name = std::move(name);
+  if (external) {
+    lp.sim = external;
+  } else {
+    lp.owned = std::make_unique<Simulator>();
+    lp.sim = lp.owned.get();
+  }
+  lps_.push_back(std::move(lp));
+  return LpId(lps_.size() - 1);
+}
+
+ParallelSimulator::ChannelId ParallelSimulator::Connect(LpId src, LpId dst,
+                                                        SimDuration lookahead) {
+  assert(!started_ && "channels must be added before the first run");
+  assert(src < lps_.size() && dst < lps_.size() && src != dst);
+  auto ch = std::make_unique<Channel>();
+  ch->lookahead = lookahead;
+  ch->src = src;
+  ch->dst = dst;
+  channels_.push_back(std::move(ch));
+  const auto id = ChannelId(channels_.size() - 1);
+  lps_[src].out.push_back(id);
+  lps_[dst].in.push_back(id);
+  return id;
+}
+
+bool ParallelSimulator::CasMax(std::atomic<SimTime>& wm, SimTime v) {
+  SimTime old = wm.load(std::memory_order_relaxed);
+  while (old < v) {
+    if (wm.compare_exchange_weak(old, v, std::memory_order_release,
+                                 std::memory_order_relaxed))
+      return true;
+  }
+  return false;
+}
+
+void ParallelSimulator::StagePush(Channel& ch, CrossEvent ev) {
+  ch.staged.push_back(std::move(ev));
+  std::push_heap(ch.staged.begin(), ch.staged.end(), StagedAfter);
+}
+
+void ParallelSimulator::DrainRings(Lp& lp) {
+  for (std::uint32_t ci : lp.in) {
+    Channel& ch = *channels_[ci];
+    CrossEvent ev;
+    while (ch.ring.TryPop(ev)) StagePush(ch, std::move(ev));
+  }
+}
+
+void ParallelSimulator::Send(ChannelId ch_id, SimTime when, std::uint64_t seq,
+                             InlineCallback cb) {
+  Channel& ch = *channels_[ch_id];
+  CrossEvent ev{when, seq, std::move(cb)};
+  if (tls_engine != this) {
+    // Setup-time send from the owning (single) thread, before workers exist.
+    assert(!started_ || tls_engine == nullptr);
+    StagePush(ch, std::move(ev));
+    return;
+  }
+  int spins = 0;
+  while (!ch.ring.TryPush(std::move(ev))) {
+    if (lps_[ch.dst].worker == tls_worker) {
+      // Source and destination share this worker: we own the destination's
+      // staging heap, so drain in place instead of spinning on ourselves.
+      DrainRings(lps_[ch.dst]);
+    } else if (++spins < 128) {
+      CpuRelax();
+    } else {
+      std::this_thread::yield();  // let the consumer drain on a busy host
+    }
+  }
+  epoch_.fetch_add(1, std::memory_order_release);
+}
+
+SimTime ParallelSimulator::InHorizon(const Lp& lp) const {
+  SimTime h = kTimeNever;
+  for (std::uint32_t ci : lp.in) {
+    const SimTime wm = channels_[ci]->watermark.load(std::memory_order_acquire);
+    if (wm < h) h = wm;
+  }
+  return h;
+}
+
+SimTime ParallelSimulator::LowerBound(Lp& lp) const {
+  SimTime lb = kTimeNever;
+  if (auto head = lp.sim->PeekHead()) lb = head->when;
+  for (std::uint32_t ci : lp.in) {
+    const Channel& ch = *channels_[ci];
+    if (!ch.staged.empty() && ch.staged.front().when < lb)
+      lb = ch.staged.front().when;
+  }
+  return lb;
+}
+
+bool ParallelSimulator::RunLp(Lp& lp) {
+  constexpr int kBatch = 128;
+  const SimTime deadline = deadline_.load(std::memory_order_relaxed);
+  // Order matters: load the horizon BEFORE draining rings. Any arrival the
+  // drain misses was pushed after it, and the sender's promise guarantees
+  // its `when` is at least the channel watermark at push time — which, by
+  // watermark monotonicity, is at least the horizon loaded here. So every
+  // event we execute below ranks before anything the drain missed.
+  const SimTime horizon = InHorizon(lp);
+  DrainRings(lp);
+  int executed = 0;
+  while (executed < kBatch) {
+    // Deterministic merge: earliest (when, seq) among the local queue and
+    // every staged channel; ties across sources break by source index
+    // (local first, then channel order).
+    SimTime best_when = kTimeNever;
+    std::uint64_t best_seq = 0;
+    int best_src = -2;  // -2 none, -1 local, >=0 index into lp.in
+    if (auto head = lp.sim->PeekHead()) {
+      best_when = head->when;
+      best_seq = head->seq;
+      best_src = -1;
+    }
+    for (std::size_t i = 0; i < lp.in.size(); ++i) {
+      const Channel& ch = *channels_[lp.in[i]];
+      if (ch.staged.empty()) continue;
+      const CrossEvent& top = ch.staged.front();
+      if (best_src == -2 || top.when < best_when ||
+          (top.when == best_when && top.seq < best_seq)) {
+        best_when = top.when;
+        best_seq = top.seq;
+        best_src = int(i);
+      }
+    }
+    if (best_src == -2) break;            // nothing pending
+    if (best_when > deadline) break;      // beyond this slice
+    if (best_when >= horizon) break;      // an earlier arrival is possible
+    if (best_src == -1) {
+      lp.sim->Step();
+    } else {
+      Channel& ch = *channels_[lp.in[std::size_t(best_src)]];
+      std::pop_heap(ch.staged.begin(), ch.staged.end(), StagedAfter);
+      CrossEvent ev = std::move(ch.staged.back());
+      ch.staged.pop_back();
+      lp.sim->RunCross(ev.when, ev.cb);
+    }
+    ++executed;
+  }
+  return executed > 0;
+}
+
+bool ParallelSimulator::CentralAdvanceWatermarks() {
+  const std::size_t n = lps_.size();
+  bf_lb_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) bf_lb_[i] = LowerBound(lps_[i]);
+  // Min-plus relaxation over the channel graph. Positive-lookahead cycles
+  // cannot improve a bound, so this converges within lp-count passes and
+  // saturates at kTimeNever when the system is empty — no lap-by-lap
+  // null-message cycling.
+  for (std::size_t pass = 0; pass < n; ++pass) {
+    bool improved = false;
+    for (const auto& chp : channels_) {
+      const SimTime cand = SatAdd(bf_lb_[chp->src], chp->lookahead);
+      if (cand < bf_lb_[chp->dst]) {
+        bf_lb_[chp->dst] = cand;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  bool changed = false;
+  for (const auto& chp : channels_)
+    changed |= CasMax(chp->watermark, SatAdd(bf_lb_[chp->src], chp->lookahead));
+  return changed;
+}
+
+bool ParallelSimulator::ComputeDrained() const {
+  for (const Lp& lp : lps_)
+    if (!lp.sim->empty()) return false;
+  for (const auto& chp : channels_) {
+    assert(chp->ring.Empty() && "ring not empty at global quiescence");
+    if (!chp->staged.empty() || !chp->ring.Empty()) return false;
+  }
+  return true;
+}
+
+void ParallelSimulator::TryCoordinate(std::uint64_t e) {
+  // Certify global idleness: every worker parked its idle token at exactly
+  // this epoch, and the epoch is still stable. The per-slice epoch bump in
+  // RunUntil makes tokens from earlier slices unmatchable, so a worker that
+  // has not yet re-scanned under the current deadline cannot be counted.
+  for (unsigned w = 1; w < threads_; ++w)
+    if (idle_at_[w]->load(std::memory_order_acquire) != e + 1) return;
+  if (epoch_.load(std::memory_order_acquire) != e) return;
+  // The system is frozen (idle workers only spin on epoch_/done_), and the
+  // acquire loads above order their last state writes before ours.
+  if (CentralAdvanceWatermarks()) {
+    epoch_.fetch_add(1, std::memory_order_release);  // wake idle workers
+    return;
+  }
+  // Watermarks are at their fixed point and nothing is executable: with
+  // positive-lookahead cycles that means no pending event at or below the
+  // deadline anywhere. The slice is complete.
+  drained_ = ComputeDrained();
+  done_.store(true, std::memory_order_release);
+}
+
+void ParallelSimulator::WorkerSlice(unsigned w, std::uint64_t my_gen) {
+  tls_engine = this;
+  tls_worker = w;
+  std::vector<Lp*>& mine = worker_lps_[w];
+  for (;;) {
+    bool progress = false;
+    for (Lp* lp : mine) progress |= RunLp(*lp);
+    if (progress) continue;
+    const std::uint64_t e = epoch_.load(std::memory_order_acquire);
+    // Re-scan after capturing the epoch: a send that lands after this scan
+    // bumps the epoch past `e`, so going idle at `e` cannot lose it.
+    // Workers never publish watermarks themselves — iterating per-LP
+    // promises through input watermarks livelocks (each pass lifts the
+    // cycle by one lookahead, forever). All advancement happens in
+    // TryCoordinate's fixed-point burst while the system is certified
+    // frozen, which converges in one shot.
+    for (Lp* lp : mine) progress |= RunLp(*lp);
+    if (progress) continue;
+    if (epoch_.load(std::memory_order_acquire) != e) continue;
+    idle_at_[w]->store(e + 1, std::memory_order_release);
+    int spins = 0;
+    while (epoch_.load(std::memory_order_acquire) == e &&
+           !done_.load(std::memory_order_acquire) &&
+           !stop_.load(std::memory_order_acquire) &&
+           slice_gen_.load(std::memory_order_acquire) == my_gen) {
+      if (w == 0) TryCoordinate(e);
+      // Oversubscribed hosts (more workers than cores) starve without a
+      // yield: the worker holding the next event can't run while idlers
+      // burn their quantum spinning.
+      if (++spins < 128)
+        CpuRelax();
+      else
+        std::this_thread::yield();
+    }
+    idle_at_[w]->store(0, std::memory_order_release);
+    if (done_.load(std::memory_order_acquire) ||
+        stop_.load(std::memory_order_acquire) ||
+        slice_gen_.load(std::memory_order_acquire) != my_gen)
+      return;
+  }
+}
+
+void ParallelSimulator::ThreadBody(unsigned w) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    int spins = 0;
+    while (slice_gen_.load(std::memory_order_acquire) == seen) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      if (++spins < 4096)
+        CpuRelax();
+      else
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    seen = slice_gen_.load(std::memory_order_acquire);
+    WorkerSlice(w, seen);
+  }
+}
+
+void ParallelSimulator::EnsureStarted() {
+  if (started_) return;
+  started_ = true;
+  assert(!lps_.empty());
+  threads_ = unsigned(std::min<std::size_t>(threads_requested_, lps_.size()));
+  worker_lps_.assign(threads_, {});
+  for (std::size_t i = 0; i < lps_.size(); ++i) {
+    lps_[i].worker = unsigned(i % threads_);
+    worker_lps_[lps_[i].worker].push_back(&lps_[i]);
+  }
+  idle_at_.clear();
+  for (unsigned w = 0; w < threads_; ++w)
+    idle_at_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  workers_.reserve(threads_ - 1);
+  for (unsigned w = 1; w < threads_; ++w)
+    workers_.emplace_back([this, w] { ThreadBody(w); });
+}
+
+bool ParallelSimulator::RunUntil(SimTime deadline) {
+  EnsureStarted();
+  assert(deadline >= last_deadline_ && "deadlines must be non-decreasing");
+  last_deadline_ = deadline;
+  drained_ = false;
+  deadline_.store(deadline, std::memory_order_relaxed);
+  done_.store(false, std::memory_order_relaxed);
+  // Fence out idle tokens from the previous slice: certification requires
+  // idling at an epoch at or past this bump, i.e. under the new deadline.
+  epoch_.fetch_add(1, std::memory_order_release);
+  const std::uint64_t gen = slice_gen_.fetch_add(1, std::memory_order_release) + 1;
+  WorkerSlice(0, gen);
+  tls_engine = nullptr;  // allow nested serial use between slices
+  if (!drained_)
+    for (Lp& lp : lps_) lp.sim->SettleAt(deadline);
+  return drained_;
+}
+
+std::uint64_t ParallelSimulator::total_executed() const {
+  std::uint64_t total = 0;
+  for (const Lp& lp : lps_) total += lp.sim->events_executed();
+  return total;
+}
+
+void ParallelSimulator::Shutdown() {
+  if (workers_.empty()) {
+    stop_.store(true, std::memory_order_release);
+    return;
+  }
+  stop_.store(true, std::memory_order_release);
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+}  // namespace canvas::sim

@@ -1,0 +1,168 @@
+// Conservative parallel DES engine: logical processes with lookahead.
+//
+// The serial Simulator runs the whole model on one event queue. The
+// parallel engine partitions the model into logical processes (LPs) — in
+// the Canvas reproduction, one root LP for the cgroup/CPU/scheduler/NIC
+// domain plus one LP per remote memory server — each owning a private
+// Simulator (timing wheel + clock). LPs exchange events over directed
+// channels: bounded SPSC rings for transport, a receiver-side staging
+// min-heap for ordering, and a per-channel *watermark* — a monotone promise
+// that no future event will arrive on the channel before the advertised
+// instant. An LP may execute any event strictly below the minimum of its
+// in-channel watermarks (its horizon); watermarks are derived from each
+// sender's earliest possible next execution plus the channel's lookahead
+// (for Canvas, the NIC wire latency on the server→root path), which is the
+// classic Chandy–Misra–Bryant null-message scheme.
+//
+// Determinism contract (the hard requirement, see DESIGN.md §12): event
+// order is bit-for-bit identical at any thread count. Every event carries a
+// (when, seq) rank; each LP merges its local queue against staged cross
+// events by explicit rank comparison, so the interleaving of ring arrivals
+// and watermark advances can never influence execution order. Cross-LP
+// sends carry deterministic sequence tags chosen by the sender (the server
+// bridge reserves them from the root queue's own seq counter, reproducing
+// the serial engine's insertion order exactly). Rank ties across different
+// sources break by source index — also deterministic.
+//
+// Liveness requires every directed channel cycle to have positive total
+// lookahead (root→server may be 0 as long as server→root is > 0). When all
+// workers go idle at a stable state, worker 0 runs a synchronized
+// null-message burst — a min-plus (Bellman–Ford) fixed point over the
+// frozen LP heads — which advances every watermark to its limit in one
+// pass, with no lap-by-lap cycling and natural saturation at kTimeNever.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+#include "sim/spsc.h"
+
+namespace canvas::sim {
+
+class ParallelSimulator {
+ public:
+  using LpId = std::uint32_t;
+  using ChannelId = std::uint32_t;
+
+  /// `threads` is the worker budget; it is clamped to the LP count at the
+  /// first Run/RunUntil. The calling thread acts as worker 0 (running the
+  /// root LP); threads-1 additional workers are spawned lazily.
+  explicit ParallelSimulator(unsigned threads);
+  ~ParallelSimulator();
+  ParallelSimulator(const ParallelSimulator&) = delete;
+  ParallelSimulator& operator=(const ParallelSimulator&) = delete;
+
+  /// Add a logical process. If `external` is non-null the LP wraps that
+  /// Simulator (the Experiment's root simulator, so component references
+  /// into it stay valid); otherwise the LP owns a fresh one. LPs must be
+  /// added before the first Run/RunUntil. LP 0 always runs on worker 0.
+  LpId AddLp(std::string name, Simulator* external = nullptr);
+
+  /// Add a directed channel src→dst with the given lookahead promise:
+  /// every Send on the channel must satisfy `when >= sender clock +
+  /// lookahead` at send time. Every channel cycle must have positive total
+  /// lookahead or the engine conservatively deadlocks (asserted in debug).
+  ChannelId Connect(LpId src, LpId dst, SimDuration lookahead);
+
+  Simulator& lp(LpId id) { return *lps_[id].sim; }
+  const Simulator& lp(LpId id) const { return *lps_[id].sim; }
+  std::size_t lp_count() const { return lps_.size(); }
+  unsigned threads() const { return threads_; }
+
+  /// Send a cross-LP event: `cb` runs on the destination LP at `when`,
+  /// ranked (when, seq) against the destination's local events and other
+  /// staged arrivals. Must be called from the channel's source LP while the
+  /// engine runs (or from the setup thread before the first run). The seq
+  /// tag must be deterministic — derived from simulation state, never from
+  /// wall-clock or thread timing.
+  void Send(ChannelId ch, SimTime when, std::uint64_t seq, InlineCallback cb);
+
+  /// Run until every LP's queue, staging heap and ring is empty.
+  void Run() { RunUntil(kTimeNever); }
+
+  /// Run all LPs up to and including `deadline` (events at exactly
+  /// `deadline` fire, mirroring Simulator::RunUntil). Returns true if the
+  /// whole system drained. When it did not, every LP clock is parked at
+  /// `deadline`. Deadlines must be non-decreasing across calls.
+  bool RunUntil(SimTime deadline);
+
+  /// Sum of events executed across all LPs (root-local + cross).
+  std::uint64_t total_executed() const;
+
+  /// Join worker threads. Implied by the destructor; safe to call twice.
+  void Shutdown();
+
+ private:
+  struct Channel {
+    SpscRing<CrossEvent, 1024> ring;        // src-worker → dst-worker
+    std::atomic<SimTime> watermark{0};      // promise: no arrival below this
+    SimDuration lookahead = 0;
+    LpId src = 0, dst = 0;
+    std::vector<CrossEvent> staged;         // dst-owned min-heap (when, seq)
+  };
+
+  struct Lp {
+    std::string name;
+    Simulator* sim = nullptr;               // external or owned.get()
+    std::unique_ptr<Simulator> owned;
+    std::vector<std::uint32_t> in, out;     // channel indices
+    unsigned worker = 0;
+  };
+
+  static SimTime SatAdd(SimTime a, SimDuration b) {
+    return a >= kTimeNever - b ? kTimeNever : a + b;
+  }
+  static bool CasMax(std::atomic<SimTime>& wm, SimTime v);
+
+  void EnsureStarted();
+  void ThreadBody(unsigned w);
+  void WorkerSlice(unsigned w, std::uint64_t my_gen);
+  bool RunLp(Lp& lp);
+  void DrainRings(Lp& lp);
+  void StagePush(Channel& ch, CrossEvent ev);
+  SimTime InHorizon(const Lp& lp) const;
+  /// Earliest pending work on this LP: min over the local queue head and
+  /// every staged in-channel head. kTimeNever when fully empty. Valid only
+  /// while the LP's owner is quiesced (used by the frozen-system burst).
+  SimTime LowerBound(Lp& lp) const;
+  /// Synchronized null-message burst over the frozen system (all workers
+  /// idle at a stable epoch): min-plus fixed point of LP lower bounds over
+  /// the channel graph, then CAS-max every watermark to its limit. Returns
+  /// true if any watermark advanced.
+  bool CentralAdvanceWatermarks();
+  bool ComputeDrained() const;
+  /// Worker 0's extra duty while idle-spinning at epoch `e`: certify that
+  /// every worker is idle at `e`, advance watermarks centrally, and declare
+  /// the slice done when the system is at its fixed point.
+  void TryCoordinate(std::uint64_t e);
+
+  const unsigned threads_requested_;
+  unsigned threads_ = 1;                    // effective, set at start
+  bool started_ = false;
+  std::vector<Lp> lps_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<std::vector<Lp*>> worker_lps_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<std::uint64_t> slice_gen_{0};   // bumped per RunUntil: wakes parked workers
+  std::atomic<std::uint64_t> epoch_{0};       // bumped on send/watermark-advance/slice-start
+  std::atomic<std::uint64_t> deadline_{0};
+  std::atomic<bool> done_{false};
+  std::atomic<bool> stop_{false};
+  /// Idle token per worker: 0 while active, epoch+1 once the worker has
+  /// verified it has nothing executable at that epoch. The per-slice epoch
+  /// bump in RunUntil fences out stale tokens from the previous slice.
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> idle_at_;
+
+  bool drained_ = false;                    // written by worker 0 only
+  SimTime last_deadline_ = 0;
+  std::vector<SimTime> bf_lb_;              // scratch for the min-plus pass
+};
+
+}  // namespace canvas::sim

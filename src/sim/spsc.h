@@ -1,0 +1,75 @@
+// Bounded lock-free single-producer/single-consumer ring for cross-LP
+// event transport in the parallel DES engine.
+//
+// Each directed LP-to-LP channel owns one ring: exactly one worker thread
+// pushes (the one executing the source LP) and exactly one pops (the one
+// executing the destination LP), so a classic two-index SPSC queue with
+// acquire/release publication is sufficient — no CAS, no per-slot sequence
+// numbers. Slots hold CrossEvent by value; InlineCallback is move-only and
+// default-constructible, so moving through a slot transfers the closure
+// without allocation for typical captures.
+//
+// The ring is transport only: ordering and determinism live one layer up.
+// Receivers drain into a per-channel staging min-heap and merge against the
+// local event queue by explicit (when, seq) rank, so ring arrival timing
+// never influences execution order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/types.h"
+#include "sim/inline_callback.h"
+
+namespace canvas::sim {
+
+/// One cross-LP event: fires at `when` on the destination LP, ranked by
+/// (when, seq) against that LP's local queue and other staged arrivals.
+struct CrossEvent {
+  SimTime when = 0;
+  std::uint64_t seq = 0;
+  InlineCallback cb;
+};
+
+template <typename T, std::uint32_t kCapacity = 1024>
+class SpscRing {
+  static_assert((kCapacity & (kCapacity - 1)) == 0,
+                "capacity must be a power of two");
+
+ public:
+  SpscRing() = default;
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when full (caller spins or drains).
+  bool TryPush(T&& v) {
+    const std::uint32_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) == kCapacity) return false;
+    slots_[t & (kCapacity - 1)] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool TryPop(T& out) {
+    const std::uint32_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[h & (kCapacity - 1)]);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate (racy) emptiness — exact only when both sides are quiesced,
+  /// which is the only place the engine relies on it.
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  alignas(64) std::atomic<std::uint32_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::uint32_t> tail_{0};  // producer cursor
+  alignas(64) T slots_[kCapacity];
+};
+
+}  // namespace canvas::sim

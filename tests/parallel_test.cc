@@ -1,0 +1,331 @@
+// Parallel DES engine suite (DESIGN.md §12).
+//
+// The contract under test is strict: the conservatively-synchronized
+// multi-threaded engine must produce the SAME BYTES as the serial engine —
+// identical per-LP event traces at the engine level, and identical report
+// JSON / finish times / root event counts for full SwapSystem runs — at any
+// thread count. "Roughly equal" is not good enough; every comparison below
+// is exact equality.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "fault/fault_plan.h"
+#include "orchestrator/sweep.h"
+#include "sim/parallel.h"
+#include "sim/spsc.h"
+#include "workload/apps.h"
+
+namespace canvas {
+namespace {
+
+// --- SPSC ring --------------------------------------------------------------
+
+TEST(SpscRing, FifoOrderAndEmptyFull) {
+  sim::SpscRing<int, 4> ring;
+  EXPECT_TRUE(ring.Empty());
+  // Free-running cursors: all kCapacity slots usable.
+  for (int i = 1; i <= 4; ++i) EXPECT_TRUE(ring.TryPush(int(i)));
+  EXPECT_FALSE(ring.TryPush(5));
+  int v = 0;
+  EXPECT_TRUE(ring.TryPop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(ring.TryPush(5));  // wraps into the freed slot
+  for (int want = 2; want <= 5; ++want) {
+    EXPECT_TRUE(ring.TryPop(v));
+    EXPECT_EQ(v, want);
+  }
+  EXPECT_TRUE(ring.Empty());
+  EXPECT_FALSE(ring.TryPop(v));
+}
+
+TEST(SpscRing, FailedPushLeavesArgumentIntact) {
+  sim::SpscRing<std::string, 2> ring;
+  ASSERT_TRUE(ring.TryPush(std::string("a")));
+  ASSERT_TRUE(ring.TryPush(std::string("b")));
+  std::string keep = "survives-a-full-ring";
+  EXPECT_FALSE(ring.TryPush(std::move(keep)));
+  EXPECT_EQ(keep, "survives-a-full-ring");  // not moved-from on failure
+}
+
+TEST(SpscRing, TwoThreadStressPreservesOrder) {
+  constexpr int kCount = 200000;
+  sim::SpscRing<int, 1024> ring;
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i)
+      while (!ring.TryPush(int(i))) std::this_thread::yield();
+  });
+  int expect = 0;
+  while (expect < kCount) {
+    int v;
+    if (ring.TryPop(v)) {
+      ASSERT_EQ(v, expect);
+      ++expect;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.Empty());
+}
+
+// --- engine-level determinism ----------------------------------------------
+
+// A 4-LP ring of cross-LP messages: LP i forwards to LP (i+1)%4 with a
+// +10ns timestamp over channels with 7ns lookahead, until a horizon. Every
+// LP also runs local chatter so the merge of local and staged events is
+// exercised. The per-LP sequence of executed event times must be identical
+// at every thread count.
+struct RingHarness {
+  static constexpr SimTime kHorizon = 5000;
+  sim::ParallelSimulator par;
+  std::array<sim::ParallelSimulator::ChannelId, 4> next{};
+  std::array<std::uint64_t, 4> chan_seq{};
+  std::array<std::vector<SimTime>, 4> trace;  // written only by LP i's worker
+
+  explicit RingHarness(unsigned threads) : par(threads) {
+    for (int i = 0; i < 4; ++i) par.AddLp("lp-" + std::to_string(i));
+    for (int i = 0; i < 4; ++i)
+      next[std::size_t(i)] = par.Connect(i, (i + 1) % 4, /*lookahead=*/7);
+    for (int i = 0; i < 4; ++i) {
+      // Staggered kickoffs plus same-instant local pairs.
+      par.lp(i).ScheduleAt(SimTime(i + 1), [this, i] { Hop(i); });
+      par.lp(i).ScheduleAt(SimTime(i + 1), [this, i] {
+        trace[std::size_t(i)].push_back(par.lp(i).Now());
+      });
+    }
+  }
+
+  void Hop(int i) {
+    sim::Simulator& s = par.lp(i);
+    const SimTime now = s.Now();
+    trace[std::size_t(i)].push_back(now);
+    if (now + 10 > kHorizon) return;
+    const int dst = (i + 1) % 4;
+    par.Send(next[std::size_t(i)], now + 10, chan_seq[std::size_t(i)]++,
+             [this, dst] { Hop(dst); });
+    // Local event racing the cross message: same LP, earlier timestamp.
+    if (now + 3 <= kHorizon)
+      s.ScheduleAt(now + 3,
+                   [this, i] { trace[std::size_t(i)].push_back(par.lp(i).Now()); });
+  }
+};
+
+TEST(ParallelEngine, RingTopologyIdenticalTraceAcrossThreadCounts) {
+  std::array<std::vector<SimTime>, 4> baseline;
+  std::uint64_t baseline_events = 0;
+  for (unsigned threads : {1u, 2u, 4u}) {
+    RingHarness h(threads);
+    h.par.Run();
+    if (threads == 1) {
+      baseline = h.trace;
+      baseline_events = h.par.total_executed();
+      for (const auto& t : h.trace) EXPECT_GT(t.size(), 100u);
+    } else {
+      EXPECT_EQ(h.par.total_executed(), baseline_events)
+          << "threads=" << threads;
+      for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(h.trace[std::size_t(i)], baseline[std::size_t(i)])
+            << "threads=" << threads << " lp=" << i;
+    }
+  }
+}
+
+TEST(ParallelEngine, SlicedRunUntilMatchesSingleRun) {
+  RingHarness whole(2);
+  whole.par.Run();
+  RingHarness sliced(2);
+  for (SimTime t = 500; !sliced.par.RunUntil(t); t += 500) {
+    ASSERT_LT(t, RingHarness::kHorizon + 1000) << "failed to drain";
+  }
+  EXPECT_EQ(sliced.par.total_executed(), whole.par.total_executed());
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(sliced.trace[std::size_t(i)], whole.trace[std::size_t(i)]);
+}
+
+TEST(ParallelEngine, MoreLpsThanThreadsAndMoreThreadsThanLps) {
+  // Thread count is clamped to the LP count; both oversubscription
+  // directions must drain and agree.
+  RingHarness few(3);   // 4 LPs on 3 workers
+  RingHarness many(16);  // clamped to 4 workers
+  few.par.Run();
+  many.par.Run();
+  EXPECT_EQ(few.par.total_executed(), many.par.total_executed());
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(few.trace[std::size_t(i)], many.trace[std::size_t(i)]);
+}
+
+// --- full-system byte-identity differentials --------------------------------
+
+core::AppSpec Spec(const std::string& name, double scale, double ratio,
+                   std::uint32_t cores, std::uint64_t seed) {
+  workload::AppParams p;
+  p.scale = scale;
+  p.seed = seed;
+  auto w = workload::MakeByName(name, p);
+  auto cg = workload::CgroupFor(w, ratio, cores);
+  return core::AppSpec{std::move(w), std::move(cg)};
+}
+
+std::vector<core::AppSpec> CorunSet(double scale, std::uint64_t seed) {
+  std::vector<core::AppSpec> apps;
+  apps.push_back(Spec("spark-lr", scale, 0.25, 24, seed));
+  apps.push_back(Spec("snappy", scale, 0.25, 1, seed));
+  apps.push_back(Spec("memcached", scale, 0.25, 4, seed));
+  apps.push_back(Spec("xgboost", scale, 0.25, 16, seed));
+  return apps;
+}
+
+struct FullResult {
+  bool parallel = false;
+  bool finished = false;
+  std::uint64_t root_events = 0;
+  std::vector<SimTime> finish;
+  std::string json;
+};
+
+FullResult RunFull(core::SystemConfig cfg, unsigned sim_threads,
+                   double scale = 0.1, std::uint64_t seed = 7) {
+  cfg.sim_threads = sim_threads;
+  core::Experiment e(std::move(cfg), CorunSet(scale, seed));
+  FullResult r;
+  r.finished = e.Run();
+  r.parallel = e.parallel();
+  r.root_events = e.simulator().events_executed();
+  for (std::size_t i = 0; i < e.system().app_count(); ++i)
+    r.finish.push_back(e.FinishTime(i));
+  std::ostringstream os;
+  core::WriteJson(os, e.system(), "differential");
+  r.json = os.str();
+  return r;
+}
+
+void ExpectByteIdentical(const FullResult& a, const FullResult& b,
+                         const std::string& what) {
+  EXPECT_EQ(a.finished, b.finished) << what;
+  EXPECT_EQ(a.root_events, b.root_events) << what;
+  EXPECT_EQ(a.finish, b.finish) << what;
+  EXPECT_EQ(a.json, b.json) << what;
+}
+
+TEST(ParallelDifferential, Pool4ByteIdenticalAt1_2_8Threads) {
+  core::SystemConfig cfg = core::SystemConfig::CanvasFull();
+  cfg.remote = remote::PoolConfig::FromName("pool4");
+  FullResult serial = RunFull(cfg, 1);
+  EXPECT_FALSE(serial.parallel);
+  EXPECT_TRUE(serial.finished);
+  for (unsigned threads : {2u, 8u}) {
+    FullResult par = RunFull(cfg, threads);
+    EXPECT_TRUE(par.parallel) << threads;
+    ExpectByteIdentical(serial, par,
+                        "pool4 threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelDifferential, SharedBaselineOnPoolByteIdentical) {
+  // A different scheduler family (FIFO shared queue) over the pooled
+  // fabric: exercises the bridge under the Linux-baseline dispatch order.
+  core::SystemConfig cfg = core::SystemConfig::Linux55();
+  cfg.remote = remote::PoolConfig::FromName("pool2");
+  FullResult serial = RunFull(cfg, 1);
+  FullResult par = RunFull(cfg, 2);
+  EXPECT_TRUE(par.parallel);
+  ExpectByteIdentical(serial, par, "linux/pool2");
+}
+
+TEST(ParallelDifferential, HarvestChurnByteIdenticalAt1_2_8Threads) {
+  // Harvesting mutates placement (migrations + disk evictions) from the
+  // root LP while server LPs run the service fold — the differential pins
+  // down the root/server field-ownership split.
+  core::SystemConfig cfg = core::SystemConfig::CanvasFull();
+  cfg.remote = remote::PoolConfig::FromName("pool4-harvest");
+  FullResult serial = RunFull(cfg, 1);
+  EXPECT_FALSE(serial.parallel);
+  for (unsigned threads : {2u, 8u}) {
+    FullResult par = RunFull(cfg, threads);
+    EXPECT_TRUE(par.parallel) << threads;
+    ExpectByteIdentical(serial, par,
+                        "pool4-harvest threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelDifferential, FaultPlanFallsBackToSerialIdentically) {
+  // Injected faults draw RNG conditionally on service-fold outcomes, so
+  // a faulted run is ineligible: sim_threads > 1 must silently fall back
+  // to the serial engine and change nothing.
+  core::SystemConfig cfg = core::SystemConfig::CanvasFull();
+  cfg.remote = remote::PoolConfig::FromName("pool4");
+  auto plan = fault::FaultPlan::Parse(
+      "latency 2000 4000 80 both\n"
+      "bandwidth 5000 8000 0.5 both\n");
+  ASSERT_TRUE(plan.has_value());
+  cfg.fault_plan = std::make_shared<const fault::FaultPlan>(*plan);
+  FullResult serial = RunFull(cfg, 1);
+  FullResult par = RunFull(cfg, 4);
+  EXPECT_FALSE(par.parallel);
+  ExpectByteIdentical(serial, par, "faulted fallback");
+}
+
+TEST(ParallelDifferential, TracingFallsBackToSerialIdentically) {
+  core::SystemConfig cfg = core::SystemConfig::CanvasFull();
+  cfg.remote = remote::PoolConfig::FromName("pool4");
+  cfg.trace.enabled = true;
+  FullResult serial = RunFull(cfg, 1);
+  FullResult par = RunFull(cfg, 4);
+  EXPECT_FALSE(par.parallel);  // sampler reads server-LP-owned counters
+  ExpectByteIdentical(serial, par, "traced fallback");
+}
+
+TEST(ParallelSweep, SimThreadsComposeWithJobsUnderBudget) {
+  orchestrator::ScenarioSpec scenario;
+  scenario.systems = {"canvas"};
+  scenario.topologies = {"pool4"};
+  scenario.scales = {0.05};
+  scenario.seeds = {7, 8, 9, 10};
+  scenario.sim_threads = 4;
+  for (const char* n : {"snappy", "memcached"}) {
+    core::AppBuild b;
+    b.name = n;
+    scenario.apps.push_back(b);
+  }
+  auto specs = scenario.Expand();
+  for (const auto& s : specs) EXPECT_EQ(s.exp.config.sim_threads, 4u);
+
+  // Budget 8 with 4 engine threads per run: at most 2 concurrent runs.
+  orchestrator::SweepOptions opts;
+  opts.jobs = 4;
+  opts.thread_budget = 8;
+  orchestrator::SweepEngine engine(opts);
+  auto budgeted = engine.Run(specs);
+  EXPECT_EQ(budgeted.jobs, 2u);
+  EXPECT_TRUE(budgeted.all_ok);
+
+  // The deterministic sweep report must not depend on either knob.
+  orchestrator::ScenarioSpec serial = scenario;
+  serial.sim_threads = 1;
+  orchestrator::SweepEngine one(orchestrator::SweepOptions{});
+  auto baseline = one.Run(serial.Expand());
+  EXPECT_TRUE(baseline.all_ok);
+  std::ostringstream a, b;
+  budgeted.WriteJson(a, /*include_timing=*/false);
+  baseline.WriteJson(b, /*include_timing=*/false);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(ParallelDifferential, NoPoolRunsIgnoreSimThreads) {
+  // Without a remote pool there is nothing to partition: the run must be
+  // serial and unchanged.
+  core::SystemConfig cfg = core::SystemConfig::CanvasFull();
+  FullResult serial = RunFull(cfg, 1);
+  FullResult par = RunFull(cfg, 8);
+  EXPECT_FALSE(par.parallel);
+  ExpectByteIdentical(serial, par, "no-pool");
+}
+
+}  // namespace
+}  // namespace canvas
