@@ -1,0 +1,150 @@
+// Online-serving tail-latency bench (DESIGN.md §13).
+//
+// Runs a protected frontend tenant plus a best-effort batch tenant through
+// the serving harness over the grid {poisson, flash} x {pool4,
+// pool4-harvest}, each grid point twice: once with the QoS/admission plane
+// enabled and once observe-only. Prints the per-tenant tail table and
+// writes BENCH_serving.json (deterministic payload only, so the committed
+// artifact is stable across machines and sweep job counts).
+//
+// The headline is the QoS plane earning its keep under pressure: with the
+// plane on, the frontend's windowed SLO violation rate must not exceed the
+// observe-only run's rate on any grid point, and on at least one it should
+// strictly improve (weight boosts win NIC arbitration, shedding relieves
+// the best-effort load, migration drains the hottest server).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/report.h"
+#include "serving/harness.h"
+
+using namespace canvas;
+using namespace canvas::bench;
+
+namespace {
+
+orchestrator::ServingScenarioSpec Scenario(SimTime horizon, double rate_scale,
+                                           std::uint64_t seed, bool qos_on) {
+  orchestrator::ServingScenarioSpec sc;
+  sc.systems = {"canvas"};
+  sc.topologies = {"pool4", "pool4-harvest"};
+  sc.arrivals = {"poisson", "flash"};
+  sc.seeds = {seed};
+  // The comparison arm keeps the plane attached (so windows are judged and
+  // violation rates are comparable) but with every lever disabled.
+  sc.qos_enabled = true;
+  sc.qos.enable_weight_boost = qos_on;
+  sc.qos.enable_shedding = qos_on;
+  sc.qos.enable_deferral = qos_on;
+  sc.qos.enable_migration = qos_on;
+  sc.qos.control_period = 50 * kMillisecond;
+
+  serving::TenantSpec fe;
+  fe.name = "frontend";
+  fe.arrival.rate_rps = 150'000 * rate_scale;
+  // Put the flash burst inside the horizon (the default window assumes
+  // multi-second runs).
+  fe.arrival.flash_start = horizon / 2;
+  fe.arrival.flash_duration = horizon / 4;
+  fe.horizon = horizon;
+  fe.threads = 4;
+  fe.footprint_pages = 16384;
+  fe.ratio = 0.25;
+  fe.slo.p99_ns = 10 * kMicrosecond;
+  fe.slo.p999_ns = 50 * kMicrosecond;
+  fe.load_tenant = true;
+
+  serving::TenantSpec batch;
+  batch.name = "batch";
+  batch.arrival.rate_rps = 50'000 * rate_scale;
+  batch.horizon = horizon;
+  batch.threads = 2;
+  batch.footprint_pages = 16384;
+  batch.ratio = 0.25;
+  batch.best_effort = true;
+
+  sc.tenants = {fe, batch};
+  return sc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  double rate_scale = ScaleFromEnv(1.0);
+  std::uint64_t seed = SeedFromEnv();
+  SimTime horizon = quick ? 300 * kMillisecond : 1 * kSecond;
+  const char* env = std::getenv("CANVAS_SERVING_JSON");
+  std::string json_path = env ? env : "BENCH_serving.json";
+
+  PrintBanner("Online serving: open-loop tails, SLOs and the QoS plane");
+
+  orchestrator::SweepOptions opts;
+  opts.jobs = JobsFromEnv();
+  orchestrator::SweepEngine engine(opts);
+
+  auto with_qos = engine.RunServing(Scenario(horizon, rate_scale, seed, true));
+  auto no_qos = engine.RunServing(Scenario(horizon, rate_scale, seed, false));
+  bool all_ok = with_qos.all_ok && no_qos.all_ok;
+
+  // Merge into one report: QoS-off runs get a "/noqos" label suffix and
+  // follow the QoS-on runs in index order.
+  std::vector<serving::ServingResult> runs = with_qos.runs;
+  for (serving::ServingResult r : no_qos.runs) {
+    r.label += "/noqos";
+    r.index = runs.size();
+    runs.push_back(std::move(r));
+  }
+
+  TablePrinter t({"run", "tenant", "offered", "shed", "p50", "p99", "p99.9",
+                  "viol-rate", "boosts", "migrated", "max-lag"});
+  for (const serving::ServingResult& r : runs)
+    for (const serving::TenantResult& tr : r.tenants)
+      t.AddRow({r.label, tr.name, std::to_string(tr.offered),
+                std::to_string(tr.shed), FormatTime(SimTime(tr.fault_p50_ns)),
+                FormatTime(SimTime(tr.fault_p99_ns)),
+                FormatTime(SimTime(tr.fault_p999_ns)),
+                TablePrinter::Num(tr.violation_rate, 3),
+                std::to_string(tr.weight_boosts),
+                std::to_string(tr.slabs_migrated),
+                FormatTime(tr.max_lag)});
+  t.Print();
+
+  // Headline: per grid point, the plane must never hurt the frontend's
+  // violation rate, and the best-effort tenant pays for the protection
+  // whenever the plane had to act.
+  bool never_worse = true;
+  bool acted = false;
+  for (std::size_t i = 0; i < with_qos.runs.size(); ++i) {
+    const serving::TenantResult& on = with_qos.runs[i].tenants[0];
+    const serving::TenantResult& off = no_qos.runs[i].tenants[0];
+    if (on.violation_rate > off.violation_rate) never_worse = false;
+    acted = acted || on.weight_boosts > 0 || on.slabs_migrated > 0 ||
+            with_qos.runs[i].tenants[1].shed > 0;
+    std::printf("%-28s frontend viol-rate %.3f (qos) vs %.3f (noqos)\n",
+                with_qos.runs[i].label.c_str(), on.violation_rate,
+                off.violation_rate);
+  }
+  std::printf("qos plane: %s, %s\n",
+              never_worse ? "never worse than observe-only" : "WORSE SOMEWHERE",
+              acted ? "levers engaged" : "NO LEVERS ENGAGED");
+  all_ok = all_ok && never_worse && acted;
+
+  std::ofstream os(json_path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  serving::WriteServingJson(os, runs, /*include_timing=*/false);
+  os.close();
+  std::printf("wrote %s (%zu runs, %u jobs, %.2fs + %.2fs)\n",
+              json_path.c_str(), runs.size(), with_qos.jobs,
+              with_qos.wall_sec, no_qos.wall_sec);
+  return all_ok ? 0 : 1;
+}

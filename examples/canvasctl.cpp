@@ -9,6 +9,10 @@
 //   canvasctl run   [options] app[:cores] ...   one experiment
 //   canvasctl sweep [options] app[:cores] ...   grid of experiments on a
 //                                               worker pool (SweepEngine)
+//   canvasctl serve [options] [tenant[:rate[:mods]] ...]
+//                                               online-serving tail-latency
+//                                               harness (open-loop load,
+//                                               per-tenant SLOs, QoS plane)
 //   canvasctl list-apps                         Table 2 application names
 //   canvasctl list-systems                      system presets + aliases
 //   canvasctl list-servers                      server-pool topologies
@@ -45,6 +49,19 @@
 //   --progress       progress line on stderr
 //   --out=PATH       write the sweep JSON there instead of stdout
 //
+// serve-only options (default topology is pool4, not single):
+//   tenant syntax    name[:rate_rps[:mods]] where mods is a +-joined list
+//                    of `be` (best-effort: sheddable, never SLO-escalated)
+//                    and `load` (the --arrivals axis retargets only
+//                    load-marked tenants). Default co-run when no tenant is
+//                    given: frontend:150000:load + batch:50000:be.
+//   --arrivals=A,B   arrival-process axis: poisson | diurnal | flash
+//   --horizon=SEC    open-loop generation horizon per tenant (default 2.0)
+//   --slo-p99-us=N   per-window p99 fault-latency SLO, microseconds
+//   --slo-p999-us=N  per-window p99.9 SLO, microseconds
+//   --no-qos         disable the QoS/admission plane (observe-only SLOs)
+//   (plus the sweep execution options: --jobs, --thread-budget, --out, ...)
+//
 // The pre-subcommand flat form (`canvasctl --system=... app ...`) was
 // deprecated for several releases and is now rejected with a migration
 // hint; spell it `canvasctl run ...`.
@@ -68,6 +85,7 @@
 #include "core/report.h"
 #include "orchestrator/sweep.h"
 #include "remote/pool.h"
+#include "serving/harness.h"
 #include "workload/apps.h"
 
 using namespace canvas;
@@ -91,6 +109,12 @@ struct Options {
   bool progress = false;
   std::string out;
   std::vector<std::pair<std::string, std::uint32_t>> apps;
+  // serve-only
+  std::vector<std::string> arrivals = {"poisson"};
+  bool qos = true;
+  double horizon_sec = 2.0;
+  serving::SloConfig slo;
+  std::vector<serving::TenantSpec> tenants;
 };
 
 int Usage(FILE* to, int code) {
@@ -101,6 +125,10 @@ int Usage(FILE* to, int code) {
       "                       [--seeds=..] [--jobs=N] [--max-live=N]\n"
       "                       [--cancel-on-failure] [--progress] [--out=F]\n"
       "                       app[:cores] ...\n"
+      "       canvasctl serve [--arrivals=poisson,diurnal,flash]\n"
+      "                       [--horizon=SEC] [--slo-p99-us=N] [--no-qos]\n"
+      "                       [sweep execution options]\n"
+      "                       [tenant[:rate_rps[:mods]] ...]\n"
       "       canvasctl list-apps\n"
       "       canvasctl list-systems\n"
       "       canvasctl list-servers\n"
@@ -108,7 +136,9 @@ int Usage(FILE* to, int code) {
       "         --format=table|csv|json --no-adaptive --no-horizontal\n"
       "         --prefetcher=none|readahead|leap|two-tier --sim-threads=N\n"
       "sweep:   --topologies=T1,T2 (server-topology axis; see\n"
-      "         `canvasctl list-servers`) --thread-budget=N\n");
+      "         `canvasctl list-servers`) --thread-budget=N\n"
+      "serve:   tenant mods are `be` (best-effort) and `load` (arrival\n"
+      "         axis target), joined with '+': e.g. frontend:150000:load\n");
   return code;
 }
 
@@ -213,6 +243,69 @@ bool ParseSweepOnly(const std::string& arg, Options& opt) {
   } else {
     return false;
   }
+  return true;
+}
+
+bool ParseServeOnly(const std::string& arg, Options& opt) {
+  auto value = [&](const char* prefix) {
+    return arg.substr(std::strlen(prefix));
+  };
+  if (arg.rfind("--arrivals=", 0) == 0) {
+    opt.arrivals = SplitCommas(value("--arrivals="));
+  } else if (arg.rfind("--arrival=", 0) == 0) {
+    opt.arrivals = {value("--arrival=")};
+  } else if (arg.rfind("--horizon=", 0) == 0) {
+    opt.horizon_sec = std::atof(value("--horizon=").c_str());
+  } else if (arg.rfind("--slo-p99-us=", 0) == 0) {
+    opt.slo.p99_ns = SimTime(std::atof(value("--slo-p99-us=").c_str()) * 1e3);
+  } else if (arg.rfind("--slo-p999-us=", 0) == 0) {
+    opt.slo.p999_ns = SimTime(std::atof(value("--slo-p999-us=").c_str()) * 1e3);
+  } else if (arg == "--no-qos") {
+    opt.qos = false;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Tenant syntax: name[:rate_rps[:mods]], mods a '+'-joined list of
+// `be` (best-effort) and `load` (arrival-axis target).
+bool ParseServeTenant(const std::string& arg, Options& opt) {
+  serving::TenantSpec t;
+  auto c1 = arg.find(':');
+  t.name = arg.substr(0, c1);
+  if (t.name.empty()) return false;
+  if (c1 != std::string::npos) {
+    auto c2 = arg.find(':', c1 + 1);
+    t.arrival.rate_rps = std::atof(arg.substr(c1 + 1, c2 - c1 - 1).c_str());
+    if (t.arrival.rate_rps <= 0) {
+      std::fprintf(stderr, "tenant '%s': rate must be > 0\n", t.name.c_str());
+      std::exit(2);
+    }
+    if (c2 != std::string::npos) {
+      for (const std::string& mod : SplitCommas(arg.substr(c2 + 1))) {
+        std::size_t start = 0;
+        while (start <= mod.size()) {
+          std::size_t plus = mod.find('+', start);
+          std::string m = mod.substr(start, plus == std::string::npos
+                                                ? std::string::npos
+                                                : plus - start);
+          if (m == "be") {
+            t.best_effort = true;
+          } else if (m == "load") {
+            t.load_tenant = true;
+          } else if (!m.empty()) {
+            std::fprintf(stderr, "tenant '%s': unknown mod '%s'\n",
+                         t.name.c_str(), m.c_str());
+            std::exit(2);
+          }
+          if (plus == std::string::npos) break;
+          start = plus + 1;
+        }
+      }
+    }
+  }
+  opt.tenants.push_back(std::move(t));
   return true;
 }
 
@@ -364,6 +457,92 @@ int RunSweep(const Options& opt) {
   return result.all_ok ? 0 : 1;
 }
 
+int RunServe(const Options& opt) {
+  orchestrator::ServingScenarioSpec scenario;
+  scenario.systems = opt.systems;
+  scenario.overrides = opt.overrides;
+  scenario.arrivals = opt.arrivals;
+  scenario.seeds = opt.seeds;
+  scenario.sim_threads = opt.sim_threads;
+  scenario.qos_enabled = opt.qos;
+  // `serve` defaults to the pool4 topology (the QoS plane's migration
+  // lever needs a multi-server pool); --topology/--topologies override.
+  scenario.topologies = opt.topologies;
+
+  scenario.tenants = opt.tenants;
+  if (scenario.tenants.empty()) {
+    // Default co-run: a latency-sensitive frontend carrying the arrival
+    // axis plus a best-effort batch tenant the QoS plane may shed.
+    serving::TenantSpec fe;
+    fe.name = "frontend";
+    fe.arrival.rate_rps = 150000;
+    fe.load_tenant = true;
+    serving::TenantSpec batch;
+    batch.name = "batch";
+    batch.arrival.rate_rps = 50000;
+    batch.best_effort = true;
+    scenario.tenants = {fe, batch};
+  }
+  for (serving::TenantSpec& t : scenario.tenants) {
+    t.slo = opt.slo;
+    t.horizon = SimTime(opt.horizon_sec * 1e9);
+    t.ratio = opt.ratios.front();
+  }
+  for (const std::string& s : scenario.systems) ResolveSystem(s, {});
+  for (const std::string& t : scenario.topologies) ResolveTopology(t);
+  for (const std::string& a : scenario.arrivals) {
+    if (!workload::ArrivalKindFromName(a)) {
+      std::fprintf(stderr,
+                   "unknown arrival process '%s' (poisson | diurnal | "
+                   "flash)\n",
+                   a.c_str());
+      std::exit(2);
+    }
+  }
+
+  orchestrator::SweepOptions sweep_opts;
+  sweep_opts.jobs = opt.jobs;
+  sweep_opts.max_live = opt.max_live;
+  sweep_opts.thread_budget = opt.thread_budget;
+  sweep_opts.cancel_on_failure = opt.cancel_on_failure;
+  sweep_opts.progress = opt.progress;
+  orchestrator::SweepEngine engine(sweep_opts);
+  auto result = engine.RunServing(scenario);
+
+  if (!opt.out.empty()) {
+    std::ofstream os(opt.out);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
+      return 1;
+    }
+    result.WriteJson(os);
+    std::fprintf(stderr, "wrote %s (%zu runs, %u jobs, %.2fs)\n",
+                 opt.out.c_str(), result.runs.size(), result.jobs,
+                 result.wall_sec);
+  } else {
+    result.WriteJson(std::cout);
+  }
+  return result.all_ok ? 0 : 1;
+}
+
+int ParseAndRunServe(int argc, char** argv, int first_arg) {
+  Options opt;
+  opt.topologies = {"pool4"};
+  for (int i = first_arg; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return Usage(stdout, 0);
+    if (ParseCommon(arg, opt)) continue;
+    if (ParseSweepOnly(arg, opt)) continue;
+    if (ParseServeOnly(arg, opt)) continue;
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return Usage(stderr, 2);
+    }
+    ParseServeTenant(arg, opt);
+  }
+  return RunServe(opt);
+}
+
 int ParseAndRun(int argc, char** argv, int first_arg, bool sweep) {
   Options opt;
   for (int i = first_arg; i < argc; ++i) {
@@ -392,6 +571,7 @@ int main(int argc, char** argv) {
   if (cmd == "list-servers") return ListServers();
   if (cmd == "run") return ParseAndRun(argc, argv, 2, /*sweep=*/false);
   if (cmd == "sweep") return ParseAndRun(argc, argv, 2, /*sweep=*/true);
+  if (cmd == "serve") return ParseAndRunServe(argc, argv, 2);
   // The flat form `canvasctl [options] app ...` (no subcommand) was
   // deprecated and is now a hard error — fail loudly rather than guessing.
   std::fprintf(stderr,

@@ -19,36 +19,42 @@ cmake -B "$BUILD" -S "$ROOT" \
 cmake --build "$BUILD" -j"$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS"
 
-# Sanitized pass over the fault + trace + orchestrator + remote suites
-# (ctest labels): the chaos/property tests drive the retry/failover paths
-# where request-lifetime bugs would hide, the trace suite exercises the
-# ring and exporters, the orchestrator suite runs multi-threaded sweeps,
-# and the remote suite churns slab migration/eviction under harvesting, so
-# they always also run under ASan+UBSan. Skipped when the main build is
+# Sanitized pass over the fault + trace + orchestrator + remote + serving
+# suites (ctest labels): the chaos/property tests drive the retry/failover
+# paths where request-lifetime bugs would hide, the trace suite exercises
+# the ring and exporters, the orchestrator suite runs multi-threaded
+# sweeps, the remote suite churns slab migration/eviction under
+# harvesting, and the serving suite runs the open-loop QoS plane, so they
+# always also run under ASan+UBSan. Skipped when the main build is
 # already sanitized.
 if [ -z "${CANVAS_SANITIZE:-}" ] && [ "${CANVAS_NO_ASAN_FAULT:-0}" != "1" ]; then
   SAN_BUILD="${SAN_BUILD_DIR:-$ROOT/build-asan}"
   cmake -B "$SAN_BUILD" -S "$ROOT" -DCANVAS_SANITIZE=address,undefined
   cmake --build "$SAN_BUILD" -j"$JOBS" \
     --target fault_injection_test fault_property_test trace_test \
-             orchestrator_test remote_test
-  ctest --test-dir "$SAN_BUILD" -L 'fault|trace|orchestrator|remote' \
+             orchestrator_test remote_test serving_test workload_test \
+             parallel_test
+  ctest --test-dir "$SAN_BUILD" -L 'fault|trace|orchestrator|remote|serving' \
     --output-on-failure -j"$JOBS"
 fi
 
 # TSan pass over the threaded suites: the SweepEngine races whole runs
-# across worker threads (label `orchestrator`), and the parallel DES engine
+# across worker threads (label `orchestrator`), the parallel DES engine
 # (DESIGN.md §12) races LPs inside one run over SPSC rings and watermark
 # atomics (labels `sim` / `parallel` / `determinism`, which also pull in
-# the serial-vs-parallel byte-identity differentials). TSan cannot be
-# combined with ASan — separate build. CANVAS_NO_TSAN=1 skips it.
+# the serial-vs-parallel byte-identity differentials), and the serving
+# suite (label `serving`) adds the open-loop QoS differentials plus
+# multi-job serving sweeps. TSan cannot be combined with ASan — separate
+# build. CANVAS_NO_TSAN=1 skips it.
 if [ -z "${CANVAS_SANITIZE:-}" ] && [ "${CANVAS_NO_TSAN:-0}" != "1" ]; then
   TSAN_BUILD="${TSAN_BUILD_DIR:-$ROOT/build-tsan}"
   cmake -B "$TSAN_BUILD" -S "$ROOT" -DCANVAS_SANITIZE=thread
   cmake --build "$TSAN_BUILD" -j"$JOBS" \
     --target orchestrator_test parallel_test sim_test determinism_test \
-             fault_injection_test trace_test remote_test
-  ctest --test-dir "$TSAN_BUILD" -L 'orchestrator|sim|parallel|determinism' \
+             fault_injection_test trace_test remote_test serving_test \
+             workload_test
+  ctest --test-dir "$TSAN_BUILD" \
+    -L 'orchestrator|sim|parallel|determinism|serving' \
     --output-on-failure -j"$JOBS"
 fi
 
@@ -67,5 +73,11 @@ CANVAS_SWEEP_JSON="${CANVAS_SWEEP_JSON:-$BUILD/BENCH_sweep.json}" \
 # stale reads, p2c beating first-fit on placement imbalance).
 CANVAS_REMOTE_JSON="${CANVAS_REMOTE_JSON:-$BUILD/BENCH_remote.json}" \
   "$BUILD/bench/remote_pool" "${HARNESS_ARGS[@]:-}"
+
+# Online-serving tail-latency benchmark: {poisson, flash} x {pool4,
+# pool4-harvest} with the QoS plane on vs observe-only, with hard checks
+# (all runs ok, QoS never worse than observe-only, levers engaged).
+CANVAS_SERVING_JSON="${CANVAS_SERVING_JSON:-$BUILD/BENCH_serving.json}" \
+  "$BUILD/bench/serving_bench" "${HARNESS_ARGS[@]:-}"
 
 echo "check.sh: all green"

@@ -704,7 +704,9 @@ void SwapSystem::EndStall(AppState& app, ThreadCtx& th, PageId page) {
 void SwapSystem::RunThread(AppState& app, ThreadCtx& th) {
   SimDuration elapsed = 0;
   for (int i = 0; i < kAccessBatch; ++i) {
-    auto acc = th.stream->Next();
+    // Pass the instant this access will start executing so open-loop
+    // streams can pace against their absolute arrival schedule.
+    auto acc = th.stream->NextAt(sim_.Now() + elapsed);
     if (!acc) {
       FinishThread(app, th, elapsed);
       return;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "serving/harness.h"
 
 namespace canvas::orchestrator {
 
@@ -86,5 +87,43 @@ struct ScenarioSpec {
 /// stable per-run key in sweep reports.
 std::string RunLabel(const std::string& system, const std::string& topology,
                      double ratio, double scale, std::uint64_t seed);
+
+/// Declarative serving-sweep surface (DESIGN.md §13): like ScenarioSpec but
+/// over serving::ServingSpecs, with an arrival-process axis instead of the
+/// ratio/scale axes. Nesting order: system (outer) -> topology -> arrival
+/// -> seed (inner).
+struct ServingScenarioSpec {
+  std::vector<std::string> systems = {"canvas"};
+  FeatureOverrides overrides;
+  std::vector<std::string> topologies = {"pool4"};
+  /// Arrival-kind axis ("poisson" | "diurnal" | "flash"), applied to the
+  /// tenants marked `load_tenant` — or to every tenant when none is
+  /// marked. Non-load tenants keep their template arrival process, so a
+  /// quiet protected tenant stays quiet across the axis.
+  std::vector<std::string> arrivals = {"poisson"};
+  /// Tenant template (serving::TenantSpec carries its own SLO + cgroup
+  /// sizing; nothing is overwritten except the arrival kind above).
+  std::vector<serving::TenantSpec> tenants;
+  serving::QosConfig qos;
+  bool qos_enabled = true;
+  std::vector<std::uint64_t> seeds = {7};
+  SimTime deadline = 600 * kSecond;
+  unsigned sim_threads = 1;
+
+  std::size_t RunCount() const {
+    return systems.size() * topologies.size() * arrivals.size() *
+           seeds.size();
+  }
+
+  /// Expand into index-ordered ServingSpecs. Throws std::invalid_argument
+  /// on unknown system/topology/arrival names.
+  std::vector<serving::ServingSpec> Expand() const;
+};
+
+/// Label for one serving grid point, e.g. "canvas/pool4/poisson/seed7"
+/// (the default "single" topology segment is omitted, like RunLabel).
+std::string ServingRunLabel(const std::string& system,
+                            const std::string& topology,
+                            const std::string& arrival, std::uint64_t seed);
 
 }  // namespace canvas::orchestrator

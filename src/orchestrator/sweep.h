@@ -102,6 +102,21 @@ struct SweepResult {
   void WriteJson(std::ostream& os, bool include_timing = true) const;
 };
 
+/// Serving-sweep aggregate (DESIGN.md §13): same index-slot contract as
+/// SweepResult — the deterministic report depends only on the specs.
+struct ServingSweepResult {
+  std::vector<serving::ServingResult> runs;  ///< spec-index order
+  bool all_ok = false;
+  bool cancelled = false;
+  double wall_sec = 0;
+  unsigned jobs = 1;
+
+  /// include_timing=false -> byte-identical across jobs / thread counts.
+  void WriteJson(std::ostream& os, bool include_timing = true) const {
+    serving::WriteServingJson(os, runs, include_timing);
+  }
+};
+
 class SweepEngine {
  public:
   explicit SweepEngine(SweepOptions opts = {});
@@ -113,6 +128,13 @@ class SweepEngine {
   /// Convenience: expand + run a declarative scenario.
   SweepResult Run(const ScenarioSpec& scenario) {
     return Run(scenario.Expand());
+  }
+
+  /// Serving counterpart of Run: same worker pool, live cap and
+  /// thread-budget composition, over serving::RunServing.
+  ServingSweepResult RunServing(std::vector<serving::ServingSpec> specs);
+  ServingSweepResult RunServing(const ServingScenarioSpec& scenario) {
+    return RunServing(scenario.Expand());
   }
 
   /// Highest number of simultaneously live swap systems observed during

@@ -25,6 +25,31 @@ std::uint64_t LogHistogram::Percentile(double p) const {
   return max_;
 }
 
+LogHistogram LogHistogram::Since(const LogHistogram& start) const {
+  LogHistogram out;
+  std::uint32_t lo = kNumBuckets, hi = 0;
+  for (std::uint32_t i = 0; i < kNumBuckets; ++i) {
+    std::uint64_t d = counts_[i] - start.counts_[i];
+    out.counts_[i] = d;
+    if (d) {
+      if (i < lo) lo = i;
+      hi = i;
+    }
+  }
+  out.count_ = count_ - start.count_;
+  out.sum_ = sum_ - start.sum_;
+  if (out.count_ == 0) return out;
+  // The exact interval extremes are unrecoverable from two cumulative
+  // snapshots; reconstruct them from the occupied bucket edges so every
+  // interval sample still satisfies min_ <= v <= max_ within the bucket
+  // quantization bound. The top bucket's upper edge would overflow uint64,
+  // so fall back to the cumulative max there (an upper bound: the interval
+  // max lives in the same bucket).
+  out.min_ = BucketLow(lo);
+  out.max_ = hi + 1 < kNumBuckets ? BucketLow(hi + 1) - 1 : max_;
+  return out;
+}
+
 void LogHistogram::Merge(const LogHistogram& other) {
   if (other.count_ == 0) return;
   for (std::uint32_t i = 0; i < kNumBuckets; ++i)

@@ -58,6 +58,21 @@ class LogHistogram {
   /// Exact: merged histogram == histogram of the concatenated samples.
   void Merge(const LogHistogram& other);
 
+  /// Forget every recorded sample (windowed consumers that keep the
+  /// histogram itself as the window).
+  void Reset() { *this = LogHistogram{}; }
+
+  /// Interval view: the samples added to *this since `start` was copied
+  /// from it. `start` MUST be an earlier snapshot of the same histogram
+  /// (every bucket count <= the current one). Bucket counts, count and sum
+  /// are exact differences; min/max cannot be recovered from two cumulative
+  /// snapshots, so they are reconstructed from the occupied bucket edges —
+  /// still within the <= 1/32 relative quantization bound, so interval
+  /// Percentile() keeps the same error contract as the cumulative one.
+  /// This is the primitive behind windowed SLO percentiles (DESIGN.md §13):
+  /// pre-window samples can never contaminate the interval distribution.
+  LogHistogram Since(const LogHistogram& start) const;
+
   std::uint64_t BucketCount(std::uint32_t i) const { return counts_[i]; }
 
  private:

@@ -37,6 +37,12 @@ class ThreadStream {
   virtual ~ThreadStream() = default;
   /// Next access, or nullopt when the thread's work is finished.
   virtual std::optional<Access> Next() = 0;
+  /// Clock-aware variant: `now` is the simulated instant at which the
+  /// returned access will start executing. Closed-loop streams ignore it;
+  /// open-loop streams (workload/arrival.h) use it to pace requests against
+  /// an absolute arrival schedule so a stalled service does not slow the
+  /// arrival process (no coordinated omission).
+  virtual std::optional<Access> NextAt(SimTime /*now*/) { return Next(); }
 };
 
 /// A complete application: its threads, footprint, and runtime model.

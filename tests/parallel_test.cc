@@ -19,6 +19,7 @@
 #include "core/report.h"
 #include "fault/fault_plan.h"
 #include "orchestrator/sweep.h"
+#include "serving/harness.h"
 #include "sim/parallel.h"
 #include "sim/spsc.h"
 #include "workload/apps.h"
@@ -311,6 +312,120 @@ TEST(ParallelSweep, SimThreadsComposeWithJobsUnderBudget) {
   orchestrator::SweepEngine one(orchestrator::SweepOptions{});
   auto baseline = one.Run(serial.Expand());
   EXPECT_TRUE(baseline.all_ok);
+  std::ostringstream a, b;
+  budgeted.WriteJson(a, /*include_timing=*/false);
+  baseline.WriteJson(b, /*include_timing=*/false);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+// --- serving differentials --------------------------------------------------
+
+// The serving harness layers open-loop streams and a QoS controller on top
+// of the same Experiment path; the controller runs on the root LP and must
+// only read root-owned state, so serving reports have the same engine
+// contract as experiment reports: identical bytes at any thread count.
+serving::ServingSpec ServingDiffSpec(const std::string& topology) {
+  serving::ServingSpec spec;
+  spec.label = "serving-diff";
+  spec.config = core::SystemConfig::CanvasFull();
+  spec.config.remote = remote::PoolConfig::FromName(topology);
+  spec.seed = 11;
+  serving::TenantSpec fe;
+  fe.name = "frontend";
+  fe.arrival.rate_rps = 50'000;
+  fe.horizon = 200 * kMillisecond;
+  fe.threads = 2;
+  fe.footprint_pages = 8192;
+  // A violated SLO keeps the QoS levers active during the differential so
+  // the escalation path itself is covered, not just the observe path.
+  fe.slo.p99_ns = 1;
+  fe.slo.min_window_samples = 8;
+  serving::TenantSpec batch = fe;
+  batch.name = "batch";
+  batch.arrival.rate_rps = 20'000;
+  batch.slo = serving::SloConfig{};
+  batch.best_effort = true;
+  spec.tenants = {fe, batch};
+  spec.qos.control_period = 25 * kMillisecond;
+  return spec;
+}
+
+std::string ServingJson(const serving::ServingResult& r) {
+  std::ostringstream os;
+  serving::WriteServingJson(os, {r}, /*include_timing=*/false);
+  return os.str();
+}
+
+TEST(ParallelDifferential, ServingByteIdenticalAt1_2_8Threads) {
+  serving::ServingSpec spec = ServingDiffSpec("pool4");
+  serving::ServingResult serial = serving::RunServing(spec);
+  ASSERT_EQ(serial.status, serving::ServingResult::Status::kOk);
+  EXPECT_FALSE(serial.parallel);
+  for (unsigned threads : {2u, 8u}) {
+    spec.config.sim_threads = threads;
+    serving::ServingResult par = serving::RunServing(spec);
+    EXPECT_TRUE(par.parallel) << threads;
+    EXPECT_EQ(ServingJson(serial), ServingJson(par)) << threads;
+    EXPECT_EQ(serial.sim_events, par.sim_events) << threads;
+  }
+}
+
+TEST(ParallelDifferential, ServingHarvestChurnByteIdentical) {
+  // Harvest-driven migrations plus QoS-driven RebalanceTenant both mutate
+  // placement from the root LP while server LPs fold service times.
+  serving::ServingSpec spec = ServingDiffSpec("pool4-harvest");
+  serving::ServingResult serial = serving::RunServing(spec);
+  ASSERT_EQ(serial.status, serving::ServingResult::Status::kOk);
+  spec.config.sim_threads = 4;
+  serving::ServingResult par = serving::RunServing(spec);
+  EXPECT_TRUE(par.parallel);
+  EXPECT_EQ(ServingJson(serial), ServingJson(par));
+}
+
+TEST(ParallelDifferential, ServingFaultPlanFallsBackToSerialIdentically) {
+  serving::ServingSpec spec = ServingDiffSpec("pool4");
+  auto plan = fault::FaultPlan::Parse(
+      "latency 2000 4000 80 both\n"
+      "bandwidth 5000 8000 0.5 both\n");
+  ASSERT_TRUE(plan.has_value());
+  spec.config.fault_plan = std::make_shared<const fault::FaultPlan>(*plan);
+  serving::ServingResult serial = serving::RunServing(spec);
+  ASSERT_EQ(serial.status, serving::ServingResult::Status::kOk);
+  spec.config.sim_threads = 4;
+  serving::ServingResult par = serving::RunServing(spec);
+  EXPECT_FALSE(par.parallel);  // injected faults force the serial engine
+  EXPECT_EQ(ServingJson(serial), ServingJson(par));
+}
+
+TEST(ParallelSweep, ServingSweepJobsComposeWithSimThreads) {
+  orchestrator::ServingScenarioSpec sc;
+  sc.systems = {"canvas"};
+  sc.topologies = {"pool4"};
+  sc.arrivals = {"poisson"};
+  sc.seeds = {7, 8, 9, 10};
+  sc.sim_threads = 4;
+  serving::TenantSpec fe;
+  fe.name = "frontend";
+  fe.arrival.rate_rps = 50'000;
+  fe.horizon = 100 * kMillisecond;
+  fe.threads = 2;
+  fe.footprint_pages = 4096;
+  sc.tenants = {fe};
+
+  orchestrator::SweepOptions opts;
+  opts.jobs = 4;
+  opts.thread_budget = 8;  // 4 engine threads per run -> 2 concurrent runs
+  orchestrator::SweepEngine engine(opts);
+  auto budgeted = engine.RunServing(sc);
+  EXPECT_EQ(budgeted.jobs, 2u);
+  ASSERT_TRUE(budgeted.all_ok);
+
+  orchestrator::ServingScenarioSpec serial_sc = sc;
+  serial_sc.sim_threads = 1;
+  orchestrator::SweepEngine one(orchestrator::SweepOptions{});
+  auto baseline = one.RunServing(serial_sc);
+  ASSERT_TRUE(baseline.all_ok);
+
   std::ostringstream a, b;
   budgeted.WriteJson(a, /*include_timing=*/false);
   baseline.WriteJson(b, /*include_timing=*/false);

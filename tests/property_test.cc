@@ -2,10 +2,15 @@
 // seed) combination, swept with parameterized gtest.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <tuple>
+#include <vector>
 
+#include "common/rng.h"
 #include "core/experiment.h"
+#include "trace/histogram.h"
 #include "workload/apps.h"
 
 namespace canvas::core {
@@ -197,6 +202,75 @@ TEST_P(RatioSweep, MoreLocalMemoryWithinEnvelope) {
 
 INSTANTIATE_TEST_SUITE_P(Ratios, RatioSweep,
                          ::testing::Values(0.2, 0.3, 0.5, 0.7));
+
+// ---------------------------------------------------------------------------
+// LogHistogram quantile properties (ISSUE 7): every SLO decision in
+// src/serving rests on Percentile(), so check it against the exact order
+// statistic on random samples across seeds and distributions.
+
+class HistogramQuantiles
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(HistogramQuantiles, PercentileWithinBucketBoundOfExactOrderStatistic) {
+  auto [seed, shape] = GetParam();
+  Rng rng(seed);
+  trace::LogHistogram h;
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 5000; ++i) {
+    std::uint64_t v = 0;
+    switch (shape) {
+      case 0:  // uniform small (exact unit buckets)
+        v = rng.NextBounded(64);
+        break;
+      case 1:  // uniform wide
+        v = rng.NextBounded(50'000'000);
+        break;
+      default:  // log-uniform: exercises every bucket level
+        v = std::uint64_t(1) << rng.NextBounded(52);
+        v += rng.NextBounded(v);
+        break;
+    }
+    samples.push_back(v);
+    h.Add(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double p : {1.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    std::uint64_t rank = std::max<std::uint64_t>(
+        1, std::uint64_t(std::ceil(p / 100.0 * double(samples.size()))));
+    std::uint64_t exact = samples[rank - 1];
+    std::uint64_t got = h.Percentile(p);
+    // Reported quantile is the upper edge of the exact sample's bucket:
+    // never below the exact value, and within one sub-bucket above it.
+    EXPECT_GE(got, exact) << "p=" << p;
+    std::uint64_t slack = std::max<std::uint64_t>(
+        1, exact / trace::LogHistogram::kSubCount);
+    EXPECT_LE(got, exact + slack) << "p=" << p << " exact=" << exact;
+  }
+}
+
+TEST_P(HistogramQuantiles, MergePercentilesEqualConcatenation) {
+  auto [seed, shape] = GetParam();
+  Rng rng(seed ^ 0x9E3779B97F4A7C15ull);
+  trace::LogHistogram a, b, both;
+  for (int i = 0; i < 3000; ++i) {
+    std::uint64_t v = shape == 0 ? rng.NextBounded(1000)
+                                 : (std::uint64_t(1) << rng.NextBounded(40)) +
+                                       rng.NextBounded(1u << 20);
+    if (i % 3 == 0) a.Add(v); else b.Add(v);
+    both.Add(v);
+  }
+  a.Merge(b);
+  ASSERT_EQ(a.count(), both.count());
+  for (double p : {1.0, 25.0, 50.0, 75.0, 99.0, 99.9})
+    EXPECT_EQ(a.Percentile(p), both.Percentile(p)) << "p=" << p;
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndShapes, HistogramQuantiles,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 7, 42, 1234),
+                       ::testing::Values(0, 1, 2)));
 
 TEST(RatioBoundary, FittingWorkingSetIsFastest) {
   auto run = [&](double r) {

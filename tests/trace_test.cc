@@ -8,6 +8,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/rng.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "trace/export.h"
@@ -252,6 +253,84 @@ TEST(LogHistogram, MergeEqualsConcatenation) {
   for (std::uint32_t i = 0; i < trace::LogHistogram::kNumBuckets; ++i) {
     ASSERT_EQ(a.BucketCount(i), both.BucketCount(i)) << "bucket " << i;
   }
+}
+
+// Regression (ISSUE 7 satellite): windowed percentile snapshots must not be
+// contaminated by pre-window samples. Before Since()/Reset() existed, only
+// cumulative percentiles were available, so a warm-up spike leaked into
+// every later "window" forever.
+TEST(LogHistogram, SinceExcludesPreWindowSamples) {
+  trace::LogHistogram h;
+  // Pre-window: a pathological warm-up spike at ~100ms.
+  for (int i = 0; i < 1000; ++i) h.Add(100'000'000 + i);
+  trace::LogHistogram snap = h;  // window starts here
+  // In-window: healthy 1-2us latencies.
+  for (int i = 0; i < 500; ++i) h.Add(1000 + (i % 1000));
+  trace::LogHistogram win = h.Since(snap);
+  EXPECT_EQ(win.count(), 500u);
+  // Cumulative p99 is dominated by the spike; the window must not be.
+  EXPECT_GT(h.Percentile(99), 50'000'000u);
+  EXPECT_LT(win.Percentile(99), 10'000u);
+  EXPECT_GE(win.min(), 512u);   // bucket lower edge of the smallest sample
+  EXPECT_LE(win.min(), 1000u);
+  EXPECT_LT(win.max(), 10'000u);
+  // Mean is exact (count/sum are exact diffs): samples are 1000..1499.
+  EXPECT_DOUBLE_EQ(win.Mean(), 1249.5);
+}
+
+TEST(LogHistogram, SinceMatchesFreshHistogramBucketForBucket) {
+  trace::LogHistogram cum, fresh;
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) cum.Add(rng.NextBounded(1u << 30));
+  trace::LogHistogram snap = cum;
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t v = rng.NextBounded(1u << 30);
+    cum.Add(v);
+    fresh.Add(v);
+  }
+  trace::LogHistogram win = cum.Since(snap);
+  EXPECT_EQ(win.count(), fresh.count());
+  for (std::uint32_t i = 0; i < trace::LogHistogram::kNumBuckets; ++i)
+    ASSERT_EQ(win.BucketCount(i), fresh.BucketCount(i)) << "bucket " << i;
+  // Percentiles land in the same bucket; only the clamp against the
+  // reconstructed (bucket-edge) extremes can differ, so any gap stays
+  // within the bucket quantization bound.
+  for (double p : {1.0, 50.0, 99.0, 99.9}) {
+    EXPECT_EQ(trace::LogHistogram::BucketIndex(win.Percentile(p)),
+              trace::LogHistogram::BucketIndex(fresh.Percentile(p)))
+        << "p" << p;
+    EXPECT_GE(win.Percentile(p), fresh.Percentile(p)) << "p" << p;
+  }
+  EXPECT_DOUBLE_EQ(win.Mean(), fresh.Mean());
+}
+
+TEST(LogHistogram, SinceEmptyWindowAndTopBucket) {
+  trace::LogHistogram h;
+  h.Add(42);
+  trace::LogHistogram snap = h;
+  trace::LogHistogram empty = h.Since(snap);
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.Percentile(99), 0u);
+  // Top bucket: upper edge would overflow; Since falls back to the
+  // cumulative max as an upper bound.
+  h.Add(~std::uint64_t(0) - 5);
+  trace::LogHistogram win = h.Since(snap);
+  EXPECT_EQ(win.count(), 1u);
+  EXPECT_EQ(win.max(), ~std::uint64_t(0) - 5);
+  EXPECT_GE(win.Percentile(99), win.min());
+  EXPECT_LE(win.Percentile(99), win.max());
+}
+
+TEST(LogHistogram, ResetForgetsEverything) {
+  trace::LogHistogram h;
+  for (int i = 0; i < 100; ++i) h.Add(1'000'000);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  h.Add(7);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.Percentile(99), 7u);
 }
 
 TEST(LogHistogram, HugeValuesDoNotOverflow) {
