@@ -13,13 +13,16 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/report.h"
+#include "fault/fault_plan.h"
 #include "remote/pool.h"
+#include "tier/tier.h"
 
 using namespace canvas;
 using namespace canvas::bench;
@@ -120,6 +123,96 @@ PolicyResult RunPolicy(remote::PlacementKind policy, double scale,
   return out;
 }
 
+// --- tiered-topology comparison (DESIGN.md §14) ---
+//
+// The same pool4-harvest co-run (p2c placement) under a mid-run fabric
+// blackout, once per local-tier preset. Without a tier the blackout fails
+// cgroups over to the disk backstop; with a CXL/NVM tier the tier becomes
+// the first failover stop and absorbs the traffic at device latencies
+// orders of magnitude below the disk. The hard check compares the p99
+// device service latency of the failover target: tier p99 must be
+// strictly below the disk p99 measured on the untiered run.
+
+struct TierResult {
+  std::string tier;
+  SimTime makespan = 0;
+  std::uint64_t failovers = 0;       // all remote -> local transitions
+  std::uint64_t tier_failovers = 0;  // remote -> tier transitions
+  std::uint64_t tier_swapins = 0;
+  std::uint64_t tier_swapouts = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t demotions = 0;
+  std::uint64_t tier_rejects = 0;
+  std::uint64_t disk_reads = 0;
+  std::uint64_t disk_writes = 0;
+  std::uint64_t stale_reads = 0;
+  /// Device latency (ns) of the failover target: the tier when one is
+  /// configured, the disk backstop otherwise. p99 on a bursty run includes
+  /// queueing behind the whole writeback stream, so p50 is the robust
+  /// service-latency comparison and p99 the tail view.
+  std::uint64_t failover_p50_ns = 0;
+  std::uint64_t failover_p99_ns = 0;
+  bool deterministic = false;
+};
+
+TierResult RunTiered(const std::string& tier_name, double scale,
+                     std::uint64_t seed) {
+  TierResult out;
+  out.tier = tier_name;
+
+  core::ExperimentSpec spec;
+  spec.config = *core::SystemConfig::FromName("canvas");
+  spec.apps = {Build("memcached", scale, 0.25, 0, seed),
+               Build("snappy", scale, 0.25, 0, seed)};
+  std::uint64_t total_entries = 0;
+  for (const core::AppSpec& a : core::BuildApps(spec.apps))
+    total_entries += a.cgroup.swap_entry_limit;
+  spec.config.remote =
+      MakePool(remote::PlacementKind::kPowerOfTwo, total_entries);
+  spec.config.tier = tier::TierConfig::FromName(tier_name);
+  // Full-fabric blackout long enough to exhaust demand retries and force
+  // every cgroup off the remote backend.
+  auto plan = std::make_shared<fault::FaultPlan>();
+  plan->AddBlackout(2 * kMillisecond, 12 * kMillisecond);
+  spec.config.fault_plan = plan;
+
+  std::string first_report;
+  for (int rep = 0; rep < 2; ++rep) {
+    core::Experiment exp(spec);
+    exp.Run();
+    std::ostringstream os;
+    core::WriteJson(os, exp.system(), out.tier);
+    if (rep == 0) {
+      first_report = os.str();
+      const core::SwapSystem& sys = exp.system();
+      for (std::size_t i = 0; i < sys.app_count(); ++i) {
+        const core::AppMetrics& m = sys.metrics(i);
+        out.makespan = std::max(out.makespan, m.finish_time);
+        out.failovers += m.failovers;
+        out.tier_failovers += m.tier_failovers;
+        out.tier_swapins += m.tier_swapins;
+        out.tier_swapouts += m.tier_swapouts;
+        out.promotions += m.tier_promotions;
+        out.demotions += m.tier_demotions;
+        out.tier_rejects += m.tier_rejects;
+        out.stale_reads += m.stale_reads;
+      }
+      out.disk_reads = sys.disk() ? sys.disk()->reads() : 0;
+      out.disk_writes = sys.disk() ? sys.disk()->writes() : 0;
+      const trace::LogHistogram* target =
+          sys.tier() ? &sys.tier()->latency()
+                     : (sys.disk() ? &sys.disk()->latency() : nullptr);
+      if (target) {
+        out.failover_p50_ns = target->Percentile(50);
+        out.failover_p99_ns = target->Percentile(99);
+      }
+    } else {
+      out.deterministic = os.str() == first_report;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -160,19 +253,71 @@ int main(int argc, char** argv) {
               p2c.peak_imbalance, ff.peak_imbalance,
               p2c_beats_first_fit ? "p2c beats first-fit" : "NO IMPROVEMENT");
 
+  PrintBanner("Tiered topology: blackout failover target (disk vs local tier)");
+
+  std::vector<TierResult> trows;
+  for (const std::string& tn : {std::string("none"), std::string("cxl"),
+                                std::string("nvm")})
+    trows.push_back(RunTiered(tn, scale, seed));
+
+  TablePrinter tt({"tier", "makespan", "failovers", "tier-fo", "tier-in",
+                   "tier-out", "promote", "demote", "disk-rd", "fo-p50",
+                   "fo-p99", "stale", "det"});
+  for (const TierResult& r : trows)
+    tt.AddRow({r.tier, FormatTime(r.makespan), std::to_string(r.failovers),
+               std::to_string(r.tier_failovers),
+               std::to_string(r.tier_swapins),
+               std::to_string(r.tier_swapouts), std::to_string(r.promotions),
+               std::to_string(r.demotions), std::to_string(r.disk_reads),
+               FormatTime(r.failover_p50_ns), FormatTime(r.failover_p99_ns),
+               std::to_string(r.stale_reads), r.deterministic ? "yes" : "NO"});
+  tt.Print();
+
+  // Hard checks: the untiered run must actually fail over to the disk;
+  // every tiered run must fail over to the tier instead, with median
+  // failover service latency strictly below the disk's AND a shorter
+  // makespan; the DRAM-class cxl tier must beat the disk at the tail too
+  // (the nvm preset's p99 legitimately includes media queueing under the
+  // blackout burst).
+  const TierResult& untiered = trows[0];
+  bool tier_beats_disk =
+      untiered.failovers > 0 && untiered.failover_p50_ns > 0;
+  for (std::size_t i = 1; i < trows.size(); ++i) {
+    const TierResult& r = trows[i];
+    tier_beats_disk = tier_beats_disk && r.tier_failovers > 0 &&
+                      r.failover_p50_ns < untiered.failover_p50_ns &&
+                      r.makespan < untiered.makespan;
+  }
+  tier_beats_disk =
+      tier_beats_disk && trows[1].failover_p99_ns < untiered.failover_p99_ns;
+  for (const TierResult& r : trows)
+    all_ok = all_ok && r.deterministic && r.stale_reads == 0;
+  all_ok = all_ok && tier_beats_disk;
+  std::printf("blackout failover p50: disk %llu ns vs cxl %llu ns, "
+              "nvm %llu ns -> %s\n",
+              (unsigned long long)untiered.failover_p50_ns,
+              (unsigned long long)trows[1].failover_p50_ns,
+              (unsigned long long)trows[2].failover_p50_ns,
+              tier_beats_disk ? "tier beats disk" : "NO IMPROVEMENT");
+
   std::FILE* f = std::fopen(json_path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema_version\": %d,\n", core::kReportSchemaVersion);
+  // The file carries tier points, so it advertises the tier schema — a
+  // parser keyed to v2 must fail loudly rather than miss the new section.
+  std::fprintf(f, "  \"schema_version\": %d,\n",
+               core::kTierReportSchemaVersion);
   std::fprintf(f, "  \"benchmark\": \"remote_pool\",\n");
   std::fprintf(f, "  \"scale\": %.3f,\n", scale);
   std::fprintf(f, "  \"seed\": %llu,\n", (unsigned long long)seed);
   std::fprintf(f, "  \"servers\": 4,\n");
   std::fprintf(f, "  \"p2c_beats_first_fit\": %s,\n",
                p2c_beats_first_fit ? "true" : "false");
+  std::fprintf(f, "  \"tier_beats_disk\": %s,\n",
+               tier_beats_disk ? "true" : "false");
   std::fprintf(f, "  \"policies\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const PolicyResult& r = rows[i];
@@ -192,6 +337,34 @@ int main(int argc, char** argv) {
         (unsigned long long)r.stale_reads, (unsigned long long)r.disk_reads,
         r.deterministic ? "true" : "false", r.audit_ok ? "true" : "false",
         i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"tiered\": [\n");
+  for (std::size_t i = 0; i < trows.size(); ++i) {
+    const TierResult& r = trows[i];
+    std::fprintf(
+        f,
+        "    {\"tier\": \"%s\", \"makespan_ns\": %llu, "
+        "\"failovers\": %llu, \"tier_failovers\": %llu, "
+        "\"tier_swapins\": %llu, \"tier_swapouts\": %llu, "
+        "\"promotions\": %llu, \"demotions\": %llu, "
+        "\"tier_rejects\": %llu, \"disk_reads\": %llu, "
+        "\"disk_writes\": %llu, \"failover_p50_ns\": %llu, "
+        "\"failover_p99_ns\": %llu, "
+        "\"stale_reads\": %llu, \"deterministic\": %s}%s\n",
+        r.tier.c_str(), (unsigned long long)r.makespan,
+        (unsigned long long)r.failovers,
+        (unsigned long long)r.tier_failovers,
+        (unsigned long long)r.tier_swapins,
+        (unsigned long long)r.tier_swapouts,
+        (unsigned long long)r.promotions, (unsigned long long)r.demotions,
+        (unsigned long long)r.tier_rejects,
+        (unsigned long long)r.disk_reads, (unsigned long long)r.disk_writes,
+        (unsigned long long)r.failover_p50_ns,
+        (unsigned long long)r.failover_p99_ns,
+        (unsigned long long)r.stale_reads,
+        r.deterministic ? "true" : "false",
+        i + 1 < trows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -16,12 +16,14 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/report.h"
+#include "fault/fault_plan.h"
 #include "serving/harness.h"
 
 using namespace canvas;
@@ -73,6 +75,32 @@ orchestrator::ServingScenarioSpec Scenario(SimTime horizon, double rate_scale,
   return sc;
 }
 
+// Fault-plan grid points: the same tenants under an injected fabric fault
+// — a single-server blackout in the first half of the run, then an
+// all-server latency spike in the second — restricted to the harvested
+// topology so the fault composes with harvest churn. Times derive from
+// the horizon, so quick and full runs see the same fault phases. Expanded
+// specs are stamped with the plan and a "/fault" label suffix, mirroring
+// the "/noqos" suffix convention.
+std::vector<serving::ServingSpec> FaultSpecs(SimTime horizon,
+                                             double rate_scale,
+                                             std::uint64_t seed,
+                                             bool qos_on) {
+  orchestrator::ServingScenarioSpec sc =
+      Scenario(horizon, rate_scale, seed, qos_on);
+  sc.topologies = {"pool4-harvest"};
+  auto plan = std::make_shared<fault::FaultPlan>();
+  plan->AddBlackout(horizon / 4, horizon / 4 + horizon / 8, /*server=*/0);
+  plan->AddLatencySpike(5 * horizon / 8, 3 * horizon / 4,
+                        20 * kMicrosecond);
+  std::vector<serving::ServingSpec> specs = sc.Expand();
+  for (serving::ServingSpec& s : specs) {
+    s.config.fault_plan = plan;
+    s.label += "/fault";
+  }
+  return specs;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,12 +119,27 @@ int main(int argc, char** argv) {
 
   auto with_qos = engine.RunServing(Scenario(horizon, rate_scale, seed, true));
   auto no_qos = engine.RunServing(Scenario(horizon, rate_scale, seed, false));
-  bool all_ok = with_qos.all_ok && no_qos.all_ok;
+  auto fault_qos =
+      engine.RunServing(FaultSpecs(horizon, rate_scale, seed, true));
+  auto fault_noqos =
+      engine.RunServing(FaultSpecs(horizon, rate_scale, seed, false));
+  bool all_ok = with_qos.all_ok && no_qos.all_ok && fault_qos.all_ok &&
+                fault_noqos.all_ok;
 
   // Merge into one report: QoS-off runs get a "/noqos" label suffix and
-  // follow the QoS-on runs in index order.
+  // follow the QoS-on runs in index order; fault-plan points (already
+  // "/fault"-labelled) follow with the same on/off pairing.
   std::vector<serving::ServingResult> runs = with_qos.runs;
   for (serving::ServingResult r : no_qos.runs) {
+    r.label += "/noqos";
+    r.index = runs.size();
+    runs.push_back(std::move(r));
+  }
+  for (serving::ServingResult r : fault_qos.runs) {
+    r.index = runs.size();
+    runs.push_back(std::move(r));
+  }
+  for (serving::ServingResult r : fault_noqos.runs) {
     r.label += "/noqos";
     r.index = runs.size();
     runs.push_back(std::move(r));
@@ -135,6 +178,27 @@ int main(int argc, char** argv) {
               never_worse ? "never worse than observe-only" : "WORSE SOMEWHERE",
               acted ? "levers engaged" : "NO LEVERS ENGAGED");
   all_ok = all_ok && never_worse && acted;
+
+  // Fault-plan points: the frontend must keep being served through the
+  // blackout + spike on every point (the open loop never stalls out), and
+  // the plane must not make its violation rate worse than observe-only
+  // while the fabric is degraded.
+  bool fault_served = true;
+  bool fault_never_worse = true;
+  for (std::size_t i = 0; i < fault_qos.runs.size(); ++i) {
+    const serving::TenantResult& on = fault_qos.runs[i].tenants[0];
+    const serving::TenantResult& off = fault_noqos.runs[i].tenants[0];
+    fault_served = fault_served && on.served > 0 && off.served > 0;
+    if (on.violation_rate > off.violation_rate) fault_never_worse = false;
+    std::printf("%-28s frontend viol-rate %.3f (qos) vs %.3f (noqos)\n",
+                fault_qos.runs[i].label.c_str(), on.violation_rate,
+                off.violation_rate);
+  }
+  std::printf("fault points: %s, %s\n",
+              fault_served ? "frontend served throughout" : "STARVED",
+              fault_never_worse ? "qos never worse under faults"
+                                : "WORSE SOMEWHERE");
+  all_ok = all_ok && fault_served && fault_never_worse;
 
   std::ofstream os(json_path);
   if (!os) {

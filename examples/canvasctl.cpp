@@ -16,11 +16,14 @@
 //   canvasctl list-apps                         Table 2 application names
 //   canvasctl list-systems                      system presets + aliases
 //   canvasctl list-servers                      server-pool topologies
+//   canvasctl list-tiers                        hybrid local-tier presets
 //
 // Shared options (run + sweep):
 //   --system=NAME    preset from `canvasctl list-systems` (default canvas)
 //   --topology=T     server-pool topology from `canvasctl list-servers`
 //                    (default single)
+//   --tier=T         hybrid local-tier preset from `canvasctl list-tiers`
+//                    (default none = two-level hierarchy)
 //   --scale=S        workload scale factor (default 0.3)
 //   --ratio=R        local memory fraction of working set (default 0.25)
 //   --seed=N         workload seed (default 7)
@@ -30,6 +33,13 @@
 //   --sim-threads=N  parallel DES engine threads per run (default 1 =
 //                    serial; needs a multi-server topology, results are
 //                    byte-identical either way)
+//   --fault-plan=F   inject faults from a plan file (one directive per
+//                    line, times in microseconds: `blackout START END
+//                    [SERVER]`, `latency START END EXTRA_US [in|out|both]
+//                    [SERVER]`, `tier-latency START END EXTRA_US`,
+//                    `tier-freeze START END`; full grammar in
+//                    src/fault/fault_plan.h); a sweep applies the plan
+//                    to every grid point
 //
 // run-only options:
 //   --format=F       table | csv | json (default table)
@@ -37,6 +47,8 @@
 // sweep-only options (comma-separated lists expand as a full grid):
 //   --systems=A,B    preset axis (overrides --system)
 //   --topologies=T1,T2  server-topology axis (overrides --topology)
+//   --tiers=T1,T2    local-tier axis (overrides --tier; composes with the
+//                    topology axis as a full grid)
 //   --ratios=R1,R2   local-memory-ratio axis (overrides --ratio)
 //   --scales=S1,S2   scale axis (overrides --scale)
 //   --seeds=N1,N2    seed axis (overrides --seed)
@@ -76,6 +88,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -83,9 +96,11 @@
 #include "common/table.h"
 #include "core/experiment.h"
 #include "core/report.h"
+#include "fault/fault_plan.h"
 #include "orchestrator/sweep.h"
 #include "remote/pool.h"
 #include "serving/harness.h"
+#include "tier/tier.h"
 #include "workload/apps.h"
 
 using namespace canvas;
@@ -95,6 +110,7 @@ namespace {
 struct Options {
   std::vector<std::string> systems = {"canvas"};
   std::vector<std::string> topologies = {"single"};
+  std::vector<std::string> tiers = {"none"};
   std::vector<double> ratios = {0.25};
   std::vector<double> scales = {0.3};
   std::vector<std::uint64_t> seeds = {7};
@@ -115,6 +131,8 @@ struct Options {
   double horizon_sec = 2.0;
   serving::SloConfig slo;
   std::vector<serving::TenantSpec> tenants;
+  // run-only: fault-plan file (FaultPlan grammar, times in microseconds)
+  std::string fault_plan_path;
 };
 
 int Usage(FILE* to, int code) {
@@ -132,11 +150,14 @@ int Usage(FILE* to, int code) {
       "       canvasctl list-apps\n"
       "       canvasctl list-systems\n"
       "       canvasctl list-servers\n"
-      "options: --system=NAME --topology=T --ratio=R --scale=S --seed=N\n"
-      "         --format=table|csv|json --no-adaptive --no-horizontal\n"
-      "         --prefetcher=none|readahead|leap|two-tier --sim-threads=N\n"
+      "       canvasctl list-tiers\n"
+      "options: --system=NAME --topology=T --tier=T --ratio=R --scale=S\n"
+      "         --seed=N --format=table|csv|json --no-adaptive\n"
+      "         --no-horizontal --prefetcher=none|readahead|leap|two-tier\n"
+      "         --sim-threads=N --fault-plan=FILE\n"
       "sweep:   --topologies=T1,T2 (server-topology axis; see\n"
-      "         `canvasctl list-servers`) --thread-budget=N\n"
+      "         `canvasctl list-servers`) --tiers=T1,T2 (local-tier axis;\n"
+      "         see `canvasctl list-tiers`) --thread-budget=N\n"
       "serve:   tenant mods are `be` (best-effort) and `load` (arrival\n"
       "         axis target), joined with '+': e.g. frontend:150000:load\n");
   return code;
@@ -178,6 +199,8 @@ bool ParseCommon(const std::string& arg, Options& opt) {
     opt.systems = {value("--system=")};
   } else if (arg.rfind("--topology=", 0) == 0) {
     opt.topologies = {value("--topology=")};
+  } else if (arg.rfind("--tier=", 0) == 0) {
+    opt.tiers = {value("--tier=")};
   } else if (arg.rfind("--ratio=", 0) == 0) {
     opt.ratios = {std::atof(value("--ratio=").c_str())};
   } else if (arg.rfind("--scale=", 0) == 0) {
@@ -197,6 +220,8 @@ bool ParseCommon(const std::string& arg, Options& opt) {
   } else if (arg.rfind("--sim-threads=", 0) == 0) {
     opt.sim_threads =
         std::max(1u, unsigned(std::atoi(value("--sim-threads=").c_str())));
+  } else if (arg.rfind("--fault-plan=", 0) == 0) {
+    opt.fault_plan_path = value("--fault-plan=");
   } else if (arg == "--no-adaptive") {
     opt.overrides.adaptive_alloc = false;
   } else if (arg == "--no-horizontal") {
@@ -207,6 +232,20 @@ bool ParseCommon(const std::string& arg, Options& opt) {
   return true;
 }
 
+/// Load the fault plan named by --fault-plan= (exit 2 on parse errors);
+/// returns null when the option was not given.
+std::shared_ptr<const fault::FaultPlan> ResolvePlan(const Options& opt) {
+  if (opt.fault_plan_path.empty()) return nullptr;
+  std::string err;
+  auto plan = fault::FaultPlan::LoadFile(opt.fault_plan_path, &err);
+  if (!plan) {
+    std::fprintf(stderr, "bad fault plan '%s': %s\n",
+                 opt.fault_plan_path.c_str(), err.c_str());
+    std::exit(2);
+  }
+  return std::make_shared<const fault::FaultPlan>(std::move(*plan));
+}
+
 bool ParseSweepOnly(const std::string& arg, Options& opt) {
   auto value = [&](const char* prefix) {
     return arg.substr(std::strlen(prefix));
@@ -215,6 +254,8 @@ bool ParseSweepOnly(const std::string& arg, Options& opt) {
     opt.systems = SplitCommas(value("--systems="));
   } else if (arg.rfind("--topologies=", 0) == 0) {
     opt.topologies = SplitCommas(value("--topologies="));
+  } else if (arg.rfind("--tiers=", 0) == 0) {
+    opt.tiers = SplitCommas(value("--tiers="));
   } else if (arg.rfind("--ratios=", 0) == 0) {
     opt.ratios.clear();
     for (const std::string& v : SplitCommas(value("--ratios=")))
@@ -358,10 +399,29 @@ remote::PoolConfig ResolveTopology(const std::string& name) {
   }
 }
 
+int ListTiers() {
+  TablePrinter t({"name", "description"});
+  for (const auto& [name, description] : tier::TierConfig::ListTiers())
+    t.AddRow({name, description});
+  t.Print();
+  return 0;
+}
+
+tier::TierConfig ResolveTier(const std::string& name) {
+  try {
+    return tier::TierConfig::FromName(name);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s (see `canvasctl list-tiers`)\n", e.what());
+    std::exit(2);
+  }
+}
+
 int RunOne(const Options& opt) {
   auto cfg = ResolveSystem(opt.systems.front(), opt.overrides);
   cfg.remote = ResolveTopology(opt.topologies.front());
+  cfg.tier = ResolveTier(opt.tiers.front());
   cfg.sim_threads = opt.sim_threads;
+  if (auto plan = ResolvePlan(opt)) cfg.fault_plan = std::move(plan);
   core::ExperimentSpec spec;
   spec.config = cfg;
   for (auto& [name, cores] : opt.apps) {
@@ -417,6 +477,7 @@ int RunSweep(const Options& opt) {
   orchestrator::ScenarioSpec scenario;
   scenario.systems = opt.systems;
   scenario.topologies = opt.topologies;
+  scenario.tiers = opt.tiers;
   scenario.overrides = opt.overrides;
   scenario.ratios = opt.ratios;
   scenario.scales = opt.scales;
@@ -428,9 +489,10 @@ int RunSweep(const Options& opt) {
     b.cores = cores;
     scenario.apps.push_back(std::move(b));
   }
-  // Validate preset + topology names before spinning up the pool.
+  // Validate preset + topology + tier names before spinning up the pool.
   for (const std::string& s : scenario.systems) ResolveSystem(s, {});
   for (const std::string& t : scenario.topologies) ResolveTopology(t);
+  for (const std::string& t : scenario.tiers) ResolveTier(t);
 
   orchestrator::SweepOptions sweep_opts;
   sweep_opts.jobs = opt.jobs;
@@ -439,7 +501,12 @@ int RunSweep(const Options& opt) {
   sweep_opts.cancel_on_failure = opt.cancel_on_failure;
   sweep_opts.progress = opt.progress;
   orchestrator::SweepEngine engine(sweep_opts);
-  auto result = engine.Run(scenario);
+  // A --fault-plan applies to every grid point: stamp the expanded specs
+  // (labels are untouched — the plan is not a sweep axis).
+  std::vector<orchestrator::RunSpec> specs = scenario.Expand();
+  if (auto plan = ResolvePlan(opt))
+    for (orchestrator::RunSpec& r : specs) r.exp.config.fault_plan = plan;
+  auto result = engine.Run(std::move(specs));
 
   if (!opt.out.empty()) {
     std::ofstream os(opt.out);
@@ -569,6 +636,7 @@ int main(int argc, char** argv) {
   if (cmd == "list-apps" || cmd == "--list") return ListApps();
   if (cmd == "list-systems") return ListSystems();
   if (cmd == "list-servers") return ListServers();
+  if (cmd == "list-tiers") return ListTiers();
   if (cmd == "run") return ParseAndRun(argc, argv, 2, /*sweep=*/false);
   if (cmd == "sweep") return ParseAndRun(argc, argv, 2, /*sweep=*/true);
   if (cmd == "serve") return ParseAndRunServe(argc, argv, 2);

@@ -20,12 +20,13 @@ cmake --build "$BUILD" -j"$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS"
 
 # Sanitized pass over the fault + trace + orchestrator + remote + serving
-# suites (ctest labels): the chaos/property tests drive the retry/failover
-# paths where request-lifetime bugs would hide, the trace suite exercises
-# the ring and exporters, the orchestrator suite runs multi-threaded
-# sweeps, the remote suite churns slab migration/eviction under
-# harvesting, and the serving suite runs the open-loop QoS plane, so they
-# always also run under ASan+UBSan. Skipped when the main build is
+# + tier suites (ctest labels): the chaos/property tests drive the
+# retry/failover paths where request-lifetime bugs would hide, the trace
+# suite exercises the ring and exporters, the orchestrator suite runs
+# multi-threaded sweeps, the remote suite churns slab migration/eviction
+# under harvesting, the serving suite runs the open-loop QoS plane, and
+# the tier suite promotes/demotes pages across the hybrid local tier, so
+# they always also run under ASan+UBSan. Skipped when the main build is
 # already sanitized.
 if [ -z "${CANVAS_SANITIZE:-}" ] && [ "${CANVAS_NO_ASAN_FAULT:-0}" != "1" ]; then
   SAN_BUILD="${SAN_BUILD_DIR:-$ROOT/build-asan}"
@@ -33,8 +34,9 @@ if [ -z "${CANVAS_SANITIZE:-}" ] && [ "${CANVAS_NO_ASAN_FAULT:-0}" != "1" ]; the
   cmake --build "$SAN_BUILD" -j"$JOBS" \
     --target fault_injection_test fault_property_test trace_test \
              orchestrator_test remote_test serving_test workload_test \
-             parallel_test
-  ctest --test-dir "$SAN_BUILD" -L 'fault|trace|orchestrator|remote|serving' \
+             parallel_test tier_test
+  ctest --test-dir "$SAN_BUILD" \
+    -L 'fault|trace|orchestrator|remote|serving|tier' \
     --output-on-failure -j"$JOBS"
 fi
 
@@ -44,17 +46,18 @@ fi
 # atomics (labels `sim` / `parallel` / `determinism`, which also pull in
 # the serial-vs-parallel byte-identity differentials), and the serving
 # suite (label `serving`) adds the open-loop QoS differentials plus
-# multi-job serving sweeps. TSan cannot be combined with ASan — separate
-# build. CANVAS_NO_TSAN=1 skips it.
+# multi-job serving sweeps, and the tier suite (label `tier`) adds the
+# tiered serial-vs-parallel byte-identity differentials. TSan cannot be
+# combined with ASan — separate build. CANVAS_NO_TSAN=1 skips it.
 if [ -z "${CANVAS_SANITIZE:-}" ] && [ "${CANVAS_NO_TSAN:-0}" != "1" ]; then
   TSAN_BUILD="${TSAN_BUILD_DIR:-$ROOT/build-tsan}"
   cmake -B "$TSAN_BUILD" -S "$ROOT" -DCANVAS_SANITIZE=thread
   cmake --build "$TSAN_BUILD" -j"$JOBS" \
     --target orchestrator_test parallel_test sim_test determinism_test \
              fault_injection_test trace_test remote_test serving_test \
-             workload_test
+             workload_test tier_test
   ctest --test-dir "$TSAN_BUILD" \
-    -L 'orchestrator|sim|parallel|determinism|serving' \
+    -L 'orchestrator|sim|parallel|determinism|serving|tier' \
     --output-on-failure -j"$JOBS"
 fi
 
@@ -69,14 +72,18 @@ CANVAS_SWEEP_JSON="${CANVAS_SWEEP_JSON:-$BUILD/BENCH_sweep.json}" \
   "$BUILD/bench/sweep_bench" "${HARNESS_ARGS[@]:-}"
 
 # Remote memory-server pool benchmark: placement policies under harvest
-# churn, with hard checks (deterministic reports, slab-table audit, zero
-# stale reads, p2c beating first-fit on placement imbalance).
+# churn plus the tiered-topology blackout comparison, with hard checks
+# (deterministic reports, slab-table audit, zero stale reads, p2c beating
+# first-fit on placement imbalance, tier failover latency strictly below
+# failover-to-disk).
 CANVAS_REMOTE_JSON="${CANVAS_REMOTE_JSON:-$BUILD/BENCH_remote.json}" \
   "$BUILD/bench/remote_pool" "${HARNESS_ARGS[@]:-}"
 
 # Online-serving tail-latency benchmark: {poisson, flash} x {pool4,
-# pool4-harvest} with the QoS plane on vs observe-only, with hard checks
-# (all runs ok, QoS never worse than observe-only, levers engaged).
+# pool4-harvest} with the QoS plane on vs observe-only, plus fault-plan
+# grid points (blackout + latency spike on the harvested topology), with
+# hard checks (all runs ok, QoS never worse than observe-only — healthy
+# and faulted — levers engaged, frontend served throughout the fault).
 CANVAS_SERVING_JSON="${CANVAS_SERVING_JSON:-$BUILD/BENCH_serving.json}" \
   "$BUILD/bench/serving_bench" "${HARNESS_ARGS[@]:-}"
 

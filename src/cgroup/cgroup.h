@@ -33,12 +33,18 @@ struct CgroupSpec {
 
 /// Which backend the cgroup's swap-outs currently target (DESIGN.md §8).
 /// Healthy cgroups write to remote memory; after sustained RDMA failure
-/// the swap system fails the cgroup over to the simulated local disk, and
-/// back once the fabric recovers.
-enum class SwapBackend : std::uint8_t { kRemote, kLocalDisk };
+/// the swap system fails the cgroup over to the hybrid local tier when one
+/// is configured (DESIGN.md §14) — the graceful middle stop — else to the
+/// simulated local disk, and back once the fabric recovers.
+enum class SwapBackend : std::uint8_t { kRemote, kLocalDisk, kLocalTier };
 
 inline const char* SwapBackendName(SwapBackend b) {
-  return b == SwapBackend::kRemote ? "remote" : "local-disk";
+  switch (b) {
+    case SwapBackend::kRemote: return "remote";
+    case SwapBackend::kLocalDisk: return "local-disk";
+    case SwapBackend::kLocalTier: return "local-tier";
+  }
+  return "?";
 }
 
 /// Runtime accounting for one cgroup.

@@ -16,6 +16,7 @@
 #include "sched/timeliness.h"
 #include "swapalloc/partition.h"
 #include "swapalloc/reservation.h"
+#include "tier/tier.h"
 #include "trace/trace.h"
 
 namespace canvas::core {
@@ -87,6 +88,13 @@ struct SystemConfig {
   /// single-infinite-server fast path, byte-identical to pre-pool builds;
   /// see remote::PoolConfig::FromName for the preset registry.
   remote::PoolConfig remote;
+
+  // --- hybrid local tier (DESIGN.md §14) ---
+  /// CXL/NVM-class slow-memory layer between DRAM and the remote pool. The
+  /// default (capacity 0) disables the subsystem; output is then
+  /// byte-identical to pre-tier builds. See tier::TierConfig::FromName for
+  /// the preset registry ("none", "cxl", "nvm").
+  tier::TierConfig tier;
 
   // --- parallel DES engine (DESIGN.md §12) ---
   /// Worker threads for one simulation run. 1 (default) = the serial

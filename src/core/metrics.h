@@ -45,11 +45,23 @@ struct AppMetrics {
   std::uint64_t disk_swapouts = 0;    ///< writebacks absorbed by the disk
   std::uint64_t stale_reads = 0;      ///< content-version oracle violations
 
+  // --- hybrid local tier (DESIGN.md §14; all zero with the tier off) ---
+  std::uint64_t tier_swapins = 0;    ///< swap-ins served from the tier
+  std::uint64_t tier_swapouts = 0;   ///< writebacks absorbed by the tier
+  std::uint64_t tier_promotions = 0; ///< hot pages copied into the tier
+  std::uint64_t tier_demotions = 0;  ///< cold pages written out to remote
+  std::uint64_t tier_rejects = 0;    ///< admissions refused (capacity/quota)
+  std::uint64_t tier_failovers = 0;  ///< remote -> local-tier transitions
+
   /// End-to-end fault stall latency distribution (one sample per fault
   /// episode, nanoseconds). Log-bucketed and always on — the report's
   /// p50/p90/p99/p999 columns come from here, independent of the trace
   /// ring toggle so reports stay byte-identical with tracing on or off.
   trace::LogHistogram fault_latency;
+
+  /// Demand swap-in latency of tier-served fetches (ns, always on like
+  /// fault_latency; empty with the tier off so reports stay byte-identical).
+  trace::LogHistogram tier_latency;
 
   std::uint64_t allocations = 0;       ///< allocator (lock-path) calls
   std::uint64_t lockfree_swapouts = 0; ///< served by a reserved entry

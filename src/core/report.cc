@@ -20,6 +20,12 @@ const char* kCsvHeader =
     // byte-identical whether or not the trace ring is enabled.
     "fault_p50_ns,fault_p90_ns,fault_p99_ns,fault_p999_ns";
 
+// Appended to the header only under schema v3 (tier enabled) — v2 output
+// must stay byte-identical to pre-tier builds.
+const char* kTierCsvColumns =
+    ",tier_swapins,tier_swapouts,tier_promotions,tier_demotions,"
+    "tier_rejects,tier_failovers,tier_p50_ns,tier_p99_ns";
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   for (char c : s) {
@@ -33,8 +39,14 @@ std::string JsonEscape(const std::string& s) {
 
 void WriteCsv(std::ostream& os, const SwapSystem& system,
               const std::string& label, bool header) {
-  if (header)
-    os << "# schema: v" << kReportSchemaVersion << '\n' << kCsvHeader << '\n';
+  bool tiered = system.tier() != nullptr;
+  if (header) {
+    os << "# schema: v"
+       << (tiered ? kTierReportSchemaVersion : kReportSchemaVersion) << '\n'
+       << kCsvHeader;
+    if (tiered) os << kTierCsvColumns;
+    os << '\n';
+  }
   for (std::size_t i = 0; i < system.app_count(); ++i) {
     const AppMetrics& m = system.metrics(i);
     CgroupId cg = system.cgroup_of(i);
@@ -57,13 +69,22 @@ void WriteCsv(std::ostream& os, const SwapSystem& system,
        << m.fault_latency.Percentile(50) << ','
        << m.fault_latency.Percentile(90) << ','
        << m.fault_latency.Percentile(99) << ','
-       << m.fault_latency.Percentile(99.9) << '\n';
+       << m.fault_latency.Percentile(99.9);
+    if (tiered)
+      os << ',' << m.tier_swapins << ',' << m.tier_swapouts << ','
+         << m.tier_promotions << ',' << m.tier_demotions << ','
+         << m.tier_rejects << ',' << m.tier_failovers << ','
+         << m.tier_latency.Percentile(50) << ','
+         << m.tier_latency.Percentile(99);
+    os << '\n';
   }
 }
 
 void WriteJson(std::ostream& os, const SwapSystem& system,
                const std::string& label) {
-  os << "{\n  \"schema_version\": " << kReportSchemaVersion << ",\n"
+  os << "{\n  \"schema_version\": "
+     << (system.tier() ? kTierReportSchemaVersion : kReportSchemaVersion)
+     << ",\n"
      << "  \"label\": \"" << JsonEscape(label) << "\",\n"
      << "  \"system\": \"" << JsonEscape(system.config().name) << "\",\n"
      << "  \"wmmr_ingress\": "
@@ -138,6 +159,38 @@ void WriteJson(std::ostream& os, const SwapSystem& system,
          << (s + 1 < servers.size() ? ",\n" : "\n");
     }
     os << "    ]\n  },\n";
+  }
+  // Tier section only when the hybrid local tier is enabled — default
+  // (tier-off) output stays byte-identical to pre-tier builds.
+  if (const tier::TierBackend* t = system.tier()) {
+    trace::LogHistogram tier_merged;
+    std::uint64_t promotions = 0, demotions = 0, tier_failovers = 0;
+    for (std::size_t i = 0; i < system.app_count(); ++i) {
+      const AppMetrics& m = system.metrics(i);
+      tier_merged.Merge(m.tier_latency);
+      promotions += m.tier_promotions;
+      demotions += m.tier_demotions;
+      tier_failovers += m.tier_failovers;
+    }
+    os << "  \"tier\": {\n"
+       << "    \"preset\": \"" << JsonEscape(t->config().name)
+       << "\",\n    \"capacity_pages\": " << t->config().capacity_pages
+       << ",\n    \"used_pages\": " << t->used_pages()
+       << ",\n    \"peak_used_pages\": " << t->peak_used()
+       << ",\n    \"cgroup_quota_pages\": " << t->quota()
+       << ",\n    \"reads\": " << t->reads()
+       << ",\n    \"writes\": " << t->writes()
+       << ",\n    \"admits\": " << t->admits()
+       << ",\n    \"releases\": " << t->releases()
+       << ",\n    \"rejects\": " << t->rejects()
+       << ",\n    \"promotions\": " << promotions
+       << ",\n    \"demotions\": " << demotions
+       << ",\n    \"failovers\": " << tier_failovers
+       << ",\n    \"fetch_p50_ns\": " << tier_merged.Percentile(50)
+       << ",\n    \"fetch_p99_ns\": " << tier_merged.Percentile(99)
+       << ",\n    \"device_p50_ns\": " << t->latency().Percentile(50)
+       << ",\n    \"device_p99_ns\": " << t->latency().Percentile(99)
+       << "\n  },\n";
   }
   os << "  \"apps\": [\n";
   for (std::size_t i = 0; i < system.app_count(); ++i) {

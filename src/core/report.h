@@ -16,6 +16,13 @@ namespace canvas::core {
 /// `"schema_version"` key in every JSON report (experiment and sweep).
 inline constexpr int kReportSchemaVersion = 2;
 
+/// Schema emitted when the hybrid local tier (DESIGN.md §14) is enabled:
+/// the CSV gains tier counter/latency columns and the JSON gains a "tier"
+/// section. Tier-disabled runs keep emitting v2 byte-for-byte — the bump is
+/// deliberate so downstream parsers keyed to v2 fail loudly on tiered
+/// reports instead of silently misreading shifted columns.
+inline constexpr int kTierReportSchemaVersion = 3;
+
 /// Write one CSV row per application with the full metric set. When
 /// `header` is true, a `# schema: vN` comment line plus a header row are
 /// emitted first. `label` tags the run (system name, scenario id, ...).

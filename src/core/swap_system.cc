@@ -1,6 +1,9 @@
 #include "core/swap_system.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "runtime/runtime_info.h"
 
 namespace canvas::core {
 
@@ -129,6 +132,11 @@ SwapSystem::SwapSystem(sim::Simulator& sim, SystemConfig cfg,
     if (!disk_) disk_ = std::make_unique<fault::DiskBackend>(sim_, cfg_.disk);
   }
 
+  // --- hybrid local tier (DESIGN.md §14) ---
+  if (cfg_.tier.enabled())
+    tier_ = std::make_unique<tier::TierBackend>(sim_, cfg_.tier,
+                                                cfg_.fault_plan);
+
   // --- applications ---
   for (std::size_t i = 0; i < specs.size(); ++i) {
     AppSpec& spec = specs[i];
@@ -148,6 +156,15 @@ SwapSystem::SwapSystem(sim::Simulator& sim, SystemConfig cfg,
     for (PageId p = 0; p < app->shared_boundary; ++p)
       app->pages[p].shared = true;
     app->lru = std::make_unique<mem::LruLists>(app->pages);
+    if (tier_) {
+      // Page-group heat summaries for the TierPolicy (Memtrade-style cold
+      // detection over runtime::RuntimeInfo's page groups).
+      std::size_t groups =
+          (app->pages.size() + runtime::RuntimeInfo::kGroupPages - 1) /
+          runtime::RuntimeInfo::kGroupPages;
+      app->group_last_fault.assign(groups, 0);
+      app->group_faults.assign(groups, 0);
+    }
 
     if (cfg_.isolated_partitions) {
       auto own = std::make_unique<swapalloc::SwapPartition>(
@@ -169,6 +186,14 @@ SwapSystem::SwapSystem(sim::Simulator& sim, SystemConfig cfg,
       app->reservation = std::make_unique<swapalloc::ReservationManager>(
           sim_, app->pages, *app->lru, *app->partition,
           cgroups_.Get(app->cg), cfg_.reservation);
+      if (tier_) {
+        // A reservation cancel that drops the entry holding the clean
+        // remote copy must also drop tier residency (single-home
+        // invariant: the resident index never outlives the entry).
+        AppState* a = app.get();
+        app->reservation->SetEntryLostHook(
+            [this, a](mem::Page& p) { ReleaseTierResidency(*a, p); });
+      }
     }
 
     // Threads: globally unique tids, cores packed per application.
@@ -246,6 +271,8 @@ void SwapSystem::Start() {
       KswapdTick(*a);
     });
   }
+  if (tier_)
+    sim_.Schedule(cfg_.tier.policy_period, [this] { TierPolicyTick(); });
   if (tracer_.enabled() && cfg_.trace.sampler) {
     sampler_last_bytes_.assign(apps_.size(), {0.0, 0.0});
     sim_.Schedule(cfg_.trace.sample_period, [this] { SampleTick(); });
@@ -375,6 +402,7 @@ bool SwapSystem::Quiescent() const {
   if (!waiters_.empty()) return false;
   if (nic_ && nic_->pending_retries() != 0) return false;
   if (disk_ && disk_->inflight() != 0) return false;
+  if (tier_ && tier_->inflight() != 0) return false;
   for (const auto& app : apps_) {
     if (!app->frame_waiters.empty()) return false;
     if (app->active_reclaimers != 0) return false;
@@ -450,6 +478,7 @@ void SwapSystem::MarkDirty(AppState& app, mem::Page& p) {
   // reservation, which is exactly what makes the next swap-out lock-free.
   if (p.entry != kInvalidEntry && p.entry != p.reserved) {
     auto& part = PartitionFor(app, p);
+    ReleaseTierResidency(app, p);
     part.meta(p.entry) = swapalloc::EntryMeta{};
     part.allocator().Free(p.entry);
     CgroupFor(app, p).UnchargeRemote();
@@ -465,12 +494,14 @@ void SwapSystem::CheckSwapInOracle(AppState& app, mem::Page& p,
     // The copy just served must carry the content version recorded at the
     // last writeback and must have come from the backend that holds it.
     if (m.content_version != p.content_version ||
-        m.on_disk != r.served_by_disk)
+        m.on_disk != r.served_by_disk || m.on_tier != r.served_by_tier)
       ++app.metrics.stale_reads;
   }
   // A completed remote transfer proves the fabric works again: reset the
-  // cgroup's consecutive-failure streak.
-  if (!r.served_by_disk) cgroups_.Get(app.cg).NoteRemoteSuccess();
+  // cgroup's consecutive-failure streak (tier- and disk-served requests
+  // never touched the fabric, so they prove nothing).
+  if (!r.served_by_disk && !r.served_by_tier)
+    cgroups_.Get(app.cg).NoteRemoteSuccess();
 }
 
 // ---------------------------------------------------------------------------
@@ -505,8 +536,19 @@ void SwapSystem::OnFabricDown(int server) {
     AppState& owner = r->owner_app < apps_.size() ? *apps_[r->owner_app]
                                                   : *apps_.front();
     if (r->op == rdma::Op::kSwapOut) {
-      ++owner.metrics.disk_swapouts;
-      disk_->Submit(std::move(r));
+      // Blackout failover ordering (DESIGN.md §14): the local tier is the
+      // first stop — device latency, not disk latency — with per-request
+      // spill to the disk backstop when it is full, frozen, or over quota.
+      mem::Page& p = owner.pages[r->page];
+      if (tier_ && !p.shared &&
+          tier_->Admit(WaiterKey(owner, r->page), owner.cg)) {
+        ++owner.metrics.tier_swapouts;
+        tier_->Submit(std::move(r));
+      } else {
+        if (tier_ && !p.shared) ++owner.metrics.tier_rejects;
+        ++owner.metrics.disk_swapouts;
+        disk_->Submit(std::move(r));
+      }
     } else if (r->on_drop) {
       // Prefetch: the drop handler unwinds the in-flight page state and
       // rescues any waiters, exactly as a scheduler drop would.
@@ -538,10 +580,18 @@ void SwapSystem::NoteExhausted(AppState& app) {
 }
 
 void SwapSystem::FailoverApp(AppState& app) {
-  if (!disk_) return;
+  if (!disk_ && !tier_) return;
   Cgroup& cg = cgroups_.Get(app.cg);
-  if (cg.backend() == SwapBackend::kLocalDisk) return;
-  cg.SetBackend(SwapBackend::kLocalDisk);
+  if (cg.backend() != SwapBackend::kRemote) return;
+  if (tier_) {
+    // First failover stop (DESIGN.md §14): the tier absorbs redirected
+    // writebacks at slow-memory latency; IssueSwapOut spills individual
+    // rejections to the disk backstop.
+    cg.SetBackend(SwapBackend::kLocalTier);
+    ++app.metrics.tier_failovers;
+  } else {
+    cg.SetBackend(SwapBackend::kLocalDisk);
+  }
   ++app.metrics.failovers;
   tracer_.Instant(std::uint32_t(app.index), trace::kCgroupTrack,
                   trace::Name::kFailover, sim_.Now());
@@ -550,7 +600,7 @@ void SwapSystem::FailoverApp(AppState& app) {
 
 void SwapSystem::FailbackApp(AppState& app) {
   Cgroup& cg = cgroups_.Get(app.cg);
-  if (cg.backend() != SwapBackend::kLocalDisk) return;
+  if (cg.backend() == SwapBackend::kRemote) return;
   cg.SetBackend(SwapBackend::kRemote);
   cg.NoteRemoteSuccess();
   ++app.metrics.failbacks;
@@ -561,7 +611,7 @@ void SwapSystem::FailbackApp(AppState& app) {
 void SwapSystem::ScheduleFailbackProbe(AppState& app) {
   sim_.Schedule(cfg_.recovery.failback_delay, [this, a = &app] {
     Cgroup& cg = cgroups_.Get(a->cg);
-    if (cg.backend() != SwapBackend::kLocalDisk) return;  // already back
+    if (cg.backend() == SwapBackend::kRemote) return;  // already back
     if (injector_ && injector_->ServerDown(sim_.Now())) {
       ScheduleFailbackProbe(*a);  // still dark: probe again later
       return;
@@ -620,7 +670,10 @@ void SwapSystem::OnSlabEvicted(std::uint32_t pid, std::uint64_t lo,
   // 1. The disk is now the copy of record for every entry in the slab
   //    (unwritten entries get overwritten consistently at their first
   //    writeback, which the disk-homed routing sends straight to disk).
-  for (std::uint64_t e = lo; e < hi; ++e) part->meta(e).on_disk = true;
+  //    Tier-resident entries are untouched: their copy of record lives in
+  //    the local tier, not on the harvested server.
+  for (std::uint64_t e = lo; e < hi; ++e)
+    if (!part->meta(e).on_tier) part->meta(e).on_disk = true;
 
   // 2. Redirect page backing, and collect in-flight reads whose remote
   //    completion would now trip the copy-of-record oracle.
@@ -634,6 +687,7 @@ void SwapSystem::OnSlabEvicted(std::uint32_t pid, std::uint64_t lo,
       mem::Page& p = app->pages[i];
       if (p.entry == kInvalidEntry || p.entry < lo || p.entry >= hi) continue;
       if (&PartitionFor(*app, p) != part) continue;
+      if (p.tier_backed) continue;  // the tier copy is unaffected
       p.disk_backed = true;
       if (p.state == mem::PageState::kSwapCache && p.in_flight &&
           !p.under_writeback)
@@ -683,6 +737,169 @@ void SwapSystem::OnSlabEvicted(std::uint32_t pid, std::uint64_t lo,
       PartitionFor(*rs.app, p).meta(p.entry).prefetch_ts = kTimeNever;
     IssueRescueDemand(*rs.app, rs.page);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid local tier: TierPolicy engine (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+void SwapSystem::ReleaseTierResidency(AppState& app, mem::Page& p) {
+  if (!tier_ || !p.tier_backed) return;
+  PageId page = PageId(&p - app.pages.data());
+  tier_->Release(WaiterKey(app, page));
+  p.tier_backed = false;
+}
+
+void SwapSystem::NoteTierHeat(AppState& app, PageId page) {
+  if (!tier_) return;
+  std::uint32_t g = runtime::RuntimeInfo::GroupOf(page);
+  if (g >= app.group_last_fault.size()) return;
+  SimTime now = sim_.Now();
+  // Self-decaying group heat: a fault streak only accumulates while the
+  // gaps stay under cold_age, so "hot" always means *recently* hot.
+  app.group_faults[g] =
+      (app.group_last_fault[g] != 0 &&
+       now - app.group_last_fault[g] <= cfg_.tier.cold_age)
+          ? app.group_faults[g] + 1
+          : 1;
+  app.group_last_fault[g] = now;
+}
+
+void SwapSystem::MaybePromoteToTier(AppState& app, PageId page,
+                                    mem::Page& p) {
+  if (!tier_ || p.shared || p.entry == kInvalidEntry) return;
+  if (p.tier_backed || p.disk_backed) return;
+  std::uint32_t g = runtime::RuntimeInfo::GroupOf(page);
+  bool group_hot = g < app.group_faults.size() &&
+                   app.group_faults[g] >= cfg_.tier.promote_group_faults;
+  bool scan_hot = p.scan_hits >= 2;
+  if (!group_hot && !scan_hot) return;
+  if (!tier_->Admit(WaiterKey(app, page), app.cg)) {
+    ++app.metrics.tier_rejects;
+    return;
+  }
+  // The fetched bytes are in hand (this runs at demand-read completion), so
+  // copying them into the tier is a pure data-state change: the tier
+  // becomes the copy of record at the *same* content version.
+  p.tier_backed = true;
+  auto& m = PartitionFor(app, p).meta(p.entry);
+  m.on_tier = true;
+  m.on_disk = false;
+  ++app.metrics.tier_promotions;
+}
+
+void SwapSystem::TierPolicyTick() {
+  if (AllFinished()) return;  // stop ticking once the co-run drains
+  sim_.Schedule(cfg_.tier.policy_period, [this] { TierPolicyTick(); });
+  SimTime now = sim_.Now();
+  std::uint64_t watermark = std::uint64_t(double(cfg_.tier.capacity_pages) *
+                                          cfg_.tier.demote_watermark);
+  if (tier_->used_pages() <= watermark) return;
+  // Proactive cold-page demotion ahead of eviction (Memtrade-style): scan
+  // the resident index for pages whose page group went cold. FlatMap
+  // iteration is hash-ordered, so collect and sort the keys for a
+  // deterministic scan.
+  std::vector<std::uint64_t> cold;
+  tier_->ForEachResident([&](std::uint64_t key,
+                             const tier::TierBackend::Resident& res) {
+    if (res.demoting) return;
+    if (now - res.admitted < cfg_.tier.cold_age) return;  // admission grace
+    std::size_t ai = std::size_t(key >> 48);
+    if (ai >= apps_.size()) return;
+    AppState& app = *apps_[ai];
+    PageId page = PageId(key & ((std::uint64_t(1) << 48) - 1));
+    std::uint32_t g = runtime::RuntimeInfo::GroupOf(page);
+    SimTime last = g < app.group_last_fault.size() ? app.group_last_fault[g]
+                                                   : 0;
+    if (last != 0 && now - last < cfg_.tier.cold_age) return;  // still warm
+    cold.push_back(key);
+  });
+  std::sort(cold.begin(), cold.end());
+  std::uint32_t issued = 0;
+  for (std::uint64_t key : cold) {
+    if (issued >= cfg_.tier.demote_batch) break;
+    AppState& app = *apps_[std::size_t(key >> 48)];
+    PageId page = PageId(key & ((std::uint64_t(1) << 48) - 1));
+    // Demotion needs the remote path: skip while the cgroup is failed over
+    // (during a blackout the tier *is* the backend — draining it into a
+    // dead fabric would defeat the failover).
+    if (cgroups_.Get(app.cg).backend() != SwapBackend::kRemote) continue;
+    mem::Page& p = app.pages[page];
+    if (!p.tier_backed || p.entry == kInvalidEntry) continue;
+    if (p.in_flight || p.under_writeback) continue;  // busy: next tick
+    // A dirty resident page will rewrite its tier copy at the next
+    // writeback anyway; demoting the stale version buys nothing.
+    if (p.state == mem::PageState::kResident && p.dirty) continue;
+    IssueTierDemotion(app, page);
+    ++issued;
+  }
+}
+
+void SwapSystem::IssueTierDemotion(AppState& app, PageId page) {
+  mem::Page& p = app.pages[page];
+  std::uint64_t key = WaiterKey(app, page);
+  tier::TierBackend::Resident* res = tier_->Find(key);
+  if (!res) return;
+  res->demoting = true;
+  SwapEntryId entry = p.entry;
+  std::uint32_t version = PartitionFor(app, p).meta(entry).content_version;
+  ++app.metrics.tier_demotions;
+  auto req = std::make_unique<rdma::Request>();
+  req->op = rdma::Op::kSwapOut;
+  req->cgroup = app.cg;
+  req->page = page;
+  req->entry = entry;
+  req->owner_app = std::uint32_t(app.index);
+  req->created = sim_.Now();
+  StampPool(app, p, *req, /*place=*/true);
+  req->on_complete = [this, a = &app, page, entry,
+                      version](const rdma::Request& r) {
+    std::uint64_t k = WaiterKey(*a, page);
+    tier::TierBackend::Resident* rr = tier_->Find(k);
+    if (rr) rr->demoting = false;
+    // A blackout drain can bounce the demotion back into the tier itself:
+    // nothing moved, the tier keeps the copy of record.
+    if (r.served_by_tier) {
+      --a->metrics.tier_demotions;
+      return;
+    }
+    mem::Page& pg = a->pages[page];
+    // Re-validate against every race demotion can lose: the residency was
+    // dropped, the entry was freed or re-used, the page was re-dirtied (a
+    // newer version exists), or a fetch/writeback is in flight whose
+    // completion still expects the tier copy. In all cases the tier stays
+    // the copy of record and a later tick may retry.
+    if (!rr || pg.entry != entry || !pg.tier_backed || pg.in_flight ||
+        pg.under_writeback) {
+      --a->metrics.tier_demotions;
+      return;
+    }
+    auto& m = PartitionFor(*a, pg).meta(entry);
+    if (m.content_version != version || !m.on_tier) {
+      --a->metrics.tier_demotions;
+      return;
+    }
+    bool on_disk_now = r.served_by_disk ||
+                       (pool_ && r.partition != rdma::kNoPoolPartition &&
+                        pool_->OnDisk(r.partition, entry));
+    m.on_tier = false;
+    m.on_disk = on_disk_now;
+    pg.tier_backed = false;
+    pg.disk_backed = on_disk_now;
+    tier_->Release(k);
+    if (!r.served_by_disk) cgroups_.Get(a->cg).NoteRemoteSuccess();
+  };
+  if (disk_)
+    req->on_error = [this, a = &app, page](rdma::RequestPtr) {
+      // The remote path gave up: the tier keeps the copy of record; clear
+      // the in-flight mark so a later tick can retry.
+      tier::TierBackend::Resident* rr = tier_->Find(WaiterKey(*a, page));
+      if (rr) rr->demoting = false;
+      --a->metrics.tier_demotions;
+      ++a->metrics.rdma_exhausted;
+      NoteExhausted(*a);
+    };
+  scheduler_->Enqueue(std::move(req));
 }
 
 void SwapSystem::BeginStall(ThreadCtx& th) { th.stall_started = sim_.Now(); }
@@ -919,6 +1136,7 @@ void SwapSystem::MapCachedPage(AppState& app, PageId page) {
     auto& part = PartitionFor(app, p);
     double free_frac = 1.0 - part.allocator().Utilization();
     if (free_frac < cfg_.entry_keep_free_threshold) {
+      ReleaseTierResidency(app, p);
       part.meta(p.entry) = swapalloc::EntryMeta{};
       part.allocator().Free(p.entry);
       CgroupFor(app, p).UnchargeRemote();
@@ -937,6 +1155,7 @@ void SwapSystem::DemandSwapIn(AppState& app, ThreadCtx& th,
                               workload::Access acc,
                               std::function<void()> resume) {
   ++app.metrics.faults_major;
+  NoteTierHeat(app, acc.page);
   prefetch::FaultInfo info{app.cg, acc.page, th.tid, sim_.Now(), false};
   CoreId core = th.core;
   tracer_.Span(std::uint32_t(app.index), ThreadTrack(th),
@@ -976,6 +1195,7 @@ void SwapSystem::DemandSwapIn(AppState& app, ThreadCtx& th,
       req->created = sim_.Now();
       StampPool(*a, pg, *req, /*place=*/false);
       bool from_disk = pg.disk_backed;
+      bool from_tier = pg.tier_backed;
       req->on_complete = [this, a, t, page = acc.page, acc, expected,
                           resume](const rdma::Request& r) {
         if (tracer_.enabled()) {
@@ -995,6 +1215,15 @@ void SwapSystem::DemandSwapIn(AppState& app, ThreadCtx& th,
           return;
         }
         CheckSwapInOracle(*a, pg2, r);
+        if (tier_) {
+          if (r.served_by_tier)
+            // Always-on tier-latency sample (report percentiles, like
+            // fault_latency).
+            a->metrics.tier_latency.Add(std::uint64_t(r.completed -
+                                                      r.created));
+          else if (!r.served_by_disk)
+            MaybePromoteToTier(*a, page, pg2);
+        }
         CacheFor(*a, pg2).Unlock(a->cg, page);
         pg2.in_flight = false;
         sim_.Schedule(cfg_.map_cost, [this, a, t, page, acc, expected,
@@ -1017,7 +1246,12 @@ void SwapSystem::DemandSwapIn(AppState& app, ThreadCtx& th,
           HandleFault(*a, *t, acc, /*retry=*/true, resume);
         });
       };
-      if (disk_ && from_disk) {
+      if (tier_ && from_tier) {
+        // The copy of record lives in the local tier: fetch it at
+        // slow-memory latency, never touching the fabric.
+        ++a->metrics.tier_swapins;
+        tier_->Submit(std::move(req));
+      } else if (disk_ && from_disk) {
         // The current copy lives on the local-disk fallback.
         ++a->metrics.disk_swapins;
         disk_->Submit(std::move(req));
@@ -1041,7 +1275,7 @@ void SwapSystem::IssuePrefetches(AppState& app,
   // is failed over to the disk (no disk prefetch path is modeled); demand
   // traffic keeps the detectors warm for recovery.
   if (injector_ && (injector_->ServerDown(sim_.Now()) ||
-                    cgroups_.Get(app.cg).backend() == SwapBackend::kLocalDisk))
+                    cgroups_.Get(app.cg).backend() != SwapBackend::kRemote))
     return;
   prefetch_buf_.clear();
   prefetcher_->OnFault(info, prefetch_buf_);
@@ -1052,7 +1286,7 @@ void SwapSystem::IssuePrefetches(AppState& app,
     if (cand >= app.pages.size()) continue;
     mem::Page& p = app.pages[cand];
     if (p.state != mem::PageState::kRemote || p.shared) continue;
-    if (p.entry == kInvalidEntry || p.disk_backed) continue;
+    if (p.entry == kInvalidEntry || p.disk_backed || p.tier_backed) continue;
     // Prefetches may transiently overshoot the memory budget by one reclaim
     // batch (kernel watermark slack); background reclaim below pushes the
     // usage back down by evicting LRU pages — prefetched data displacing
@@ -1167,18 +1401,24 @@ void SwapSystem::IssueRescueDemand(AppState& app, PageId page) {
   req->created = sim_.Now();
   StampPool(app, p, *req, /*place=*/false);
   bool from_disk = p.disk_backed;
+  bool from_tier = p.tier_backed;
   req->on_complete = [this, a = &app, page,
                       expected](const rdma::Request& r) {
     mem::Page& pg = a->pages[page];
     if (pg.seq != expected) return;
     if (pg.state != mem::PageState::kSwapCache || !pg.in_flight) return;
     CheckSwapInOracle(*a, pg, r);
+    if (tier_ && r.served_by_tier)
+      a->metrics.tier_latency.Add(std::uint64_t(r.completed - r.created));
     a->cache->Unlock(a->cg, page);
     pg.in_flight = false;
     pg.in_flight_prefetch = false;
     WakeWaiters(*a, page);
   };
-  if (disk_ && from_disk) {
+  if (tier_ && from_tier) {
+    ++app.metrics.tier_swapins;
+    tier_->Submit(std::move(req));
+  } else if (disk_ && from_disk) {
     ++app.metrics.disk_swapins;
     disk_->Submit(std::move(req));
   } else {
@@ -1379,8 +1619,11 @@ void SwapSystem::IssueSwapOut(AppState& app, PageId victim,
   req->owner_app = std::uint32_t(app.index);
   req->created = sim_.Now();
   // Writebacks home the entry's slab: the first swap-out into a slab picks
-  // its server via the placement policy (reads only follow).
-  StampPool(app, p, *req, /*place=*/true);
+  // its server via the placement policy (reads only follow). With a tier
+  // present, placement is deferred until the request actually routes to the
+  // remote path — tier-absorbed writebacks must not home slabs they never
+  // touch.
+  StampPool(app, p, *req, /*place=*/!tier_);
   // The page is writeback-locked until completion, so its content version
   // cannot change under the transfer; record the version the entry's data
   // will carry.
@@ -1397,15 +1640,25 @@ void SwapSystem::IssueSwapOut(AppState& app, PageId victim,
     pg.dirty = false;
     // Where does the data live *now*? A remote writeback whose slab was
     // harvested mid-flight landed on a server that immediately forwarded it
-    // to disk — record the disk as the copy of record in that case.
-    bool on_disk_now = r.served_by_disk ||
-                       (pool_ && r.partition != rdma::kNoPoolPartition &&
-                        pool_->OnDisk(r.partition, entry));
+    // to disk — record the disk as the copy of record in that case. A
+    // tier-served writeback makes the local tier the copy of record.
+    bool on_tier_now = r.served_by_tier;
+    bool on_disk_now = !on_tier_now &&
+                       (r.served_by_disk ||
+                        (pool_ && r.partition != rdma::kNoPoolPartition &&
+                         pool_->OnDisk(r.partition, entry)));
     pg.disk_backed = on_disk_now;
+    pg.tier_backed = on_tier_now;
     auto& m = PartitionFor(*a, pg).meta(entry);
     m.content_version = version;
     m.on_disk = on_disk_now;
-    if (!r.served_by_disk) cgroups_.Get(a->cg).NoteRemoteSuccess();
+    m.on_tier = on_tier_now;
+    if (tier_ && !on_tier_now)
+      // A residency claimed at admission (or left over from an earlier
+      // epoch) whose data landed elsewhere is stale: drop it.
+      tier_->Release(WaiterKey(*a, victim));
+    if (!r.served_by_disk && !r.served_by_tier)
+      cgroups_.Get(a->cg).NoteRemoteSuccess();
     ++a->metrics.swapouts;
     GrantFrames(*a);
     WakeWaiters(*a, victim);  // threads that faulted during writeback
@@ -1417,12 +1670,33 @@ void SwapSystem::IssueSwapOut(AppState& app, PageId victim,
     // The entry's slab is disk-homed (evicted by harvest pressure or a
     // server outage): write straight to the copy of record.
     to_disk = true;
-  if (to_disk) {
+  // Hybrid local tier (DESIGN.md §14): evictions land in the nearest level
+  // first. Under the capacity and per-cgroup quota the tier absorbs the
+  // writeback (proactive demotion keeps headroom); already-resident pages
+  // rewrite their tier copy in place. Disk-homed entries keep their copy of
+  // record on disk, and shared pages stay out (their frames alias across
+  // applications, which the per-app residency key cannot express).
+  bool to_tier = false;
+  if (tier_ && !to_disk && !p.shared) {
+    if (tier_->Admit(WaiterKey(app, victim), app.cg)) {
+      to_tier = true;
+    } else {
+      ++app.metrics.tier_rejects;
+      // Failed over onto the tier and refused: spill to the disk backstop.
+      if (disk_ && cgroups_.Get(app.cg).backend() == SwapBackend::kLocalTier)
+        to_disk = true;
+    }
+  }
+  if (to_tier) {
+    ++app.metrics.tier_swapouts;
+    tier_->Submit(std::move(req));
+  } else if (to_disk) {
     // Failed-over cgroup (or disk-homed slab): writebacks are absorbed by
     // the local disk.
     ++app.metrics.disk_swapouts;
     disk_->Submit(std::move(req));
   } else {
+    if (tier_) StampPool(app, p, *req, /*place=*/true);
     if (disk_)
       req->on_error = [this, a = &app](rdma::RequestPtr r) {
         // The remote path gave up on this writeback; the disk always
@@ -1450,6 +1724,7 @@ std::size_t SwapSystem::StripKeptEntries(AppState& app, std::size_t n) {
     if (p.state == mem::PageState::kResident && !p.dirty &&
         p.entry != kInvalidEntry && p.reserved == kInvalidEntry) {
       auto& part = PartitionFor(app, p);
+      ReleaseTierResidency(app, p);
       part.meta(p.entry) = swapalloc::EntryMeta{};
       part.allocator().Free(p.entry);
       CgroupFor(app, p).UnchargeRemote();

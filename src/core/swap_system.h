@@ -92,6 +92,9 @@ class SwapSystem {
   /// Fault subsystem views (null unless SystemConfig::fault_plan is set).
   const fault::FaultInjector* injector() const { return injector_.get(); }
   const fault::DiskBackend* disk() const { return disk_.get(); }
+  /// Hybrid local tier (DESIGN.md §14); null unless SystemConfig::tier
+  /// names an enabled preset.
+  const tier::TierBackend* tier() const { return tier_.get(); }
   /// Remote memory-server pool (DESIGN.md §11); null unless
   /// SystemConfig::remote names a multi-server topology.
   const remote::ServerPool* pool() const { return pool_.get(); }
@@ -164,6 +167,12 @@ class SwapSystem {
     bool reclaim_retry_scheduled = false;
     PageId strip_cursor = 0;
     std::uint32_t prefetch_inflight = 0;
+    /// Hybrid-tier policy state (sized only when the tier is enabled):
+    /// per-page-group demand-fault heat for Memtrade-style cold detection
+    /// (last fault instant) and hot-promotion (fault count since the group
+    /// last went cold).
+    std::vector<SimTime> group_last_fault;
+    std::vector<std::uint32_t> group_faults;
   };
 
   // --- thread execution ---
@@ -234,6 +243,27 @@ class SwapSystem {
   /// in-flight reads through the incarnation (seq-bump) protocol.
   void OnSlabEvicted(std::uint32_t pid, std::uint64_t lo, std::uint64_t hi);
 
+  // --- hybrid local tier (DESIGN.md §14) ---
+  /// Record a demand fault on `page`'s group for the tier policy's
+  /// promotion/cold-detection heat (no-op with the tier off).
+  void NoteTierHeat(AppState& app, PageId page);
+  /// Hot-page promotion hook, run at remote-served demand completion while
+  /// the fetched data is in hand: if the page's group is fault-hot (or the
+  /// LRU scanner marked the page hot) and the tier admits it, the tier
+  /// becomes the copy of record. Pure data-state change — no new events —
+  /// so tier-disabled runs are untouched.
+  void MaybePromoteToTier(AppState& app, PageId page, mem::Page& p);
+  /// Proactive cold-page demotion scan (root-LP periodic tick): above the
+  /// occupancy watermark, write the coldest tier residents back to the
+  /// remote pool through the normal scheduler path.
+  void TierPolicyTick();
+  /// Demote one tier-resident entry: issue a kSwapOut carrying the tier
+  /// copy's content version; completion re-validates against races (an
+  /// in-flight fetch or a dirtying map aborts the demotion).
+  void IssueTierDemotion(AppState& app, PageId page);
+  /// Drop `p`'s tier residency (entry free / dirtying / strip paths).
+  void ReleaseTierResidency(AppState& app, mem::Page& p);
+
   // --- helpers ---
   swapalloc::SwapPartition& PartitionFor(AppState& app, const mem::Page& p);
   mem::SwapCache& CacheFor(AppState& app, const mem::Page& p);
@@ -278,6 +308,7 @@ class SwapSystem {
   std::unique_ptr<rdma::Nic> nic_;
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<fault::DiskBackend> disk_;
+  std::unique_ptr<tier::TierBackend> tier_;
   std::unique_ptr<remote::ServerPool> pool_;
   std::unique_ptr<rdma::ServerBridge> bridge_;
   /// Partitions indexed by their pool partition id (registration order).

@@ -18,6 +18,7 @@ void DiskBackend::Submit(rdma::RequestPtr req) {
     owned->completed = sim_.Now();
     owned->status = rdma::RequestStatus::kOk;
     --inflight_;
+    latency_hist_.Add(std::uint64_t(owned->completed - owned->created));
     if (owned->on_complete) owned->on_complete(*owned);
   });
 }

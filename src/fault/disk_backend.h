@@ -13,6 +13,7 @@
 
 #include "rdma/request.h"
 #include "sim/simulator.h"
+#include "trace/histogram.h"
 
 namespace canvas::fault {
 
@@ -35,6 +36,11 @@ class DiskBackend {
   std::uint64_t reads() const { return reads_; }
   std::uint64_t writes() const { return writes_; }
   std::uint64_t inflight() const { return inflight_; }
+  /// Submission-to-completion latency distribution (every request, ns).
+  /// Accessor-only — never folded into the standard reports, so report
+  /// bytes are unchanged by its existence (bench failover comparisons read
+  /// it directly).
+  const trace::LogHistogram& latency() const { return latency_hist_; }
 
  private:
   sim::Simulator& sim_;
@@ -43,6 +49,7 @@ class DiskBackend {
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
   std::uint64_t inflight_ = 0;
+  trace::LogHistogram latency_hist_;
 };
 
 }  // namespace canvas::fault

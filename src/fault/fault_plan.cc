@@ -34,6 +34,17 @@ FaultPlan& FaultPlan::AddBlackout(SimTime start, SimTime end, int server) {
   return *this;
 }
 
+FaultPlan& FaultPlan::AddTierLatencySpike(SimTime start, SimTime end,
+                                          SimDuration extra) {
+  tier_latency_.push_back({{start, end}, extra});
+  return *this;
+}
+
+FaultPlan& FaultPlan::AddTierFreeze(SimTime start, SimTime end) {
+  tier_freezes_.push_back({{start, end}});
+  return *this;
+}
+
 namespace {
 
 bool ParseDir(const std::string& tok, int* dir) {
@@ -180,6 +191,16 @@ std::optional<FaultPlan> FaultPlan::Parse(const std::string& text,
         return std::nullopt;
       }
       plan.AddBlackout(start, end, server);
+    } else if (kind == "tier-latency") {
+      double extra_us = 0;
+      if (!(ls >> extra_us) || extra_us < 0) {
+        SetError(err, line_no, line, "bad extra latency");
+        return std::nullopt;
+      }
+      plan.AddTierLatencySpike(start, end,
+                               SimDuration(extra_us * double(kMicrosecond)));
+    } else if (kind == "tier-freeze") {
+      plan.AddTierFreeze(start, end);
     } else {
       SetError(err, line_no, line, "unknown fault kind");
       return std::nullopt;

@@ -82,6 +82,22 @@ struct Blackout {
   int server = kAllServers;
 };
 
+/// Extra fixed latency on the hybrid local tier (DESIGN.md §14) — a busy
+/// CXL switch or NVM media stall. Evaluated by tier::TierBackend as a pure
+/// function of simulated time (no RNG), so tiered fault runs replay
+/// bit-identically.
+struct TierLatencySpike {
+  TimeWindow window;
+  SimDuration extra = 0;
+};
+
+/// The local tier stops admitting new residents for the window (device in
+/// a management/wear-leveling pause). In-tier copies remain readable;
+/// rejected admissions spill to the remote pool or disk.
+struct TierFreeze {
+  TimeWindow window;
+};
+
 class FaultPlan {
  public:
   FaultPlan() = default;
@@ -97,10 +113,14 @@ class FaultPlan {
   FaultPlan& AddQpStall(SimTime start, SimTime end, int dir = kBothDirections,
                         int server = kAllServers);
   FaultPlan& AddBlackout(SimTime start, SimTime end, int server = kAllServers);
+  FaultPlan& AddTierLatencySpike(SimTime start, SimTime end,
+                                 SimDuration extra);
+  FaultPlan& AddTierFreeze(SimTime start, SimTime end);
 
   bool empty() const {
     return latency_.empty() && bandwidth_.empty() && errors_.empty() &&
-           stalls_.empty() && blackouts_.empty();
+           stalls_.empty() && blackouts_.empty() && tier_latency_.empty() &&
+           tier_freezes_.empty();
   }
 
   const std::vector<LatencySpike>& latency_spikes() const { return latency_; }
@@ -110,6 +130,10 @@ class FaultPlan {
   const std::vector<ErrorBurst>& error_bursts() const { return errors_; }
   const std::vector<QpStall>& qp_stalls() const { return stalls_; }
   const std::vector<Blackout>& blackouts() const { return blackouts_; }
+  const std::vector<TierLatencySpike>& tier_latency_spikes() const {
+    return tier_latency_;
+  }
+  const std::vector<TierFreeze>& tier_freezes() const { return tier_freezes_; }
 
   /// Parse the line-oriented config format. Times are microseconds, one
   /// fault per line, '#' starts a comment:
@@ -119,6 +143,8 @@ class FaultPlan {
   ///   error     <start_us> <end_us> <prob>     [demand|prefetch|swapout|all]
   ///   stall     <start_us> <end_us>            [in|out|both] [server=N]
   ///   blackout  <start_us> <end_us>            [server=N]
+  ///   tier-latency <start_us> <end_us> <extra_us>
+  ///   tier-freeze  <start_us> <end_us>
   ///
   /// The optional trailing `server=N` (latency / stall / blackout) targets
   /// memory server N of the remote pool; omitted means every server, so
@@ -139,6 +165,8 @@ class FaultPlan {
   std::vector<ErrorBurst> errors_;
   std::vector<QpStall> stalls_;
   std::vector<Blackout> blackouts_;
+  std::vector<TierLatencySpike> tier_latency_;
+  std::vector<TierFreeze> tier_freezes_;
 };
 
 }  // namespace canvas::fault

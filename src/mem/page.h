@@ -45,6 +45,10 @@ struct Page {
   /// backend (failover path, DESIGN.md §8) instead of remote memory; the
   /// next swap-in must be routed to the disk.
   bool disk_backed = false;
+  /// The page's current remote copy lives in the hybrid local tier
+  /// (DESIGN.md §14); the next swap-in must be routed there. Mutually
+  /// exclusive with disk_backed (single-home invariant).
+  bool tier_backed = false;
 
   /// Swap entry holding the current (or last written) remote copy;
   /// kInvalidEntry if the page has no remote copy.

@@ -29,14 +29,16 @@ std::optional<core::PrefetcherKind> PrefetcherFromName(
 }
 
 std::string RunLabel(const std::string& system, const std::string& topology,
-                     double ratio, double scale, std::uint64_t seed) {
+                     double ratio, double scale, std::uint64_t seed,
+                     const std::string& tier) {
   char buf[160];
   std::snprintf(buf, sizeof(buf), "%s/r%.2f/s%.2f/seed%llu",
                 system.c_str(), ratio, scale, (unsigned long long)seed);
   std::string label = buf;
-  // The default topology stays invisible so pre-pool sweep reports keep
-  // their per-run keys byte-for-byte.
+  // The default topology and tier stay invisible so pre-pool / pre-tier
+  // sweep reports keep their per-run keys byte-for-byte.
   if (topology != "single") label += "/" + topology;
+  if (tier != "none" && !tier.empty()) label += "/" + tier;
   return label;
 }
 
@@ -103,23 +105,28 @@ std::vector<RunSpec> ScenarioSpec::Expand() const {
     for (const std::string& topo : topologies) {
       // Throws std::invalid_argument on an unknown topology name.
       remote::PoolConfig pool = remote::PoolConfig::FromName(topo);
-      for (double ratio : ratios) {
-        for (double scale : scales) {
-          for (std::uint64_t seed : seeds) {
-            RunSpec r;
-            r.index = runs.size();
-            r.label = RunLabel(sys, topo, ratio, scale, seed);
-            r.exp.config = *preset;
-            r.exp.config.remote = pool;
-            r.exp.config.sim_threads = sim_threads ? sim_threads : 1;
-            r.exp.deadline = deadline;
-            r.exp.apps = apps;
-            for (core::AppBuild& b : r.exp.apps) {
-              b.ratio = ratio;
-              b.scale = scale;
-              b.seed = seed;
+      for (const std::string& tier_name : tiers) {
+        // Throws std::invalid_argument on an unknown tier preset.
+        tier::TierConfig tier_cfg = tier::TierConfig::FromName(tier_name);
+        for (double ratio : ratios) {
+          for (double scale : scales) {
+            for (std::uint64_t seed : seeds) {
+              RunSpec r;
+              r.index = runs.size();
+              r.label = RunLabel(sys, topo, ratio, scale, seed, tier_name);
+              r.exp.config = *preset;
+              r.exp.config.remote = pool;
+              r.exp.config.tier = tier_cfg;
+              r.exp.config.sim_threads = sim_threads ? sim_threads : 1;
+              r.exp.deadline = deadline;
+              r.exp.apps = apps;
+              for (core::AppBuild& b : r.exp.apps) {
+                b.ratio = ratio;
+                b.scale = scale;
+                b.seed = seed;
+              }
+              runs.push_back(std::move(r));
             }
-            runs.push_back(std::move(r));
           }
         }
       }

@@ -46,8 +46,8 @@ struct RunSpec {
 };
 
 /// The declarative experiment surface. Axes combine as a full grid in
-/// fixed nesting order: system (outer) -> topology -> ratio -> scale ->
-/// seed (inner).
+/// fixed nesting order: system (outer) -> topology -> tier -> ratio ->
+/// scale -> seed (inner).
 struct ScenarioSpec {
   /// Preset names resolved via SystemConfig::FromName.
   std::vector<std::string> systems = {"canvas"};
@@ -56,6 +56,10 @@ struct ScenarioSpec {
   /// remote::PoolConfig::FromName. The default {"single"} keeps the
   /// single-infinite-server fast path and leaves run labels unchanged.
   std::vector<std::string> topologies = {"single"};
+  /// Hybrid-local-tier axis (DESIGN.md §14), resolved via
+  /// tier::TierConfig::FromName and composing with the topology axis. The
+  /// default {"none"} disables the tier and leaves run labels unchanged.
+  std::vector<std::string> tiers = {"none"};
   /// Co-run template. Each AppBuild's ratio/scale/seed fields are
   /// overwritten by the axis values at expansion; name/cores/threads are
   /// taken as-is.
@@ -71,8 +75,8 @@ struct ScenarioSpec {
   unsigned sim_threads = 1;
 
   std::size_t RunCount() const {
-    return systems.size() * topologies.size() * ratios.size() *
-           scales.size() * seeds.size();
+    return systems.size() * topologies.size() * tiers.size() *
+           ratios.size() * scales.size() * seeds.size();
   }
 
   /// Expand the grid into RunSpecs, index-ordered. Throws
@@ -81,12 +85,14 @@ struct ScenarioSpec {
 };
 
 /// Label for one grid point, e.g. "canvas/r0.25/s0.30/seed7". A
-/// non-default topology is appended as a trailing "/pool4" segment; the
-/// default "single" leaves the label exactly as before, so existing sweep
-/// reports keep their keys. Used both for progress output and as the
-/// stable per-run key in sweep reports.
+/// non-default topology is appended as a trailing "/pool4" segment and a
+/// non-default tier as "/cxl" after it; the defaults ("single", "none")
+/// leave the label exactly as before, so existing sweep reports keep their
+/// keys. Used both for progress output and as the stable per-run key in
+/// sweep reports.
 std::string RunLabel(const std::string& system, const std::string& topology,
-                     double ratio, double scale, std::uint64_t seed);
+                     double ratio, double scale, std::uint64_t seed,
+                     const std::string& tier = "none");
 
 /// Declarative serving-sweep surface (DESIGN.md §13): like ScenarioSpec but
 /// over serving::ServingSpecs, with an arrival-process axis instead of the

@@ -45,6 +45,10 @@ struct EntryMeta {
   /// The entry's data was last written via the local-disk fallback backend;
   /// a swap-in must be served from the disk, not remote memory.
   bool on_disk = false;
+  /// The entry's copy of record lives in the hybrid local tier (DESIGN.md
+  /// §14). Mutually exclusive with on_disk: a page resides in exactly one
+  /// backing level at a time.
+  bool on_tier = false;
 };
 
 class SwapPartition {
@@ -64,6 +68,7 @@ class SwapPartition {
   const SwapEntryAllocator& allocator() const { return *allocator_; }
 
   EntryMeta& meta(SwapEntryId e) { return meta_.at(e); }
+  const EntryMeta& meta(SwapEntryId e) const { return meta_.at(e); }
 
   /// Remote-pool partition id assigned at registration (DESIGN.md §11);
   /// kNoPoolId when the partition is not sharded onto a server pool.

@@ -54,6 +54,7 @@ bool ReservationManager::Cancel(mem::Page& page) {
   if (page.entry == e) {
     // The entry also held the clean remote copy (entry-keeping); losing it
     // means the next eviction must write the page back.
+    if (entry_lost_) entry_lost_(page);
     page.entry = kInvalidEntry;
   }
   partition_.allocator().Free(e);

@@ -15,6 +15,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "cgroup/cgroup.h"
@@ -75,6 +77,14 @@ class ReservationManager {
   /// when the allocator reports a full partition). Returns entries freed.
   std::size_t EmergencyReclaim(std::size_t n);
 
+  /// Hook invoked when a cancel frees the entry that also held the page's
+  /// clean remote copy (`page.entry`), just before the entry is dropped.
+  /// The SwapSystem uses it to release hybrid-tier residency (DESIGN.md
+  /// §14) — the tier's resident index must not outlive the entry.
+  void SetEntryLostHook(std::function<void(mem::Page&)> fn) {
+    entry_lost_ = std::move(fn);
+  }
+
   // --- statistics ---
   std::uint64_t lock_free_swapouts() const { return lock_free_; }
   std::uint64_t removals() const { return removals_; }
@@ -91,6 +101,7 @@ class ReservationManager {
   SwapPartition& partition_;
   Cgroup& cgroup_;
   Config cfg_;
+  std::function<void(mem::Page&)> entry_lost_;
   std::uint32_t generation_ = 0;
   std::int64_t cancel_debt_ = 0;
   PageId emergency_cursor_ = 0;
