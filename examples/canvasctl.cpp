@@ -13,10 +13,24 @@
 //                                               online-serving tail-latency
 //                                               harness (open-loop load,
 //                                               per-tenant SLOs, QoS plane)
+//   canvasctl churn [options] [template[:scale[:weight]] ...]
+//                                               cluster-day tenant churn:
+//                                               trace-driven arrival and
+//                                               departure at thousand-tenant
+//                                               scale (DESIGN.md §15)
 //   canvasctl list-apps                         Table 2 application names
+//   canvasctl list-axes                         every sweep axis + values
 //   canvasctl list-systems                      system presets + aliases
 //   canvasctl list-servers                      server-pool topologies
 //   canvasctl list-tiers                        hybrid local-tier presets
+//
+// Axis flags are unified across run/sweep/serve/churn: every plural form
+// (--systems= --topologies= --tiers= --arrivals= --harvests= --seeds=
+// --ratios= --scales=) is REPEATABLE — the first occurrence replaces the
+// default, later occurrences append — and takes comma-separated lists.
+// The singular forms (--system= --topology= --tier= --arrival= --harvest=
+// --seed= --ratio= --scale=) are deprecated shims for the plural spelling
+// and behave identically.
 //
 // Shared options (run + sweep):
 //   --system=NAME    preset from `canvasctl list-systems` (default canvas)
@@ -98,22 +112,43 @@
 #include "core/report.h"
 #include "fault/fault_plan.h"
 #include "orchestrator/sweep.h"
+#include "remote/harvest.h"
 #include "remote/pool.h"
 #include "serving/harness.h"
 #include "tier/tier.h"
 #include "workload/apps.h"
+#include "workload/churn.h"
 
 using namespace canvas;
 
 namespace {
 
+/// One repeatable axis flag: the first explicit occurrence replaces the
+/// built-in default, later occurrences append — so
+/// `--systems=canvas --systems=linux` equals `--systems=canvas,linux`.
+template <typename T>
+struct Axis {
+  std::vector<T> values;
+  bool set = false;
+
+  Axis(std::initializer_list<T> defaults) : values(defaults) {}
+  void Add(std::vector<T> items) {
+    if (!set) values.clear();
+    set = true;
+    for (T& v : items) values.push_back(std::move(v));
+  }
+  operator const std::vector<T>&() const { return values; }
+  const T& front() const { return values.front(); }
+};
+
 struct Options {
-  std::vector<std::string> systems = {"canvas"};
-  std::vector<std::string> topologies = {"single"};
-  std::vector<std::string> tiers = {"none"};
-  std::vector<double> ratios = {0.25};
-  std::vector<double> scales = {0.3};
-  std::vector<std::uint64_t> seeds = {7};
+  Axis<std::string> systems = {"canvas"};
+  Axis<std::string> topologies = {"single"};
+  Axis<std::string> tiers = {"none"};
+  Axis<std::string> harvests = {"closed-loop"};
+  Axis<double> ratios = {0.25};
+  Axis<double> scales = {0.3};
+  Axis<std::uint64_t> seeds = {7};
   std::string format = "table";
   orchestrator::FeatureOverrides overrides;
   unsigned sim_threads = 1;  // parallel DES engine threads per run
@@ -126,11 +161,13 @@ struct Options {
   std::string out;
   std::vector<std::pair<std::string, std::uint32_t>> apps;
   // serve-only
-  std::vector<std::string> arrivals = {"poisson"};
+  Axis<std::string> arrivals = {"poisson"};
   bool qos = true;
   double horizon_sec = 2.0;
   serving::SloConfig slo;
   std::vector<serving::TenantSpec> tenants;
+  // churn-only (the horizon is shared with serve via --horizon)
+  workload::ChurnSpec churn;
   // run-only: fault-plan file (FaultPlan grammar, times in microseconds)
   std::string fault_plan_path;
 };
@@ -147,19 +184,30 @@ int Usage(FILE* to, int code) {
       "                       [--horizon=SEC] [--slo-p99-us=N] [--no-qos]\n"
       "                       [sweep execution options]\n"
       "                       [tenant[:rate_rps[:mods]] ...]\n"
-      "       canvasctl list-apps\n"
-      "       canvasctl list-systems\n"
-      "       canvasctl list-servers\n"
-      "       canvasctl list-tiers\n"
+      "       canvasctl churn [--churn-kind=poisson|diurnal|trace]\n"
+      "                       [--rate=PER_SEC] [--mean-lifetime-ms=N]\n"
+      "                       [--max-tenants=N] [--max-concurrent=N]\n"
+      "                       [--horizon=SEC] [--trace=FILE]\n"
+      "                       [--harvests=none,steady,bursty,closed-loop]\n"
+      "                       [sweep execution options]\n"
+      "                       [template[:scale[:weight]] ...]\n"
+      "       canvasctl list-apps | list-axes | list-systems |\n"
+      "                 list-servers | list-tiers\n"
       "options: --system=NAME --topology=T --tier=T --ratio=R --scale=S\n"
       "         --seed=N --format=table|csv|json --no-adaptive\n"
       "         --no-horizontal --prefetcher=none|readahead|leap|two-tier\n"
       "         --sim-threads=N --fault-plan=FILE\n"
-      "sweep:   --topologies=T1,T2 (server-topology axis; see\n"
-      "         `canvasctl list-servers`) --tiers=T1,T2 (local-tier axis;\n"
-      "         see `canvasctl list-tiers`) --thread-budget=N\n"
+      "axes:    every plural flag (--systems= --topologies= --tiers=\n"
+      "         --arrivals= --harvests= --seeds= --ratios= --scales=) is\n"
+      "         repeatable and takes comma lists; values per axis in\n"
+      "         `canvasctl list-axes`. Singular forms are deprecated\n"
+      "         aliases.\n"
+      "sweep:   --jobs=N --max-live=N --thread-budget=N\n"
+      "         --cancel-on-failure --progress --out=F\n"
       "serve:   tenant mods are `be` (best-effort) and `load` (arrival\n"
-      "         axis target), joined with '+': e.g. frontend:150000:load\n");
+      "         axis target), joined with '+': e.g. frontend:150000:load\n"
+      "churn:   templates are app names with optional footprint scale and\n"
+      "         arrival weight, e.g. `memcached:0.02:3 snappy:0.01:1`\n");
   return code;
 }
 
@@ -191,22 +239,69 @@ core::SystemConfig ResolveSystem(const std::string& name,
   return *cfg;
 }
 
+std::vector<double> ParseDoubles(const std::string& s) {
+  std::vector<double> out;
+  for (const std::string& v : SplitCommas(s)) out.push_back(std::atof(v.c_str()));
+  return out;
+}
+
+std::vector<std::uint64_t> ParseU64s(const std::string& s) {
+  std::vector<std::uint64_t> out;
+  for (const std::string& v : SplitCommas(s))
+    out.push_back(std::strtoull(v.c_str(), nullptr, 10));
+  return out;
+}
+
+/// The unified axis surface: plural flags are repeatable comma lists; the
+/// singular spellings are deprecated aliases for the same axis.
+bool ParseAxis(const std::string& arg, Options& opt) {
+  auto value = [&](const char* prefix) {
+    return arg.substr(std::strlen(prefix));
+  };
+  if (arg.rfind("--systems=", 0) == 0) {
+    opt.systems.Add(SplitCommas(value("--systems=")));
+  } else if (arg.rfind("--system=", 0) == 0) {
+    opt.systems.Add(SplitCommas(value("--system=")));
+  } else if (arg.rfind("--topologies=", 0) == 0) {
+    opt.topologies.Add(SplitCommas(value("--topologies=")));
+  } else if (arg.rfind("--topology=", 0) == 0) {
+    opt.topologies.Add(SplitCommas(value("--topology=")));
+  } else if (arg.rfind("--tiers=", 0) == 0) {
+    opt.tiers.Add(SplitCommas(value("--tiers=")));
+  } else if (arg.rfind("--tier=", 0) == 0) {
+    opt.tiers.Add(SplitCommas(value("--tier=")));
+  } else if (arg.rfind("--harvests=", 0) == 0) {
+    opt.harvests.Add(SplitCommas(value("--harvests=")));
+  } else if (arg.rfind("--harvest=", 0) == 0) {
+    opt.harvests.Add(SplitCommas(value("--harvest=")));
+  } else if (arg.rfind("--arrivals=", 0) == 0) {
+    opt.arrivals.Add(SplitCommas(value("--arrivals=")));
+  } else if (arg.rfind("--arrival=", 0) == 0) {
+    opt.arrivals.Add(SplitCommas(value("--arrival=")));
+  } else if (arg.rfind("--ratios=", 0) == 0) {
+    opt.ratios.Add(ParseDoubles(value("--ratios=")));
+  } else if (arg.rfind("--ratio=", 0) == 0) {
+    opt.ratios.Add(ParseDoubles(value("--ratio=")));
+  } else if (arg.rfind("--scales=", 0) == 0) {
+    opt.scales.Add(ParseDoubles(value("--scales=")));
+  } else if (arg.rfind("--scale=", 0) == 0) {
+    opt.scales.Add(ParseDoubles(value("--scale=")));
+  } else if (arg.rfind("--seeds=", 0) == 0) {
+    opt.seeds.Add(ParseU64s(value("--seeds=")));
+  } else if (arg.rfind("--seed=", 0) == 0) {
+    opt.seeds.Add(ParseU64s(value("--seed=")));
+  } else {
+    return false;
+  }
+  return true;
+}
+
 bool ParseCommon(const std::string& arg, Options& opt) {
   auto value = [&](const char* prefix) {
     return arg.substr(std::strlen(prefix));
   };
-  if (arg.rfind("--system=", 0) == 0) {
-    opt.systems = {value("--system=")};
-  } else if (arg.rfind("--topology=", 0) == 0) {
-    opt.topologies = {value("--topology=")};
-  } else if (arg.rfind("--tier=", 0) == 0) {
-    opt.tiers = {value("--tier=")};
-  } else if (arg.rfind("--ratio=", 0) == 0) {
-    opt.ratios = {std::atof(value("--ratio=").c_str())};
-  } else if (arg.rfind("--scale=", 0) == 0) {
-    opt.scales = {std::atof(value("--scale=").c_str())};
-  } else if (arg.rfind("--seed=", 0) == 0) {
-    opt.seeds = {std::strtoull(value("--seed=").c_str(), nullptr, 10)};
+  if (ParseAxis(arg, opt)) {
+    return true;
   } else if (arg.rfind("--format=", 0) == 0) {
     opt.format = value("--format=");
   } else if (arg.rfind("--prefetcher=", 0) == 0) {
@@ -250,25 +345,7 @@ bool ParseSweepOnly(const std::string& arg, Options& opt) {
   auto value = [&](const char* prefix) {
     return arg.substr(std::strlen(prefix));
   };
-  if (arg.rfind("--systems=", 0) == 0) {
-    opt.systems = SplitCommas(value("--systems="));
-  } else if (arg.rfind("--topologies=", 0) == 0) {
-    opt.topologies = SplitCommas(value("--topologies="));
-  } else if (arg.rfind("--tiers=", 0) == 0) {
-    opt.tiers = SplitCommas(value("--tiers="));
-  } else if (arg.rfind("--ratios=", 0) == 0) {
-    opt.ratios.clear();
-    for (const std::string& v : SplitCommas(value("--ratios=")))
-      opt.ratios.push_back(std::atof(v.c_str()));
-  } else if (arg.rfind("--scales=", 0) == 0) {
-    opt.scales.clear();
-    for (const std::string& v : SplitCommas(value("--scales=")))
-      opt.scales.push_back(std::atof(v.c_str()));
-  } else if (arg.rfind("--seeds=", 0) == 0) {
-    opt.seeds.clear();
-    for (const std::string& v : SplitCommas(value("--seeds=")))
-      opt.seeds.push_back(std::strtoull(v.c_str(), nullptr, 10));
-  } else if (arg.rfind("--jobs=", 0) == 0) {
+  if (arg.rfind("--jobs=", 0) == 0) {
     opt.jobs = unsigned(std::atoi(value("--jobs=").c_str()));
   } else if (arg.rfind("--max-live=", 0) == 0) {
     opt.max_live = unsigned(std::atoi(value("--max-live=").c_str()));
@@ -291,11 +368,7 @@ bool ParseServeOnly(const std::string& arg, Options& opt) {
   auto value = [&](const char* prefix) {
     return arg.substr(std::strlen(prefix));
   };
-  if (arg.rfind("--arrivals=", 0) == 0) {
-    opt.arrivals = SplitCommas(value("--arrivals="));
-  } else if (arg.rfind("--arrival=", 0) == 0) {
-    opt.arrivals = {value("--arrival=")};
-  } else if (arg.rfind("--horizon=", 0) == 0) {
+  if (arg.rfind("--horizon=", 0) == 0) {
     opt.horizon_sec = std::atof(value("--horizon=").c_str());
   } else if (arg.rfind("--slo-p99-us=", 0) == 0) {
     opt.slo.p99_ns = SimTime(std::atof(value("--slo-p99-us=").c_str()) * 1e3);
@@ -347,6 +420,66 @@ bool ParseServeTenant(const std::string& arg, Options& opt) {
     }
   }
   opt.tenants.push_back(std::move(t));
+  return true;
+}
+
+bool ParseChurnOnly(const std::string& arg, Options& opt) {
+  auto value = [&](const char* prefix) {
+    return arg.substr(std::strlen(prefix));
+  };
+  if (arg.rfind("--churn-kind=", 0) == 0) {
+    auto kind = workload::ChurnKindFromName(value("--churn-kind="));
+    if (!kind) {
+      std::fprintf(stderr,
+                   "unknown churn kind '%s' (poisson | diurnal | trace)\n",
+                   value("--churn-kind=").c_str());
+      std::exit(2);
+    }
+    opt.churn.kind = *kind;
+  } else if (arg.rfind("--rate=", 0) == 0) {
+    opt.churn.arrival_rate_per_sec = std::atof(value("--rate=").c_str());
+  } else if (arg.rfind("--mean-lifetime-ms=", 0) == 0) {
+    opt.churn.mean_lifetime =
+        SimDuration(std::atof(value("--mean-lifetime-ms=").c_str()) *
+                    double(kMillisecond));
+  } else if (arg.rfind("--min-lifetime-ms=", 0) == 0) {
+    opt.churn.min_lifetime =
+        SimDuration(std::atof(value("--min-lifetime-ms=").c_str()) *
+                    double(kMillisecond));
+  } else if (arg.rfind("--max-tenants=", 0) == 0) {
+    opt.churn.max_tenants =
+        std::strtoull(value("--max-tenants=").c_str(), nullptr, 10);
+  } else if (arg.rfind("--max-concurrent=", 0) == 0) {
+    opt.churn.max_concurrent =
+        std::strtoull(value("--max-concurrent=").c_str(), nullptr, 10);
+  } else if (arg.rfind("--trace=", 0) == 0) {
+    opt.churn.kind = workload::ChurnKind::kTrace;
+    opt.churn.trace_csv = value("--trace=");
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Template syntax: app[:scale[:weight]] — an arrival-weighted tenant
+// archetype, e.g. `memcached:0.02:3`.
+bool ParseChurnTemplate(const std::string& arg, Options& opt) {
+  workload::TenantTemplate t;
+  auto c1 = arg.find(':');
+  t.app = arg.substr(0, c1);
+  if (t.app.empty()) return false;
+  if (c1 != std::string::npos) {
+    auto c2 = arg.find(':', c1 + 1);
+    t.scale = std::atof(arg.substr(c1 + 1, c2 - c1 - 1).c_str());
+    if (t.scale <= 0) {
+      std::fprintf(stderr, "template '%s': scale must be > 0\n",
+                   t.app.c_str());
+      std::exit(2);
+    }
+    if (c2 != std::string::npos)
+      t.weight = std::atof(arg.substr(c2 + 1).c_str());
+  }
+  opt.churn.templates.push_back(std::move(t));
   return true;
 }
 
@@ -416,10 +549,43 @@ tier::TierConfig ResolveTier(const std::string& name) {
   }
 }
 
+remote::HarvestConfig ResolveHarvest(const std::string& name) {
+  try {
+    return remote::HarvestConfig::FromName(name);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s (see `canvasctl list-axes`)\n", e.what());
+    std::exit(2);
+  }
+}
+
+/// The one place every axis and its value registry is enumerated: each row
+/// is (axis flag, value, description), fed from the same FromName
+/// registries the parsers resolve through.
+int ListAxes() {
+  TablePrinter t({"axis", "value", "description"});
+  for (const core::PresetInfo& p : core::SystemConfig::ListPresets())
+    t.AddRow({"--systems", std::string(p.name), std::string(p.description)});
+  for (const auto& [name, description] : remote::PoolConfig::ListTopologies())
+    t.AddRow({"--topologies", name, description});
+  for (const auto& [name, description] : tier::TierConfig::ListTiers())
+    t.AddRow({"--tiers", name, description});
+  for (const auto& [name, description] : remote::HarvestConfig::ListPresets())
+    t.AddRow({"--harvests", name, description});
+  for (const char* name : {"poisson", "diurnal", "flash"})
+    t.AddRow({"--arrivals", name, "serving arrival process"});
+  for (const char* name : {"poisson", "diurnal", "trace"})
+    t.AddRow({"--churn-kind", name, "tenant arrival generator"});
+  t.Print();
+  return 0;
+}
+
 int RunOne(const Options& opt) {
   auto cfg = ResolveSystem(opt.systems.front(), opt.overrides);
   cfg.remote = ResolveTopology(opt.topologies.front());
   cfg.tier = ResolveTier(opt.tiers.front());
+  // An explicit --harvest overrides the topology preset's own schedule.
+  if (opt.harvests.set)
+    cfg.remote.harvest = ResolveHarvest(opt.harvests.front());
   cfg.sim_threads = opt.sim_threads;
   if (auto plan = ResolvePlan(opt)) cfg.fault_plan = std::move(plan);
   core::ExperimentSpec spec;
@@ -506,6 +672,12 @@ int RunSweep(const Options& opt) {
   std::vector<orchestrator::RunSpec> specs = scenario.Expand();
   if (auto plan = ResolvePlan(opt))
     for (orchestrator::RunSpec& r : specs) r.exp.config.fault_plan = plan;
+  // --harvest applies to every grid point (not a batch-sweep axis; use
+  // `canvasctl churn --harvests=` for the axis form).
+  if (opt.harvests.set) {
+    remote::HarvestConfig harvest = ResolveHarvest(opt.harvests.front());
+    for (orchestrator::RunSpec& r : specs) r.exp.config.remote.harvest = harvest;
+  }
   auto result = engine.Run(std::move(specs));
 
   if (!opt.out.empty()) {
@@ -574,7 +746,12 @@ int RunServe(const Options& opt) {
   sweep_opts.cancel_on_failure = opt.cancel_on_failure;
   sweep_opts.progress = opt.progress;
   orchestrator::SweepEngine engine(sweep_opts);
-  auto result = engine.RunServing(scenario);
+  std::vector<serving::ServingSpec> specs = scenario.Expand();
+  if (opt.harvests.set) {
+    remote::HarvestConfig harvest = ResolveHarvest(opt.harvests.front());
+    for (serving::ServingSpec& s : specs) s.config.remote.harvest = harvest;
+  }
+  auto result = engine.RunServing(std::move(specs));
 
   if (!opt.out.empty()) {
     std::ofstream os(opt.out);
@@ -590,6 +767,71 @@ int RunServe(const Options& opt) {
     result.WriteJson(std::cout);
   }
   return result.all_ok ? 0 : 1;
+}
+
+int RunChurnCmd(const Options& opt) {
+  orchestrator::ChurnScenarioSpec scenario;
+  scenario.systems = opt.systems;
+  scenario.overrides = opt.overrides;
+  scenario.topologies = opt.topologies;
+  scenario.tiers = opt.tiers;
+  scenario.harvests = opt.harvests;
+  scenario.seeds = opt.seeds;
+  scenario.sim_threads = opt.sim_threads;
+  scenario.churn = opt.churn;
+  scenario.churn.horizon = SimDuration(opt.horizon_sec * 1e9);
+  for (const std::string& s : scenario.systems) ResolveSystem(s, {});
+  for (const std::string& t : scenario.topologies) ResolveTopology(t);
+  for (const std::string& t : scenario.tiers) ResolveTier(t);
+  for (const std::string& h : scenario.harvests) ResolveHarvest(h);
+
+  orchestrator::SweepOptions sweep_opts;
+  sweep_opts.jobs = opt.jobs;
+  sweep_opts.max_live = opt.max_live;
+  sweep_opts.thread_budget = opt.thread_budget;
+  sweep_opts.cancel_on_failure = opt.cancel_on_failure;
+  sweep_opts.progress = opt.progress;
+  orchestrator::SweepEngine engine(sweep_opts);
+  orchestrator::ChurnSweepResult result = engine.RunChurn(scenario);
+
+  if (!opt.out.empty()) {
+    std::ofstream os(opt.out);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
+      return 1;
+    }
+    result.WriteJson(os);
+    std::fprintf(stderr, "wrote %s (%zu runs, %u jobs, %.2fs)\n",
+                 opt.out.c_str(), result.runs.size(), result.jobs,
+                 result.wall_sec);
+  } else {
+    result.WriteJson(std::cout);
+  }
+  return result.all_ok ? 0 : 1;
+}
+
+int ParseAndRunChurn(int argc, char** argv, int first_arg) {
+  Options opt;
+  opt.topologies.values = {"pool4"};  // churn pairs with a server pool
+  // Cluster-day defaults: a long horizon with small tenants.
+  opt.horizon_sec = 2.0;
+  for (int i = first_arg; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return Usage(stdout, 0);
+    if (ParseChurnOnly(arg, opt)) continue;
+    if (ParseCommon(arg, opt)) continue;
+    if (ParseSweepOnly(arg, opt)) continue;
+    if (arg.rfind("--horizon=", 0) == 0) {
+      opt.horizon_sec = std::atof(arg.substr(std::strlen("--horizon=")).c_str());
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return Usage(stderr, 2);
+    }
+    ParseChurnTemplate(arg, opt);
+  }
+  return RunChurnCmd(opt);
 }
 
 int ParseAndRunServe(int argc, char** argv, int first_arg) {
@@ -634,12 +876,14 @@ int main(int argc, char** argv) {
   std::string cmd = argv[1];
   if (cmd == "--help" || cmd == "-h" || cmd == "help") return Usage(stdout, 0);
   if (cmd == "list-apps" || cmd == "--list") return ListApps();
+  if (cmd == "list-axes") return ListAxes();
   if (cmd == "list-systems") return ListSystems();
   if (cmd == "list-servers") return ListServers();
   if (cmd == "list-tiers") return ListTiers();
   if (cmd == "run") return ParseAndRun(argc, argv, 2, /*sweep=*/false);
   if (cmd == "sweep") return ParseAndRun(argc, argv, 2, /*sweep=*/true);
   if (cmd == "serve") return ParseAndRunServe(argc, argv, 2);
+  if (cmd == "churn") return ParseAndRunChurn(argc, argv, 2);
   // The flat form `canvasctl [options] app ...` (no subcommand) was
   // deprecated and is now a hard error — fail loudly rather than guessing.
   std::fprintf(stderr,

@@ -20,23 +20,24 @@ cmake --build "$BUILD" -j"$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS"
 
 # Sanitized pass over the fault + trace + orchestrator + remote + serving
-# + tier suites (ctest labels): the chaos/property tests drive the
+# + tier + churn suites (ctest labels): the chaos/property tests drive the
 # retry/failover paths where request-lifetime bugs would hide, the trace
 # suite exercises the ring and exporters, the orchestrator suite runs
 # multi-threaded sweeps, the remote suite churns slab migration/eviction
-# under harvesting, the serving suite runs the open-loop QoS plane, and
-# the tier suite promotes/demotes pages across the hybrid local tier, so
-# they always also run under ASan+UBSan. Skipped when the main build is
-# already sanitized.
+# under harvesting, the serving suite runs the open-loop QoS plane, the
+# tier suite promotes/demotes pages across the hybrid local tier, and the
+# churn suite retires and reaps tenants mid-run (where stale-slot
+# use-after-frees would hide), so they always also run under ASan+UBSan.
+# Skipped when the main build is already sanitized.
 if [ -z "${CANVAS_SANITIZE:-}" ] && [ "${CANVAS_NO_ASAN_FAULT:-0}" != "1" ]; then
   SAN_BUILD="${SAN_BUILD_DIR:-$ROOT/build-asan}"
   cmake -B "$SAN_BUILD" -S "$ROOT" -DCANVAS_SANITIZE=address,undefined
   cmake --build "$SAN_BUILD" -j"$JOBS" \
     --target fault_injection_test fault_property_test trace_test \
              orchestrator_test remote_test serving_test workload_test \
-             parallel_test tier_test
+             parallel_test tier_test churn_test
   ctest --test-dir "$SAN_BUILD" \
-    -L 'fault|trace|orchestrator|remote|serving|tier' \
+    -L 'fault|trace|orchestrator|remote|serving|tier|churn' \
     --output-on-failure -j"$JOBS"
 fi
 
@@ -46,18 +47,20 @@ fi
 # atomics (labels `sim` / `parallel` / `determinism`, which also pull in
 # the serial-vs-parallel byte-identity differentials), and the serving
 # suite (label `serving`) adds the open-loop QoS differentials plus
-# multi-job serving sweeps, and the tier suite (label `tier`) adds the
-# tiered serial-vs-parallel byte-identity differentials. TSan cannot be
-# combined with ASan — separate build. CANVAS_NO_TSAN=1 skips it.
+# multi-job serving sweeps, the tier suite (label `tier`) adds the
+# tiered serial-vs-parallel byte-identity differentials, and the churn
+# suite (label `churn`) races churn sweeps across jobs and engine
+# threads with byte-identity differentials. TSan cannot be combined
+# with ASan — separate build. CANVAS_NO_TSAN=1 skips it.
 if [ -z "${CANVAS_SANITIZE:-}" ] && [ "${CANVAS_NO_TSAN:-0}" != "1" ]; then
   TSAN_BUILD="${TSAN_BUILD_DIR:-$ROOT/build-tsan}"
   cmake -B "$TSAN_BUILD" -S "$ROOT" -DCANVAS_SANITIZE=thread
   cmake --build "$TSAN_BUILD" -j"$JOBS" \
     --target orchestrator_test parallel_test sim_test determinism_test \
              fault_injection_test trace_test remote_test serving_test \
-             workload_test tier_test
+             workload_test tier_test churn_test
   ctest --test-dir "$TSAN_BUILD" \
-    -L 'orchestrator|sim|parallel|determinism|serving|tier' \
+    -L 'orchestrator|sim|parallel|determinism|serving|tier|churn' \
     --output-on-failure -j"$JOBS"
 fi
 
@@ -86,5 +89,13 @@ CANVAS_REMOTE_JSON="${CANVAS_REMOTE_JSON:-$BUILD/BENCH_remote.json}" \
 # and faulted — levers engaged, frontend served throughout the fault).
 CANVAS_SERVING_JSON="${CANVAS_SERVING_JSON:-$BUILD/BENCH_serving.json}" \
   "$BUILD/bench/serving_bench" "${HARNESS_ARGS[@]:-}"
+
+# Cluster-day churn benchmark: ~1000 tenants arrive and depart on a
+# diurnal schedule over {steady, closed-loop} harvests, with hard checks
+# (every tenant retired and reaped, registry slots + RSS bounded by the
+# concurrency high-water mark rather than the admitted count, and
+# byte-identical reports across engine thread counts).
+CANVAS_CLUSTER_JSON="${CANVAS_CLUSTER_JSON:-$BUILD/BENCH_cluster.json}" \
+  "$BUILD/bench/cluster_day" "${HARNESS_ARGS[@]:-}"
 
 echo "check.sh: all green"

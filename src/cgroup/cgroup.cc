@@ -1,5 +1,7 @@
 #include "cgroup/cgroup.h"
 
+#include <algorithm>
+
 namespace canvas {
 
 std::uint64_t Cgroup::MemoryDeficit(std::uint64_t extra) const {
@@ -8,15 +10,44 @@ std::uint64_t Cgroup::MemoryDeficit(std::uint64_t extra) const {
 }
 
 CgroupId CgroupRegistry::Create(CgroupSpec spec) {
+  if (!free_.empty()) {
+    std::pop_heap(free_.begin(), free_.end(), std::greater<CgroupId>());
+    CgroupId id = free_.back();
+    free_.pop_back();
+    groups_[id] = Cgroup(id, std::move(spec));
+    alive_[id] = true;
+    return id;
+  }
   auto id = CgroupId(groups_.size());
   groups_.emplace_back(id, std::move(spec));
+  gens_.push_back(0);
+  alive_.push_back(true);
   return id;
+}
+
+void CgroupRegistry::Retire(CgroupId id) {
+  assert(Alive(id));
+  alive_[id] = false;
+  ++gens_[id];
+  ++retired_total_;
+  free_.push_back(id);
+  std::push_heap(free_.begin(), free_.end(), std::greater<CgroupId>());
 }
 
 Cgroup& CgroupRegistry::Get(CgroupId id) { return groups_.at(id); }
 
 const Cgroup& CgroupRegistry::Get(CgroupId id) const {
   return groups_.at(id);
+}
+
+Cgroup* CgroupRegistry::Resolve(CgroupHandle h) {
+  if (!Alive(h.id) || gens_[h.id] != h.generation) return nullptr;
+  return &groups_[h.id];
+}
+
+const Cgroup* CgroupRegistry::Resolve(CgroupHandle h) const {
+  if (!Alive(h.id) || gens_[h.id] != h.generation) return nullptr;
+  return &groups_[h.id];
 }
 
 }  // namespace canvas

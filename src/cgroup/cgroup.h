@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 
@@ -109,18 +110,59 @@ class Cgroup {
   std::uint32_t consecutive_exhausted_ = 0;
 };
 
+/// Generation-checked reference to a registry slot. Retiring a cgroup bumps
+/// the slot's generation, so a handle held across a retire/reuse cycle
+/// resolves to nullptr instead of silently aliasing the next tenant that
+/// recycled the id.
+struct CgroupHandle {
+  CgroupId id = kInvalidCgroup;
+  std::uint32_t generation = 0;
+};
+
 /// Owns all cgroups of one experiment, including the special shared cgroup.
 /// Deque storage keeps Cgroup references stable across Create() calls
-/// (subsystems hold references for the experiment's lifetime).
+/// (subsystems hold references for a tenant's lifetime).
+///
+/// Tenant lifecycle (DESIGN.md §15): Retire() frees a slot and Create()
+/// reuses the lowest retired slot before growing the deque, so under churn
+/// the slot count tracks the concurrent-tenant high-water mark, not the
+/// total ever created — the property that keeps every per-cgroup table
+/// downstream O(active tenants). Slot reuse is deterministic (lowest id
+/// first), which the swap system relies on to keep its "cgroup id == app
+/// slot" invariant across arrivals and departures.
 class CgroupRegistry {
  public:
   CgroupId Create(CgroupSpec spec);
+  /// Frees `id` for reuse and bumps its generation. The caller must have
+  /// dropped every reference into the slot first; the paired accounting
+  /// asserts are the debug-mode check that charges were unwound.
+  void Retire(CgroupId id);
+
   Cgroup& Get(CgroupId id);
   const Cgroup& Get(CgroupId id) const;
+
+  bool Alive(CgroupId id) const {
+    return id < groups_.size() && alive_[id];
+  }
+  std::uint32_t generation(CgroupId id) const { return gens_.at(id); }
+  CgroupHandle HandleFor(CgroupId id) const { return {id, gens_.at(id)}; }
+  /// nullptr if the slot was retired (or retired-and-reused) since the
+  /// handle was taken.
+  Cgroup* Resolve(CgroupHandle h);
+  const Cgroup* Resolve(CgroupHandle h) const;
+
+  /// Slots ever created (high-water mark, not the live count).
   std::size_t size() const { return groups_.size(); }
+  std::size_t active_count() const { return groups_.size() - free_.size(); }
+  std::uint64_t retired_total() const { return retired_total_; }
 
  private:
   std::deque<Cgroup> groups_;
+  std::deque<std::uint32_t> gens_;
+  std::deque<bool> alive_;
+  /// Retired slots as a min-heap (std::greater) so Create pops the lowest.
+  std::vector<CgroupId> free_;
+  std::uint64_t retired_total_ = 0;
 };
 
 }  // namespace canvas

@@ -37,20 +37,13 @@ std::string JsonEscape(const std::string& s) {
 
 }  // namespace
 
-void WriteCsv(std::ostream& os, const SwapSystem& system,
-              const std::string& label, bool header) {
-  bool tiered = system.tier() != nullptr;
-  if (header) {
-    os << "# schema: v"
-       << (tiered ? kTierReportSchemaVersion : kReportSchemaVersion) << '\n'
-       << kCsvHeader;
-    if (tiered) os << kTierCsvColumns;
-    os << '\n';
-  }
-  for (std::size_t i = 0; i < system.app_count(); ++i) {
-    const AppMetrics& m = system.metrics(i);
-    CgroupId cg = system.cgroup_of(i);
-    os << label << ',' << m.name << ',' << m.finish_time << ','
+namespace {
+
+/// One CSV metrics row (shared by live and retired tenants; the latter pass
+/// their ledger-recorded NIC byte totals).
+void CsvRow(std::ostream& os, const std::string& label, const AppMetrics& m,
+            double ingress_bytes, double egress_bytes, bool tiered) {
+  os << label << ',' << m.name << ',' << m.finish_time << ','
        << m.accesses << ',' << m.faults << ',' << m.faults_major << ','
        << m.faults_minor << ',' << m.faults_minor_prefetched << ','
        << m.first_touches << ',' << m.prefetch_issued << ','
@@ -61,8 +54,7 @@ void WriteCsv(std::ostream& os, const SwapSystem& system,
        << m.lockfree_swapouts << ',' << m.alloc_time << ',' << m.busy_time
        << ',' << m.fault_stall << ',' << m.ContributionPct() << ','
        << m.AccuracyPct() << ','
-       << system.nic().cgroup_bytes(cg, rdma::Direction::kIngress) << ','
-       << system.nic().cgroup_bytes(cg, rdma::Direction::kEgress) << ','
+       << ingress_bytes << ',' << egress_bytes << ','
        << m.rdma_exhausted << ',' << m.demand_reissues << ','
        << m.failovers << ',' << m.failbacks << ',' << m.disk_swapins << ','
        << m.disk_swapouts << ',' << m.stale_reads << ','
@@ -77,13 +69,40 @@ void WriteCsv(std::ostream& os, const SwapSystem& system,
          << m.tier_latency.Percentile(50) << ','
          << m.tier_latency.Percentile(99);
     os << '\n';
+}
+
+int SchemaVersionFor(const SwapSystem& system) {
+  if (system.lifecycle_active()) return kChurnReportSchemaVersion;
+  return system.tier() ? kTierReportSchemaVersion : kReportSchemaVersion;
+}
+
+}  // namespace
+
+void WriteCsv(std::ostream& os, const SwapSystem& system,
+              const std::string& label, bool header) {
+  bool tiered = system.tier() != nullptr;
+  if (header) {
+    os << "# schema: v" << SchemaVersionFor(system) << '\n' << kCsvHeader;
+    if (tiered) os << kTierCsvColumns;
+    os << '\n';
   }
+  for (std::size_t i = 0; i < system.app_count(); ++i) {
+    if (!system.app_alive(i)) continue;  // reaped or shared-cgroup slot
+    CgroupId cg = system.cgroup_of(i);
+    CsvRow(os, label, system.metrics(i),
+           system.nic().cgroup_bytes(cg, rdma::Direction::kIngress),
+           system.nic().cgroup_bytes(cg, rdma::Direction::kEgress), tiered);
+  }
+  // Retired tenants that saw traffic ride along (schema v4); idle arrivals
+  // are elided to keep thousand-tenant churn reports bounded by work done.
+  for (const RetiredAppRecord& r : system.retired())
+    if (r.metrics.accesses > 0)
+      CsvRow(os, label, r.metrics, r.ingress_bytes, r.egress_bytes, tiered);
 }
 
 void WriteJson(std::ostream& os, const SwapSystem& system,
                const std::string& label) {
-  os << "{\n  \"schema_version\": "
-     << (system.tier() ? kTierReportSchemaVersion : kReportSchemaVersion)
+  os << "{\n  \"schema_version\": " << SchemaVersionFor(system)
      << ",\n"
      << "  \"label\": \"" << JsonEscape(label) << "\",\n"
      << "  \"system\": \"" << JsonEscape(system.config().name) << "\",\n"
@@ -118,7 +137,9 @@ void WriteJson(std::ostream& os, const SwapSystem& system,
   // episode in the co-run).
   trace::LogHistogram merged;
   for (std::size_t i = 0; i < system.app_count(); ++i)
-    merged.Merge(system.metrics(i).fault_latency);
+    if (system.app_alive(i)) merged.Merge(system.metrics(i).fault_latency);
+  for (const RetiredAppRecord& r : system.retired())
+    merged.Merge(r.metrics.fault_latency);
   os << "  \"fault_latency\": {\n"
      << "    \"count\": " << merged.count()
      << ",\n    \"p50_ns\": " << merged.Percentile(50)
@@ -166,11 +187,18 @@ void WriteJson(std::ostream& os, const SwapSystem& system,
     trace::LogHistogram tier_merged;
     std::uint64_t promotions = 0, demotions = 0, tier_failovers = 0;
     for (std::size_t i = 0; i < system.app_count(); ++i) {
+      if (!system.app_alive(i)) continue;
       const AppMetrics& m = system.metrics(i);
       tier_merged.Merge(m.tier_latency);
       promotions += m.tier_promotions;
       demotions += m.tier_demotions;
       tier_failovers += m.tier_failovers;
+    }
+    for (const RetiredAppRecord& r : system.retired()) {
+      tier_merged.Merge(r.metrics.tier_latency);
+      promotions += r.metrics.tier_promotions;
+      demotions += r.metrics.tier_demotions;
+      tier_failovers += r.metrics.tier_failovers;
     }
     os << "  \"tier\": {\n"
        << "    \"preset\": \"" << JsonEscape(t->config().name)
@@ -192,9 +220,36 @@ void WriteJson(std::ostream& os, const SwapSystem& system,
        << ",\n    \"device_p99_ns\": " << t->latency().Percentile(99)
        << "\n  },\n";
   }
+  // Tenant lifecycle section (schema v4): present only when churn touched
+  // the run, so classic fixed-tenant reports stay byte-identical.
+  if (system.lifecycle_active()) {
+    os << "  \"lifecycle\": {\n"
+       << "    \"tenants_admitted\": "
+       << system.active_app_count() + system.retired_count()
+       << ",\n    \"active\": " << system.active_app_count()
+       << ",\n    \"active_high_water\": " << system.active_high_water()
+       << ",\n    \"pending_retirements\": "
+       << system.pending_retirements()
+       << ",\n    \"retired\": " << system.retired_count()
+       << ",\n    \"registry_slots\": " << system.cgroups().size()
+       << ",\n    \"registry_retired_total\": "
+       << system.cgroups().retired_total();
+    if (const remote::ServerPool* pool = system.pool())
+      os << ",\n    \"partitions_released\": "
+         << pool->partitions_released()
+         << ",\n    \"slabs_released\": " << pool->slabs_released()
+         << ",\n    \"control_ticks\": " << pool->control_ticks()
+         << ",\n    \"control_harvests\": " << pool->control_harvests()
+         << ",\n    \"control_returns\": " << pool->control_returns()
+         << ",\n    \"occupancy_ewma\": " << pool->occupancy_ewma();
+    os << "\n  },\n";
+  }
   os << "  \"apps\": [\n";
-  for (std::size_t i = 0; i < system.app_count(); ++i) {
-    const AppMetrics& m = system.metrics(i);
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < system.app_count(); ++i)
+    if (system.app_alive(i)) live.push_back(i);
+  for (std::size_t n = 0; n < live.size(); ++n) {
+    const AppMetrics& m = system.metrics(live[n]);
     os << "    {\"name\": \"" << JsonEscape(m.name) << "\", \"finish_ns\": "
        << m.finish_time << ", \"faults\": " << m.faults
        << ", \"faults_major\": " << m.faults_major
@@ -209,9 +264,36 @@ void WriteJson(std::ostream& os, const SwapSystem& system,
        << ", \"fault_p90_ns\": " << m.fault_latency.Percentile(90)
        << ", \"fault_p99_ns\": " << m.fault_latency.Percentile(99)
        << ", \"fault_p999_ns\": " << m.fault_latency.Percentile(99.9) << "}"
-       << (i + 1 < system.app_count() ? ",\n" : "\n");
+       << (n + 1 < live.size() ? ",\n" : "\n");
   }
-  os << "  ]\n}\n";
+  os << "  ]";
+  if (system.lifecycle_active()) {
+    // Retired tenants with traffic (idle arrivals elided — see WriteCsv).
+    std::vector<const RetiredAppRecord*> rows;
+    for (const RetiredAppRecord& r : system.retired())
+      if (r.metrics.accesses > 0) rows.push_back(&r);
+    os << ",\n  \"retired_tenants\": [\n";
+    for (std::size_t n = 0; n < rows.size(); ++n) {
+      const RetiredAppRecord& r = *rows[n];
+      const AppMetrics& m = r.metrics;
+      os << "    {\"name\": \"" << JsonEscape(r.name)
+         << "\", \"cgroup\": " << r.cg
+         << ", \"generation\": " << r.generation
+         << ", \"arrived_ns\": " << r.arrived
+         << ", \"retired_ns\": " << r.retired_at
+         << ", \"accesses\": " << m.accesses
+         << ", \"faults\": " << m.faults
+         << ", \"faults_major\": " << m.faults_major
+         << ", \"swapouts\": " << m.swapouts
+         << ", \"sched_drops\": " << r.sched_drops
+         << ", \"ingress_bytes\": " << r.ingress_bytes
+         << ", \"egress_bytes\": " << r.egress_bytes
+         << ", \"fault_p99_ns\": " << m.fault_latency.Percentile(99)
+         << "}" << (n + 1 < rows.size() ? ",\n" : "\n");
+    }
+    os << "  ]";
+  }
+  os << "\n}\n";
 }
 
 }  // namespace canvas::core

@@ -23,6 +23,13 @@ inline constexpr int kReportSchemaVersion = 2;
 /// reports instead of silently misreading shifted columns.
 inline constexpr int kTierReportSchemaVersion = 3;
 
+/// Schema emitted when tenant churn touched the run (DESIGN.md §15 —
+/// SwapSystem::lifecycle_active()): per-app rows cover tenants still live
+/// plus retired tenants that saw traffic, and the JSON gains a "lifecycle"
+/// section plus a "retired_tenants" array. Churn-free runs keep emitting
+/// v2/v3 byte-for-byte.
+inline constexpr int kChurnReportSchemaVersion = 4;
+
 /// Write one CSV row per application with the full metric set. When
 /// `header` is true, a `# schema: vN` comment line plus a header row are
 /// emitted first. `label` tags the run (system name, scenario id, ...).

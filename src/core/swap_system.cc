@@ -14,6 +14,9 @@ constexpr SimDuration kSpuriousFaultCost = 200;
 /// Pages one direct-reclaim chain evicts before ending (keeps a small
 /// reclaim lookahead per faulting thread, like SWAP_CLUSTER_MAX batching).
 constexpr std::uint32_t kDirectReclaimBudget = 4;
+/// Retirement reap-poll cadence (DESIGN.md §15). Armed only while
+/// retirements are pending, so fixed-tenant runs schedule zero poll events.
+constexpr SimDuration kReapPollPeriod = 50 * kMicrosecond;
 }  // namespace
 
 SwapSystem::SwapSystem(sim::Simulator& sim, SystemConfig cfg,
@@ -27,14 +30,20 @@ SwapSystem::SwapSystem(sim::Simulator& sim, SystemConfig cfg,
     total_cache += spec.cgroup.swap_cache_pages;
   }
 
-  swapalloc::SwapPartition::Config part_cfg;
-  part_cfg.kind = cfg_.allocator;
-  part_cfg.freelist = cfg_.freelist;
-  part_cfg.cluster = cfg_.cluster;
+  part_cfg_.kind = cfg_.allocator;
+  part_cfg_.freelist = cfg_.freelist;
+  part_cfg_.cluster = cfg_.cluster;
+
+  // Churn runs (DESIGN.md §15) construct with zero apps and admit tenants
+  // mid-run; the shared pools then need a non-degenerate floor.
+  if (specs.empty()) {
+    total_entries = 65536;
+    total_cache = 8192;
+  }
 
   if (!cfg_.isolated_partitions) {
     global_partition_ = std::make_unique<swapalloc::SwapPartition>(
-        sim_, "shared", total_entries, part_cfg);
+        sim_, "shared", total_entries, part_cfg_);
   } else {
     // Global partition for shared pages uses the original lock-based
     // allocator (§4 "Handling of Shared Pages").
@@ -137,91 +146,18 @@ SwapSystem::SwapSystem(sim::Simulator& sim, SystemConfig cfg,
     tier_ = std::make_unique<tier::TierBackend>(sim_, cfg_.tier,
                                                 cfg_.fault_plan);
 
-  // --- applications ---
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    AppSpec& spec = specs[i];
-    auto app = std::make_unique<AppState>();
-    app->index = i;
-    app->name = spec.workload.name;
-    app->managed = spec.workload.managed;
-    app->cg = cgroups_.Create(spec.cgroup);
-    assert(app->cg == CgroupId(i));
-    app->runtime = spec.workload.runtime
-                       ? spec.workload.runtime
-                       : std::make_shared<runtime::RuntimeInfo>();
-    app->pages.resize(spec.workload.footprint_pages);
-    app->shared_boundary =
-        PageId(double(spec.workload.footprint_pages) *
-               spec.workload.shared_fraction);
-    for (PageId p = 0; p < app->shared_boundary; ++p)
-      app->pages[p].shared = true;
-    app->lru = std::make_unique<mem::LruLists>(app->pages);
-    if (tier_) {
-      // Page-group heat summaries for the TierPolicy (Memtrade-style cold
-      // detection over runtime::RuntimeInfo's page groups).
-      std::size_t groups =
-          (app->pages.size() + runtime::RuntimeInfo::kGroupPages - 1) /
-          runtime::RuntimeInfo::kGroupPages;
-      app->group_last_fault.assign(groups, 0);
-      app->group_faults.assign(groups, 0);
-    }
-
-    if (cfg_.isolated_partitions) {
-      auto own = std::make_unique<swapalloc::SwapPartition>(
-          sim_, app->name, spec.cgroup.swap_entry_limit, part_cfg);
-      app->partition = own.get();
-      owned_partitions_.push_back(std::move(own));
-    } else {
-      app->partition = global_partition_.get();
-    }
-    if (cfg_.isolated_caches) {
-      auto own = std::make_unique<mem::SwapCache>(
-          app->name, spec.cgroup.swap_cache_pages);
-      app->cache = own.get();
-      owned_caches_.push_back(std::move(own));
-    } else {
-      app->cache = global_cache_.get();
-    }
-    if (cfg_.adaptive_alloc && cfg_.isolated_partitions) {
-      app->reservation = std::make_unique<swapalloc::ReservationManager>(
-          sim_, app->pages, *app->lru, *app->partition,
-          cgroups_.Get(app->cg), cfg_.reservation);
-      if (tier_) {
-        // A reservation cancel that drops the entry holding the clean
-        // remote copy must also drop tier residency (single-home
-        // invariant: the resident index never outlives the entry).
-        AppState* a = app.get();
-        app->reservation->SetEntryLostHook(
-            [this, a](mem::Page& p) { ReleaseTierResidency(*a, p); });
-      }
-    }
-
-    // Threads: globally unique tids, cores packed per application.
-    CoreId base_core = next_core_;
-    std::uint32_t cores = std::max<std::uint32_t>(spec.cgroup.cores, 1);
-    next_core_ += cores;
-    for (std::size_t t = 0; t < spec.workload.threads.size(); ++t) {
-      ThreadCtx th;
-      th.tid = next_tid_++;
-      th.core = base_core + CoreId(t % cores);
-      th.stream = spec.workload.threads[t].get();
-      app->threads.push_back(th);
-      auto kind = t < spec.workload.thread_kinds.size()
-                      ? spec.workload.thread_kinds[t]
-                      : runtime::ThreadKind::kApplication;
-      app->runtime->RegisterThread(th.tid, kind);
-    }
-    owned_streams_.push_back(std::move(spec.workload.threads));
-    for (auto& k : spec.workload.keepalive)
-      owned_keepalive_.push_back(std::move(k));
-
-    app->metrics.name = app->name;
-    if (two_tier_)
-      two_tier_->RegisterApp(app->cg, app->runtime.get(), app->managed);
-    if (two_dim_)
-      two_dim_->RegisterCgroup(app->cg, spec.cgroup.rdma_weight);
-    apps_.push_back(std::move(app));
+  // Shard the shared partition onto the server pool first so its pool id
+  // is 0 and per-app partitions take 1..N in admission order — the same
+  // deterministic placement stream as before, now compatible with mid-run
+  // tenant admission (AddApp registers per-app partitions itself).
+  if (pool_) {
+    global_partition_->set_pool_id(
+        pool_->RegisterPartition(global_partition_->capacity()));
+    pool_partitions_.push_back(global_partition_.get());
   }
+
+  // --- applications ---
+  for (auto& spec : specs) AddApp(std::move(spec));
 
   CgroupSpec shared_spec;
   shared_spec.name = "cgroup-shared";
@@ -229,18 +165,113 @@ SwapSystem::SwapSystem(sim::Simulator& sim, SystemConfig cfg,
   shared_spec.swap_entry_limit = global_partition_->capacity();
   shared_cg_ = cgroups_.Create(shared_spec);
   if (two_dim_) two_dim_->RegisterCgroup(shared_cg_, 1.0);
+}
 
-  // Shard every partition onto the server pool at slab granularity. Ids are
-  // assigned in creation order (shared first, then per-app) so the placement
-  // stream is deterministic across runs.
-  if (pool_) {
-    auto shard = [this](swapalloc::SwapPartition& part) {
-      part.set_pool_id(pool_->RegisterPartition(part.capacity()));
-      pool_partitions_.push_back(&part);
-    };
-    shard(*global_partition_);
-    for (auto& own : owned_partitions_) shard(*own);
+std::size_t SwapSystem::AddApp(AppSpec spec) {
+  // Slot assignment mirrors CgroupRegistry id reuse (lowest retired slot
+  // first), preserving the "cgroup id == app index" invariant under churn.
+  CgroupId cg = cgroups_.Create(spec.cgroup);
+  std::size_t idx = std::size_t(cg);
+  if (apps_.size() <= idx) apps_.resize(idx + 1);
+  assert(!apps_[idx]);
+
+  auto app = std::make_unique<AppState>();
+  app->index = idx;
+  app->name = spec.workload.name;
+  app->managed = spec.workload.managed;
+  app->cg = cg;
+  app->arrived = sim_.Now();
+  app->runtime = spec.workload.runtime
+                     ? spec.workload.runtime
+                     : std::make_shared<runtime::RuntimeInfo>();
+  app->pages.resize(spec.workload.footprint_pages);
+  app->shared_boundary = PageId(double(spec.workload.footprint_pages) *
+                                spec.workload.shared_fraction);
+  for (PageId p = 0; p < app->shared_boundary; ++p)
+    app->pages[p].shared = true;
+  app->lru = std::make_unique<mem::LruLists>(app->pages);
+  if (tier_) {
+    // Page-group heat summaries for the TierPolicy (Memtrade-style cold
+    // detection over runtime::RuntimeInfo's page groups).
+    std::size_t groups =
+        (app->pages.size() + runtime::RuntimeInfo::kGroupPages - 1) /
+        runtime::RuntimeInfo::kGroupPages;
+    app->group_last_fault.assign(groups, 0);
+    app->group_faults.assign(groups, 0);
   }
+
+  if (cfg_.isolated_partitions) {
+    app->owned_partition = std::make_unique<swapalloc::SwapPartition>(
+        sim_, app->name, spec.cgroup.swap_entry_limit, part_cfg_);
+    app->partition = app->owned_partition.get();
+  } else {
+    app->partition = global_partition_.get();
+  }
+  if (cfg_.isolated_caches) {
+    app->owned_cache = std::make_unique<mem::SwapCache>(
+        app->name, spec.cgroup.swap_cache_pages);
+    app->cache = app->owned_cache.get();
+  } else {
+    app->cache = global_cache_.get();
+  }
+  if (cfg_.adaptive_alloc && cfg_.isolated_partitions) {
+    app->reservation = std::make_unique<swapalloc::ReservationManager>(
+        sim_, app->pages, *app->lru, *app->partition, cgroups_.Get(app->cg),
+        cfg_.reservation);
+    if (tier_) {
+      // A reservation cancel that drops the entry holding the clean
+      // remote copy must also drop tier residency (single-home
+      // invariant: the resident index never outlives the entry).
+      AppState* a = app.get();
+      app->reservation->SetEntryLostHook(
+          [this, a](mem::Page& p) { ReleaseTierResidency(*a, p); });
+    }
+  }
+
+  // Threads: globally unique tids (never recycled), cores packed per
+  // application. Streams move into the tenant so reaping frees them.
+  app->streams = std::move(spec.workload.threads);
+  CoreId base_core = next_core_;
+  std::uint32_t cores = std::max<std::uint32_t>(spec.cgroup.cores, 1);
+  next_core_ += cores;
+  for (std::size_t t = 0; t < app->streams.size(); ++t) {
+    ThreadCtx th;
+    th.tid = next_tid_++;
+    th.core = base_core + CoreId(t % cores);
+    th.stream = app->streams[t].get();
+    app->threads.push_back(th);
+    auto kind = t < spec.workload.thread_kinds.size()
+                    ? spec.workload.thread_kinds[t]
+                    : runtime::ThreadKind::kApplication;
+    app->runtime->RegisterThread(th.tid, kind);
+  }
+  for (auto& k : spec.workload.keepalive)
+    app->keepalive.push_back(std::move(k));
+
+  app->metrics.name = app->name;
+  if (two_tier_)
+    two_tier_->RegisterApp(app->cg, app->runtime.get(), app->managed);
+  if (two_dim_) two_dim_->RegisterCgroup(app->cg, spec.cgroup.rdma_weight);
+  if (pool_ && app->owned_partition) {
+    std::uint32_t pid =
+        pool_->RegisterPartition(app->owned_partition->capacity());
+    app->owned_partition->set_pool_id(pid);
+    if (pool_partitions_.size() <= pid)
+      pool_partitions_.resize(pid + 1, nullptr);
+    pool_partitions_[pid] = app->owned_partition.get();
+  }
+
+  ++active_apps_;
+  active_high_water_ = std::max(active_high_water_, active_apps_);
+  if (idx < sampler_last_bytes_.size())
+    sampler_last_bytes_[idx] = {{0.0, 0.0}};
+  AppState* raw = app.get();
+  apps_[idx] = std::move(app);
+  if (started_) {
+    lifecycle_active_ = true;
+    StartApp(*raw);
+  }
+  return idx;
 }
 
 SwapSystem::~SwapSystem() = default;
@@ -257,34 +288,39 @@ void SwapSystem::EnableParallelServers(sim::ParallelSimulator& par) {
 }
 
 void SwapSystem::Start() {
+  started_ = true;
   if (injector_) injector_->Start();
-  if (pool_) pool_->Start([this] { return !AllFinished(); });
-  for (auto& app : apps_) {
-    if (app->reservation) app->reservation->Start();
-    for (auto& th : app->threads) {
-      // Stagger thread start by a few ns for deterministic interleaving.
-      sim_.Schedule(th.tid % 97, [this, a = app.get(), t = &th] {
-        RunThread(*a, *t);
-      });
-    }
-    sim_.Schedule(cfg_.kswapd_period, [this, a = app.get()] {
-      KswapdTick(*a);
-    });
-  }
+  if (pool_) pool_->Start([this] { return RunActive(); });
+  for (auto& app : apps_)
+    if (app) StartApp(*app);
   if (tier_)
     sim_.Schedule(cfg_.tier.policy_period, [this] { TierPolicyTick(); });
   if (tracer_.enabled() && cfg_.trace.sampler) {
-    sampler_last_bytes_.assign(apps_.size(), {0.0, 0.0});
+    sampler_last_bytes_.assign(apps_.size(), {{0.0, 0.0}});
     sim_.Schedule(cfg_.trace.sample_period, [this] { SampleTick(); });
   }
 }
 
+void SwapSystem::StartApp(AppState& app) {
+  if (app.reservation) app.reservation->Start();
+  for (auto& th : app.threads) {
+    // Stagger thread start by a few ns for deterministic interleaving.
+    sim_.Schedule(th.tid % 97, [this, a = &app, t = &th] {
+      RunThread(*a, *t);
+    });
+  }
+  sim_.Schedule(cfg_.kswapd_period, [this, a = &app] { KswapdTick(*a); });
+}
+
 void SwapSystem::SampleTick() {
-  if (AllFinished()) return;  // stop sampling once the co-run drains
+  if (!RunActive()) return;  // stop sampling once the co-run drains
   sim_.Schedule(cfg_.trace.sample_period, [this] { SampleTick(); });
   SimTime now = sim_.Now();
   double period_sec = double(cfg_.trace.sample_period) / double(kSecond);
+  if (sampler_last_bytes_.size() < apps_.size())
+    sampler_last_bytes_.resize(apps_.size(), {{0.0, 0.0}});
   for (auto& app : apps_) {
+    if (!app) continue;
     const Cgroup& cg = cgroups_.Get(app->cg);
     const AppMetrics& m = app->metrics;
     auto pid = std::uint32_t(app->index);
@@ -329,11 +365,13 @@ void SwapSystem::SampleTick() {
 std::vector<std::string> SwapSystem::AppNames() const {
   std::vector<std::string> names;
   names.reserve(apps_.size());
-  for (const auto& app : apps_) names.push_back(app->name);
+  for (const auto& app : apps_)
+    names.push_back(app ? app->name : std::string());
   return names;
 }
 
 void SwapSystem::KswapdTick(AppState& app) {
+  if (app.reaped) return;  // stale tick captured a retired tenant's shell
   if (app.threads_done == app.threads.size()) return;  // stop ticking
   sim_.Schedule(cfg_.kswapd_period, [this, a = &app] { KswapdTick(*a); });
   Cgroup& cg = cgroups_.Get(app.cg);
@@ -349,8 +387,149 @@ void SwapSystem::KswapdTick(AppState& app) {
 
 bool SwapSystem::AllFinished() const {
   for (const auto& app : apps_)
-    if (app->threads_done != app->threads.size()) return false;
+    if (app && app->threads_done != app->threads.size()) return false;
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Tenant lifecycle (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+SwapSystem::AppState* SwapSystem::AppFor(std::uint32_t owner) {
+  return owner < apps_.size() ? apps_[owner].get() : nullptr;
+}
+
+void SwapSystem::RetireApp(std::size_t idx) {
+  AppState* app = idx < apps_.size() ? apps_[idx].get() : nullptr;
+  if (!app || app->retiring) return;
+  app->retiring = true;
+  lifecycle_active_ = true;
+  ++pending_retirements_;
+  ScheduleReapPoll();
+}
+
+void SwapSystem::ScheduleReapPoll() {
+  if (reap_poll_scheduled_ || pending_retirements_ == 0) return;
+  reap_poll_scheduled_ = true;
+  sim_.Schedule(kReapPollPeriod, [this] {
+    reap_poll_scheduled_ = false;
+    TryReap();
+    ScheduleReapPoll();
+  });
+}
+
+void SwapSystem::TryReap() {
+  // Ascending slot order keeps the reap (and therefore slot-reuse) stream
+  // deterministic.
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    AppState* app = apps_[i].get();
+    if (!app || !app->retiring || app->reaped) continue;
+    if (!AppQuiescentForReap(*app)) continue;
+    ReapApp(*app);
+  }
+}
+
+bool SwapSystem::AppQuiescentForReap(const AppState& app) const {
+  if (app.threads_done != app.threads.size()) return false;
+  if (app.prefetch_inflight != 0) return false;
+  if (!app.frame_waiters.empty()) return false;
+  if (app.active_reclaimers != 0) return false;
+  if (app.reclaim_retry_scheduled) return false;
+  for (const auto& p : app.pages)
+    if (p.in_flight || p.under_writeback) return false;
+  bool busy = false;
+  waiters_.ForEach([&](std::uint64_t k, const auto&) {
+    if ((k >> 48) == app.index) busy = true;
+  });
+  if (busy) return false;
+  if (tier_) {
+    // An in-flight demotion's completion still dereferences the tenant's
+    // page table: wait it out.
+    tier_->ForEachResident(
+        [&](std::uint64_t k, const tier::TierBackend::Resident& r) {
+          if ((k >> 48) == app.index && r.demoting) busy = true;
+        });
+    if (busy) return false;
+  }
+  return true;
+}
+
+void SwapSystem::ReapApp(AppState& app) {
+  std::size_t idx = app.index;
+  RetiredAppRecord rec;
+  rec.name = app.name;
+  rec.cg = app.cg;
+  rec.generation = cgroups_.generation(app.cg);
+  rec.arrived = app.arrived;
+  rec.retired_at = sim_.Now();
+  rec.metrics = std::move(app.metrics);
+  rec.sched_drops = scheduler_->drops_for(app.cg);
+  // Fold the NIC's per-cgroup byte counters into the ledger and erase them
+  // (ids recycle; the maps must stay O(active tenants)).
+  auto bytes = nic_->ReleaseCgroup(app.cg);
+  rec.ingress_bytes = bytes[std::size_t(rdma::Direction::kIngress)];
+  rec.egress_bytes = bytes[std::size_t(rdma::Direction::kEgress)];
+
+  // Release state the tenant holds in pools that outlive it: entries in the
+  // shared partition, pages in the shared cache, tier residency, and the
+  // shared cgroup's cache/remote charges for shared pages.
+  for (PageId i = 0; i < app.pages.size(); ++i) {
+    mem::Page& p = app.pages[i];
+    ReleaseTierResidency(app, p);
+    if (p.state == mem::PageState::kSwapCache) {
+      CacheFor(app, p).Remove(app.cg, i);
+      CgroupFor(app, p).UnchargeCache();
+    }
+    if (p.entry != kInvalidEntry) {
+      auto& part = PartitionFor(app, p);
+      if (&part == global_partition_.get()) {
+        part.meta(p.entry) = swapalloc::EntryMeta{};
+        part.allocator().Free(p.entry);
+        CgroupFor(app, p).UnchargeRemote();
+      }
+      p.entry = kInvalidEntry;
+    }
+  }
+
+  // Per-cgroup map cleanup across the stack (ids recycle).
+  scheduler_->ForgetCgroup(app.cg);
+  if (prefetcher_) {
+    prefetcher_->Forget(app.cg);
+    for (const auto& th : app.threads) prefetcher_->ForgetThread(th.tid);
+  }
+  if (pool_ && app.owned_partition &&
+      app.owned_partition->pool_id() != swapalloc::SwapPartition::kNoPoolId) {
+    std::uint32_t pid = app.owned_partition->pool_id();
+    pool_->ReleasePartition(pid);
+    if (pid < pool_partitions_.size()) pool_partitions_[pid] = nullptr;
+  }
+  app.reservation.reset();  // pending scan ticks hold the alive token
+
+  // Drop heavy state. The shell itself survives in retired_shells_ so stale
+  // DES events that captured the AppState pointer stay safe (they check
+  // `reaped`); a shell is O(threads), not O(pages).
+  app.pages.clear();
+  app.pages.shrink_to_fit();
+  app.lru.reset();
+  app.owned_partition.reset();
+  app.owned_cache.reset();
+  app.partition = nullptr;
+  app.cache = nullptr;
+  app.streams.clear();
+  app.keepalive.clear();
+  app.runtime.reset();
+  app.group_last_fault.clear();
+  app.group_last_fault.shrink_to_fit();
+  app.group_faults.clear();
+  app.group_faults.shrink_to_fit();
+  app.frame_waiters.clear();
+  app.reaped = true;
+
+  cgroups_.Retire(app.cg);
+  --pending_retirements_;
+  --active_apps_;
+  retired_ledger_.push_back(std::move(rec));
+  retired_shells_.push_back(std::move(apps_[idx]));
 }
 
 const AppMetrics& SwapSystem::metrics(std::size_t app) const {
@@ -380,6 +559,7 @@ double SwapSystem::Wmmr(rdma::Direction dir) const {
   double lo = 0, hi = 0;
   bool first = true;
   for (const auto& app : apps_) {
+    if (!app) continue;
     double bytes = nic_->cgroup_bytes(app->cg, dir);
     if (bytes <= 0) continue;
     SimTime window = app->metrics.finish_time ? app->metrics.finish_time
@@ -404,6 +584,7 @@ bool SwapSystem::Quiescent() const {
   if (disk_ && disk_->inflight() != 0) return false;
   if (tier_ && tier_->inflight() != 0) return false;
   for (const auto& app : apps_) {
+    if (!app) continue;
     if (!app->frame_waiters.empty()) return false;
     if (app->active_reclaimers != 0) return false;
   }
@@ -412,6 +593,7 @@ bool SwapSystem::Quiescent() const {
 
 void SwapSystem::DumpState() const {
   for (const auto& app : apps_) {
+    if (!app) continue;
     const Cgroup& cg = cgroups_.Get(app->cg);
     std::size_t blocked = 0;
     waiters_.ForEach([&](std::uint64_t k, const auto& v) {
@@ -523,7 +705,8 @@ void SwapSystem::OnFabricDown(int server) {
                   trace::Name::kServerDown, sim_.Now());
   // Proactive failover: every cgroup's writeback traffic turns toward the
   // local disk for the duration of the blackout.
-  for (auto& app : apps_) FailoverApp(*app);
+  for (auto& app : apps_)
+    if (app) FailoverApp(*app);
   // Drain queued work that would otherwise march into the dead fabric.
   // In-flight attempts are already doomed to time out (the NIC decides an
   // attempt's fate from the full blackout schedule at dispatch), so only
@@ -533,8 +716,9 @@ void SwapSystem::OnFabricDown(int server) {
     return r.op != rdma::Op::kDemandIn;
   });
   for (auto& r : drained) {
-    AppState& owner = r->owner_app < apps_.size() ? *apps_[r->owner_app]
-                                                  : *apps_.front();
+    AppState* ownp = AppFor(r->owner_app);
+    if (!ownp) continue;  // reaped tenants have no queued requests
+    AppState& owner = *ownp;
     if (r->op == rdma::Op::kSwapOut) {
       // Blackout failover ordering (DESIGN.md §14): the local tier is the
       // first stop — device latency, not disk latency — with per-request
@@ -570,7 +754,8 @@ void SwapSystem::OnFabricUp(int server) {
   }
   tracer_.Instant(trace::kRdmaPid, trace::kFabricControlTrack,
                   trace::Name::kServerUp, sim_.Now());
-  for (auto& app : apps_) FailbackApp(*app);
+  for (auto& app : apps_)
+    if (app) FailbackApp(*app);
 }
 
 void SwapSystem::NoteExhausted(AppState& app) {
@@ -610,6 +795,7 @@ void SwapSystem::FailbackApp(AppState& app) {
 
 void SwapSystem::ScheduleFailbackProbe(AppState& app) {
   sim_.Schedule(cfg_.recovery.failback_delay, [this, a = &app] {
+    if (a->reaped) return;  // the tenant (and its cgroup id) is gone
     Cgroup& cg = cgroups_.Get(a->cg);
     if (cg.backend() == SwapBackend::kRemote) return;  // already back
     if (injector_ && injector_->ServerDown(sim_.Now())) {
@@ -683,6 +869,7 @@ void SwapSystem::OnSlabEvicted(std::uint32_t pid, std::uint64_t lo,
   };
   std::vector<Rescue> rescues;
   for (auto& app : apps_) {
+    if (!app) continue;
     for (PageId i = 0; i < app->pages.size(); ++i) {
       mem::Page& p = app->pages[i];
       if (p.entry == kInvalidEntry || p.entry < lo || p.entry >= hi) continue;
@@ -702,8 +889,9 @@ void SwapSystem::OnSlabEvicted(std::uint32_t pid, std::uint64_t lo,
       });
   std::vector<std::uint64_t> redirected;
   for (auto& r : drained) {
-    AppState& owner = r->owner_app < apps_.size() ? *apps_[r->owner_app]
-                                                  : *apps_.front();
+    AppState* ownp = AppFor(r->owner_app);
+    if (!ownp) continue;  // reaped tenants have no queued requests
+    AppState& owner = *ownp;
     if (r->op == rdma::Op::kSwapOut) {
       ++owner.metrics.disk_swapouts;
       disk_->Submit(std::move(r));
@@ -789,7 +977,7 @@ void SwapSystem::MaybePromoteToTier(AppState& app, PageId page,
 }
 
 void SwapSystem::TierPolicyTick() {
-  if (AllFinished()) return;  // stop ticking once the co-run drains
+  if (!RunActive()) return;  // stop ticking once the co-run drains
   sim_.Schedule(cfg_.tier.policy_period, [this] { TierPolicyTick(); });
   SimTime now = sim_.Now();
   std::uint64_t watermark = std::uint64_t(double(cfg_.tier.capacity_pages) *
@@ -805,7 +993,7 @@ void SwapSystem::TierPolicyTick() {
     if (res.demoting) return;
     if (now - res.admitted < cfg_.tier.cold_age) return;  // admission grace
     std::size_t ai = std::size_t(key >> 48);
-    if (ai >= apps_.size()) return;
+    if (ai >= apps_.size() || !apps_[ai]) return;
     AppState& app = *apps_[ai];
     PageId page = PageId(key & ((std::uint64_t(1) << 48) - 1));
     std::uint32_t g = runtime::RuntimeInfo::GroupOf(page);
@@ -819,6 +1007,7 @@ void SwapSystem::TierPolicyTick() {
   for (std::uint64_t key : cold) {
     if (issued >= cfg_.tier.demote_batch) break;
     AppState& app = *apps_[std::size_t(key >> 48)];
+    if (app.retiring) continue;  // reap releases residency wholesale
     PageId page = PageId(key & ((std::uint64_t(1) << 48) - 1));
     // Demotion needs the remote path: skip while the cgroup is failed over
     // (during a blackout the tier *is* the backend — draining it into a
@@ -919,6 +1108,13 @@ void SwapSystem::EndStall(AppState& app, ThreadCtx& th, PageId page) {
 // ---------------------------------------------------------------------------
 
 void SwapSystem::RunThread(AppState& app, ThreadCtx& th) {
+  if (th.done) return;
+  if (app.retiring) {
+    // Tenant departure (DESIGN.md §15): the thread drains at its next
+    // dispatch instead of replaying the rest of its stream.
+    FinishThread(app, th, 0);
+    return;
+  }
   SimDuration elapsed = 0;
   for (int i = 0; i < kAccessBatch; ++i) {
     // Pass the instant this access will start executing so open-loop
@@ -1059,6 +1255,7 @@ void SwapSystem::FaultOnCachedPage(AppState& app, ThreadCtx& th,
           // Check again when the budget runs out.
           sim_.Schedule(threshold - elapsed, [this, a = &app, page = acc.page,
                                               expected = p.seq] {
+            if (a->reaped) return;  // shell: pages are gone
             mem::Page& pg = a->pages[page];
             if (pg.seq != expected) return;  // a different incarnation now
             if (pg.state != mem::PageState::kSwapCache || !pg.in_flight ||
@@ -1271,6 +1468,9 @@ void SwapSystem::DemandSwapIn(AppState& app, ThreadCtx& th,
 void SwapSystem::IssuePrefetches(AppState& app,
                                  const prefetch::FaultInfo& info) {
   if (!prefetcher_) return;
+  // A retiring tenant only finishes in-flight work; speculative reads would
+  // just delay its reap.
+  if (app.retiring) return;
   // Speculative reads are pure waste while the server is dark or the cgroup
   // is failed over to the disk (no disk prefetch path is modeled); demand
   // traffic keeps the detectors warm for recovery.
@@ -1501,7 +1701,9 @@ void SwapSystem::ReclaimLoop(AppState& app, CoreId core,
     mem::SwapCache::Entry victim;
     if (app.cache->PopLruUnlocked(victim)) {
       AppState& owner =
-          victim.app < apps_.size() ? *apps_[victim.app] : app;
+          victim.app < apps_.size() && apps_[victim.app]
+              ? *apps_[victim.app]
+              : app;
       ReleaseCleanCachePage(owner, victim.page);
       ReclaimLoop(app, core, budget - 1);
       return;
@@ -1514,7 +1716,9 @@ void SwapSystem::ReclaimLoop(AppState& app, CoreId core,
     mem::SwapCache::Entry victim;
     if (app.cache->PopLruUnlocked(victim)) {
       AppState& owner =
-          victim.app < apps_.size() ? *apps_[victim.app] : app;
+          victim.app < apps_.size() && apps_[victim.app]
+              ? *apps_[victim.app]
+              : app;
       ReleaseCleanCachePage(owner, victim.page);
       ReclaimLoop(app, core, budget - 1);
       return;
@@ -1583,7 +1787,7 @@ void SwapSystem::AllocateEntryAndWriteback(AppState& app, PageId victim,
       if (freed == 0) {
         // Shared partition: strip from co-runners too.
         for (auto& other : apps_) {
-          if (other.get() == a) continue;
+          if (!other || other.get() == a) continue;
           if (other->partition != a->partition) continue;
           freed += StripKeptEntries(*other, cfg_.strip_batch);
           if (freed) break;
@@ -1758,7 +1962,9 @@ void SwapSystem::ShrinkCache(AppState& app, std::size_t target) {
   mem::SwapCache::Entry victim;
   while (app.cache->size() > target) {
     if (!app.cache->PopLruUnlocked(victim)) break;
-    AppState& owner = victim.app < apps_.size() ? *apps_[victim.app] : app;
+    AppState& owner = victim.app < apps_.size() && apps_[victim.app]
+              ? *apps_[victim.app]
+              : app;
     ReleaseCleanCachePage(owner, victim.page);
   }
 }

@@ -51,6 +51,24 @@ struct AppSpec {
   CgroupSpec cgroup;
 };
 
+/// Ledger row captured when a retired tenant is reaped (DESIGN.md §15):
+/// everything the report needs to describe a tenant that no longer has any
+/// live state in the system. Per-cgroup maps (NIC byte counters, scheduler
+/// drops) are folded in here and then erased, which is what keeps
+/// steady-state memory O(active tenants) under churn.
+struct RetiredAppRecord {
+  std::string name;
+  CgroupId cg = kInvalidCgroup;
+  /// Registry generation the tenant held (its slot may be reused later).
+  std::uint32_t generation = 0;
+  SimTime arrived = 0;
+  SimTime retired_at = 0;
+  AppMetrics metrics;
+  std::uint64_t sched_drops = 0;
+  double ingress_bytes = 0;
+  double egress_bytes = 0;
+};
+
 class SwapSystem {
  public:
   SwapSystem(sim::Simulator& sim, SystemConfig cfg,
@@ -61,6 +79,51 @@ class SwapSystem {
 
   /// Launch all application threads (call once, then Simulator::Run()).
   void Start();
+
+  // --- tenant lifecycle (DESIGN.md §15) ---
+
+  /// Admit a tenant mid-run. The new application takes the lowest free
+  /// registry slot (slot reuse mirrors CgroupRegistry id reuse, so the
+  /// "cgroup id == app index" invariant survives churn) and its threads are
+  /// scheduled immediately when the system has already started. Returns the
+  /// application index.
+  std::size_t AddApp(AppSpec spec);
+
+  /// Begin retiring application `app`: its threads drain at their next
+  /// dispatch and, once every in-flight page / prefetch / reclaim chain for
+  /// the tenant has quiesced, a reap pass frees all heavy state (pages,
+  /// LRU, partition, cache), returns the tenant's slabs to the server pool,
+  /// erases its per-cgroup scheduler/prefetcher/NIC map entries, and
+  /// retires the cgroup id for reuse. Metrics survive in `retired()`.
+  void RetireApp(std::size_t app);
+
+  /// True while slot `app` holds a live (possibly retiring) application.
+  bool app_alive(std::size_t app) const {
+    return app < apps_.size() && apps_[app] != nullptr;
+  }
+  /// Live applications (retiring-but-unreaped included).
+  std::size_t active_app_count() const { return active_apps_; }
+  /// Most applications ever live at once (the churn RSS yardstick).
+  std::size_t active_high_water() const { return active_high_water_; }
+  /// Tenants retired and fully reaped so far.
+  std::size_t retired_count() const { return retired_ledger_.size(); }
+  /// Retirements requested but not yet reaped.
+  std::size_t pending_retirements() const { return pending_retirements_; }
+  const std::vector<RetiredAppRecord>& retired() const {
+    return retired_ledger_;
+  }
+  /// True once the tenant set changed mid-run (post-start AddApp or any
+  /// RetireApp). Gates the v4 report schema; false for classic fixed-tenant
+  /// runs so their reports stay byte-identical.
+  bool lifecycle_active() const { return lifecycle_active_; }
+  /// Keeps periodic machinery (pool harvest/control loop, trace sampler,
+  /// tier policy) running across gaps where every *current* tenant has
+  /// drained but the churn driver still has arrivals scheduled. The hook
+  /// returns true while more lifecycle events are coming.
+  void SetLifecycleActiveHook(std::function<bool()> hook) {
+    lifecycle_hook_ = std::move(hook);
+  }
+  const CgroupRegistry& cgroups() const { return cgroups_; }
 
   /// Opt this run into the parallel DES engine (DESIGN.md §12): builds the
   /// per-server LP topology on `par` and routes pooled dispatches through
@@ -149,11 +212,24 @@ class SwapSystem {
     std::string name;
     CgroupId cg = kInvalidCgroup;
     bool managed = false;
+    /// Lifecycle (DESIGN.md §15): `retiring` makes threads drain at their
+    /// next dispatch; `reaped` marks a shell whose heavy state is gone —
+    /// stale DES events that captured the AppState pointer check it and
+    /// become no-ops (the shell outlives the slot in retired_shells_).
+    bool retiring = false;
+    bool reaped = false;
+    SimTime arrived = 0;
     PageId shared_boundary = 0;  // pages [0, boundary) are shared
     std::vector<mem::Page> pages;
     std::unique_ptr<mem::LruLists> lru;
     swapalloc::SwapPartition* partition = nullptr;  // own or shared
     mem::SwapCache* cache = nullptr;                // own or shared
+    /// Ownership lives with the tenant so reaping one tenant frees exactly
+    /// its resources (previously pooled in SwapSystem-level vectors).
+    std::unique_ptr<swapalloc::SwapPartition> owned_partition;
+    std::unique_ptr<mem::SwapCache> owned_cache;
+    std::vector<std::unique_ptr<workload::ThreadStream>> streams;
+    std::vector<std::shared_ptr<void>> keepalive;
     std::unique_ptr<swapalloc::ReservationManager> reservation;
     std::shared_ptr<runtime::RuntimeInfo> runtime;
     std::vector<ThreadCtx> threads;
@@ -174,6 +250,27 @@ class SwapSystem {
     std::vector<SimTime> group_last_fault;
     std::vector<std::uint32_t> group_faults;
   };
+
+  // --- tenant lifecycle internals (DESIGN.md §15) ---
+  /// Schedule one application's threads + kswapd tick (split out of Start
+  /// so mid-run arrivals launch the same way).
+  void StartApp(AppState& app);
+  /// True when nothing in flight references the tenant: all threads done,
+  /// no in-flight/writeback page, no prefetch outstanding, no reclaim
+  /// chain, no blocked continuation, no in-flight tier demotion.
+  bool AppQuiescentForReap(const AppState& app) const;
+  /// Periodic poll (armed only while retirements are pending) that reaps
+  /// every quiescent retiring tenant in ascending slot order.
+  void ScheduleReapPoll();
+  void TryReap();
+  void ReapApp(AppState& app);
+  /// Owner lookup tolerant of reaped slots (drain paths).
+  AppState* AppFor(std::uint32_t owner);
+  /// AllFinished extended by the lifecycle hook: periodic machinery keeps
+  /// ticking while the churn driver has more arrivals scheduled.
+  bool RunActive() const {
+    return !AllFinished() || (lifecycle_hook_ && lifecycle_hook_());
+  }
 
   // --- thread execution ---
   void RunThread(AppState& app, ThreadCtx& th);
@@ -289,12 +386,23 @@ class SwapSystem {
   SystemConfig cfg_;
   trace::Tracer tracer_;
   CgroupRegistry cgroups_;
+  /// Sparse under churn: slot == cgroup id; reaped (and the shared-cgroup)
+  /// slots are null. Dense for classic fixed-tenant runs.
   std::vector<std::unique_ptr<AppState>> apps_;
-  std::vector<std::unique_ptr<swapalloc::SwapPartition>> owned_partitions_;
-  std::vector<std::unique_ptr<mem::SwapCache>> owned_caches_;
-  std::vector<std::vector<std::unique_ptr<workload::ThreadStream>>>
-      owned_streams_;
-  std::vector<std::shared_ptr<void>> owned_keepalive_;
+  /// Reaped tenant shells: kept so stale DES events that captured an
+  /// AppState* stay safe (they check `reaped` and bail). Heavy members are
+  /// freed — a shell is O(threads), not O(pages).
+  std::vector<std::unique_ptr<AppState>> retired_shells_;
+  std::vector<RetiredAppRecord> retired_ledger_;
+  /// Partition config echo for mid-run AddApp.
+  swapalloc::SwapPartition::Config part_cfg_;
+  std::function<bool()> lifecycle_hook_;
+  std::size_t active_apps_ = 0;
+  std::size_t active_high_water_ = 0;
+  std::size_t pending_retirements_ = 0;
+  bool started_ = false;
+  bool lifecycle_active_ = false;
+  bool reap_poll_scheduled_ = false;
 
   // Shared-mode resources (also used for shared pages in isolated mode).
   std::unique_ptr<swapalloc::SwapPartition> global_partition_;

@@ -44,9 +44,11 @@ std::string RunLabel(const std::string& system, const std::string& topology,
 
 std::string ServingRunLabel(const std::string& system,
                             const std::string& topology,
-                            const std::string& arrival, std::uint64_t seed) {
+                            const std::string& arrival, std::uint64_t seed,
+                            const std::string& tier) {
   std::string label = system;
   if (topology != "single") label += "/" + topology;
+  if (tier != "none" && !tier.empty()) label += "/" + tier;
   label += "/" + arrival;
   char buf[32];
   std::snprintf(buf, sizeof(buf), "/seed%llu", (unsigned long long)seed);
@@ -63,30 +65,34 @@ std::vector<serving::ServingSpec> ServingScenarioSpec::Expand() const {
     overrides.Apply(*preset);
     for (const std::string& topo : topologies) {
       remote::PoolConfig pool = remote::PoolConfig::FromName(topo);
-      for (const std::string& arr : arrivals) {
-        auto kind = workload::ArrivalKindFromName(arr);
-        if (!kind)
-          throw std::invalid_argument("unknown arrival process: " + arr);
-        for (std::uint64_t seed : seeds) {
-          serving::ServingSpec s;
-          s.index = runs.size();
-          s.label = ServingRunLabel(sys, topo, arr, seed);
-          s.config = *preset;
-          s.config.remote = pool;
-          s.config.sim_threads = sim_threads ? sim_threads : 1;
-          s.tenants = tenants;
-          // The arrival axis retargets the load tenants (all tenants when
-          // none is marked); the template's rates/windows are kept.
-          bool any_marked = false;
-          for (const serving::TenantSpec& t : tenants)
-            any_marked = any_marked || t.load_tenant;
-          for (serving::TenantSpec& t : s.tenants)
-            if (!any_marked || t.load_tenant) t.arrival.kind = *kind;
-          s.qos = qos;
-          s.qos_enabled = qos_enabled;
-          s.seed = seed;
-          s.deadline = deadline;
-          runs.push_back(std::move(s));
+      for (const std::string& tier_name : tiers) {
+        tier::TierConfig tier_cfg = tier::TierConfig::FromName(tier_name);
+        for (const std::string& arr : arrivals) {
+          auto kind = workload::ArrivalKindFromName(arr);
+          if (!kind)
+            throw std::invalid_argument("unknown arrival process: " + arr);
+          for (std::uint64_t seed : seeds) {
+            serving::ServingSpec s;
+            s.index = runs.size();
+            s.label = ServingRunLabel(sys, topo, arr, seed, tier_name);
+            s.config = *preset;
+            s.config.remote = pool;
+            s.config.tier = tier_cfg;
+            s.config.sim_threads = sim_threads ? sim_threads : 1;
+            s.tenants = tenants;
+            // The arrival axis retargets the load tenants (all tenants
+            // when none is marked); the template's rates/windows are kept.
+            bool any_marked = false;
+            for (const serving::TenantSpec& t : tenants)
+              any_marked = any_marked || t.load_tenant;
+            for (serving::TenantSpec& t : s.tenants)
+              if (!any_marked || t.load_tenant) t.arrival.kind = *kind;
+            s.qos = qos;
+            s.qos_enabled = qos_enabled;
+            s.seed = seed;
+            s.deadline = deadline;
+            runs.push_back(std::move(s));
+          }
         }
       }
     }

@@ -45,27 +45,23 @@ struct RunSpec {
   core::ExperimentSpec exp;
 };
 
-/// The declarative experiment surface. Axes combine as a full grid in
-/// fixed nesting order: system (outer) -> topology -> tier -> ratio ->
-/// scale -> seed (inner).
-struct ScenarioSpec {
+/// Sweep axes shared by every scenario surface (batch, serving, churn).
+/// Each derived spec adds its own workload template and extra axes but the
+/// system/topology/tier/seed block — and the canvasctl flags that fill it —
+/// is declared exactly once, here.
+struct AxisSpec {
   /// Preset names resolved via SystemConfig::FromName.
   std::vector<std::string> systems = {"canvas"};
   FeatureOverrides overrides;
   /// Server-topology axis (DESIGN.md §11), resolved via
   /// remote::PoolConfig::FromName. The default {"single"} keeps the
   /// single-infinite-server fast path and leaves run labels unchanged.
+  /// (ServingScenarioSpec re-defaults this to {"pool4"} in its ctor.)
   std::vector<std::string> topologies = {"single"};
   /// Hybrid-local-tier axis (DESIGN.md §14), resolved via
   /// tier::TierConfig::FromName and composing with the topology axis. The
   /// default {"none"} disables the tier and leaves run labels unchanged.
   std::vector<std::string> tiers = {"none"};
-  /// Co-run template. Each AppBuild's ratio/scale/seed fields are
-  /// overwritten by the axis values at expansion; name/cores/threads are
-  /// taken as-is.
-  std::vector<core::AppBuild> apps;
-  std::vector<double> ratios = {0.25};
-  std::vector<double> scales = {0.3};
   std::vector<std::uint64_t> seeds = {7};
   SimTime deadline = 600 * kSecond;
   /// Worker threads per single run (SystemConfig::sim_threads, DESIGN.md
@@ -73,6 +69,18 @@ struct ScenarioSpec {
   /// byte-identical either way, so this is not a sweep axis — it never
   /// appears in run labels.
   unsigned sim_threads = 1;
+};
+
+/// The declarative experiment surface. Axes combine as a full grid in
+/// fixed nesting order: system (outer) -> topology -> tier -> ratio ->
+/// scale -> seed (inner).
+struct ScenarioSpec : AxisSpec {
+  /// Co-run template. Each AppBuild's ratio/scale/seed fields are
+  /// overwritten by the axis values at expansion; name/cores/threads are
+  /// taken as-is.
+  std::vector<core::AppBuild> apps;
+  std::vector<double> ratios = {0.25};
+  std::vector<double> scales = {0.3};
 
   std::size_t RunCount() const {
     return systems.size() * topologies.size() * tiers.size() *
@@ -96,12 +104,11 @@ std::string RunLabel(const std::string& system, const std::string& topology,
 
 /// Declarative serving-sweep surface (DESIGN.md §13): like ScenarioSpec but
 /// over serving::ServingSpecs, with an arrival-process axis instead of the
-/// ratio/scale axes. Nesting order: system (outer) -> topology -> arrival
-/// -> seed (inner).
-struct ServingScenarioSpec {
-  std::vector<std::string> systems = {"canvas"};
-  FeatureOverrides overrides;
-  std::vector<std::string> topologies = {"pool4"};
+/// ratio/scale axes. Nesting order: system (outer) -> topology -> tier ->
+/// arrival -> seed (inner).
+struct ServingScenarioSpec : AxisSpec {
+  ServingScenarioSpec() { topologies = {"pool4"}; }
+
   /// Arrival-kind axis ("poisson" | "diurnal" | "flash"), applied to the
   /// tenants marked `load_tenant` — or to every tenant when none is
   /// marked. Non-load tenants keep their template arrival process, so a
@@ -112,13 +119,10 @@ struct ServingScenarioSpec {
   std::vector<serving::TenantSpec> tenants;
   serving::QosConfig qos;
   bool qos_enabled = true;
-  std::vector<std::uint64_t> seeds = {7};
-  SimTime deadline = 600 * kSecond;
-  unsigned sim_threads = 1;
 
   std::size_t RunCount() const {
-    return systems.size() * topologies.size() * arrivals.size() *
-           seeds.size();
+    return systems.size() * topologies.size() * tiers.size() *
+           arrivals.size() * seeds.size();
   }
 
   /// Expand into index-ordered ServingSpecs. Throws std::invalid_argument
@@ -127,9 +131,11 @@ struct ServingScenarioSpec {
 };
 
 /// Label for one serving grid point, e.g. "canvas/pool4/poisson/seed7"
-/// (the default "single" topology segment is omitted, like RunLabel).
+/// (the default "single" topology and "none" tier segments are omitted,
+/// like RunLabel, so pre-tier serving reports keep their keys).
 std::string ServingRunLabel(const std::string& system,
                             const std::string& topology,
-                            const std::string& arrival, std::uint64_t seed);
+                            const std::string& arrival, std::uint64_t seed,
+                            const std::string& tier = "none");
 
 }  // namespace canvas::orchestrator

@@ -253,6 +253,88 @@ ServingSweepResult SweepEngine::RunServing(
   return result;
 }
 
+ChurnSweepResult SweepEngine::RunChurn(std::vector<ChurnRunSpec> specs) {
+  ChurnSweepResult result;
+  result.runs.resize(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    result.runs[i].index = specs[i].index;
+    result.runs[i].label = specs[i].label;
+    result.runs[i].system = specs[i].config.name;
+    result.runs[i].topology = specs[i].config.remote.topology;
+  }
+
+  unsigned jobs = opts_.jobs ? opts_.jobs
+                             : std::max(1u, std::thread::hardware_concurrency());
+  jobs = std::min<unsigned>(jobs, std::max<std::size_t>(specs.size(), 1));
+  if (opts_.thread_budget) {
+    // Same jobs x sim_threads composition as the experiment sweep.
+    unsigned per_run = 1;
+    for (const ChurnRunSpec& s : specs)
+      per_run = std::max(per_run, std::max(1u, s.config.sim_threads));
+    jobs = std::max(1u, std::min(jobs, opts_.thread_budget / per_run));
+  }
+  unsigned max_live = opts_.max_live ? std::min(opts_.max_live, jobs) : jobs;
+  result.jobs = jobs;
+
+  std::mutex mu;
+  std::condition_variable live_cv;
+  std::size_t next = 0;
+  std::size_t done = 0;
+  unsigned live = 0;
+  unsigned high_water = 0;
+  bool cancelled = false;
+
+  auto t0 = Clock::now();
+  auto worker = [&] {
+    for (;;) {
+      std::size_t idx;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        live_cv.wait(lk, [&] { return cancelled || live < max_live ||
+                                      next >= specs.size(); });
+        if (cancelled || next >= specs.size()) return;
+        idx = next++;
+        ++live;
+        if (live > high_water) high_water = live;
+      }
+      // Qualified: the member overloads shadow the free-function runner.
+      ChurnResult r = canvas::orchestrator::RunChurn(specs[idx]);
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        --live;
+        ++done;
+        bool failed = r.status != ChurnResult::Status::kOk;
+        if (failed && opts_.cancel_on_failure) cancelled = true;
+        if (opts_.progress) {
+          std::fprintf(stderr, "\r[churn] %zu/%zu done (last: %s %s)   ",
+                       done, specs.size(), r.label.c_str(),
+                       ChurnStatusName(r.status));
+          if (done == specs.size() || cancelled) std::fprintf(stderr, "\n");
+        }
+        result.runs[r.index] = std::move(r);
+      }
+      live_cv.notify_all();
+    }
+  };
+
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  result.wall_sec = SecondsSince(t0);
+  result.cancelled = cancelled;
+  result.all_ok = true;
+  for (const ChurnResult& r : result.runs)
+    if (r.status != ChurnResult::Status::kOk) result.all_ok = false;
+  live_high_water_ = high_water;
+  return result;
+}
+
 void SweepResult::WriteJson(std::ostream& os, bool include_timing) const {
   os << "{\n  \"schema_version\": " << core::kReportSchemaVersion << ",\n"
      << "  \"kind\": \"sweep\",\n"

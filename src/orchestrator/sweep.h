@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/metrics.h"
+#include "orchestrator/churn.h"
 #include "orchestrator/scenario.h"
 
 namespace canvas::orchestrator {
@@ -135,6 +136,13 @@ class SweepEngine {
   ServingSweepResult RunServing(std::vector<serving::ServingSpec> specs);
   ServingSweepResult RunServing(const ServingScenarioSpec& scenario) {
     return RunServing(scenario.Expand());
+  }
+
+  /// Churn counterpart (DESIGN.md §15): same worker pool, live cap and
+  /// thread-budget composition, over RunChurn.
+  ChurnSweepResult RunChurn(std::vector<ChurnRunSpec> specs);
+  ChurnSweepResult RunChurn(const ChurnScenarioSpec& scenario) {
+    return RunChurn(scenario.Expand());
   }
 
   /// Highest number of simultaneously live swap systems observed during

@@ -34,6 +34,9 @@ class LeapPrefetcher : public Prefetcher {
   explicit LeapPrefetcher(Config cfg) : cfg_(cfg) {}
 
   void OnFault(const FaultInfo& fault, std::vector<PageId>& out) override;
+  void Forget(CgroupId app) override {
+    if (cfg_.mode == ContextMode::kPerApp) states_.Erase(app);
+  }
   const char* name() const override { return "leap"; }
 
   std::uint64_t trend_hits() const { return trend_hits_; }

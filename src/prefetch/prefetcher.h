@@ -46,6 +46,17 @@ class Prefetcher {
   virtual void OnPrefetchUsed(CgroupId /*app*/, PageId /*page*/) {}
   virtual void OnPrefetchWasted(CgroupId /*app*/, PageId /*page*/) {}
 
+  /// Tenant retirement (DESIGN.md §15): drop every piece of detector state
+  /// keyed by cgroup `app`. Cgroup ids are recycled under churn, so a
+  /// prefetcher that keeps per-context state MUST override this — stale
+  /// state would otherwise leak memory per tenant-ever AND seed the next
+  /// tenant that reuses the id with a foreign pattern. Global-mode state is
+  /// shared by design and stays.
+  virtual void Forget(CgroupId /*app*/) {}
+  /// Companion for per-kernel-thread state (thread ids are globally unique
+  /// and never recycled, so this is purely a memory bound).
+  virtual void ForgetThread(ThreadId /*tid*/) {}
+
   virtual const char* name() const = 0;
 };
 

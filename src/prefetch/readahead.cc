@@ -16,6 +16,18 @@ ReadaheadPrefetcher::State& ReadaheadPrefetcher::StateFor(CgroupId app,
   return states_[KeyFor(app, page)];
 }
 
+void ReadaheadPrefetcher::Forget(CgroupId app) {
+  if (cfg_.mode == ContextMode::kGlobal) return;
+  // Every vma-zone key of this context shares the (app+1) << 40 prefix;
+  // collect first — FlatMap64 forbids erasing mid-iteration.
+  std::uint64_t prefix = (std::uint64_t(app) + 1) << 40;
+  std::vector<std::uint64_t> keys;
+  states_.ForEach([&](std::uint64_t key, const State&) {
+    if ((key >> 40) == (prefix >> 40)) keys.push_back(key);
+  });
+  for (std::uint64_t key : keys) states_.Erase(key);
+}
+
 std::uint32_t ReadaheadPrefetcher::WindowFor(CgroupId app, PageId page) const {
   const State* st = states_.Find(KeyFor(app, page));
   return st ? st->window : 1;

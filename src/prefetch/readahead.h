@@ -28,6 +28,7 @@ class ReadaheadPrefetcher : public Prefetcher {
   explicit ReadaheadPrefetcher(Config cfg) : cfg_(cfg) {}
 
   void OnFault(const FaultInfo& fault, std::vector<PageId>& out) override;
+  void Forget(CgroupId app) override;
   const char* name() const override { return "readahead"; }
 
   std::uint32_t WindowFor(CgroupId app, PageId page = 0) const;

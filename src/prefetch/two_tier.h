@@ -62,6 +62,13 @@ class TwoTierPrefetcher : public Prefetcher {
   void OnFault(const FaultInfo& fault, std::vector<PageId>& out) override;
   void OnPrefetchUsed(CgroupId app, PageId page) override;
   void OnPrefetchWasted(CgroupId app, PageId page) override;
+  /// Drops the app-tier state AND the registered RuntimeInfo pointer — the
+  /// runtime model dies with the tenant, so keeping it would dangle.
+  void Forget(CgroupId app) override {
+    apps_.Erase(app);
+    kernel_tier_.Forget(app);
+  }
+  void ForgetThread(ThreadId tid) override { thread_states_.Erase(tid); }
   const char* name() const override { return "two-tier"; }
 
   bool IsForwarding(CgroupId app) const;

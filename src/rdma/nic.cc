@@ -59,6 +59,17 @@ double Nic::cgroup_bytes(CgroupId cg, Direction dir) const {
   return it == cg_bytes_.end() ? 0.0 : it->second;
 }
 
+std::array<double, 2> Nic::ReleaseCgroup(CgroupId cg) {
+  std::array<double, 2> totals = {
+      cgroup_bytes(cg, Direction::kIngress),
+      cgroup_bytes(cg, Direction::kEgress)};
+  for (Direction dir : {Direction::kIngress, Direction::kEgress}) {
+    cg_bytes_.erase({cg, dir});
+    cg_series_.erase({cg, dir});
+  }
+  return totals;
+}
+
 void Nic::Pump(Direction dir) {
   Lane& lane = lanes_[std::size_t(dir)];
   if (lane.pump_scheduled) return;

@@ -158,6 +158,11 @@ class Nic {
   /// Per-cgroup per-direction byte series (for WMMR / per-app bandwidth).
   const TimeSeries* cgroup_series(CgroupId cg, Direction dir) const;
   double cgroup_bytes(CgroupId cg, Direction dir) const;
+  /// Tenant retirement (DESIGN.md §15): drop `cg`'s byte/series accounting
+  /// and return the final {ingress, egress} totals for the run ledger.
+  /// Cgroup ids are recycled, so the next tenant on this id must start
+  /// from zero. The direction-total series are unaffected.
+  std::array<double, 2> ReleaseCgroup(CgroupId cg);
   std::uint64_t completed_count(Op op) const {
     return completed_[std::size_t(op)];
   }

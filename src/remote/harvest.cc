@@ -1,0 +1,51 @@
+#include "remote/harvest.h"
+
+#include <stdexcept>
+
+namespace canvas::remote {
+
+HarvestConfig HarvestConfig::FromName(const std::string& name) {
+  HarvestConfig cfg;
+  if (name == "none") {
+    // Inactive: capacity is whatever the topology configured, forever.
+    return cfg;
+  }
+  if (name == "steady") {
+    // The pool4-harvest schedule: moderate seeded reclaim with holds, the
+    // open-loop Memtrade baseline.
+    cfg.period = 5 * kMillisecond;
+    cfg.jitter_frac = 0.25;
+    cfg.slabs = 8;
+    cfg.hold = 20 * kMillisecond;
+    return cfg;
+  }
+  if (name == "bursty") {
+    // Aggressive producer: frequent, large, long-held reclaims.
+    cfg.period = 2 * kMillisecond;
+    cfg.jitter_frac = 0.5;
+    cfg.slabs = 16;
+    cfg.hold = 50 * kMillisecond;
+    return cfg;
+  }
+  if (name == "closed-loop") {
+    // Supply/demand controller (DESIGN.md §15): capacity follows the
+    // observed occupancy EWMA instead of a seeded schedule.
+    cfg.control_period = 2 * kMillisecond;
+    return cfg;
+  }
+  throw std::invalid_argument(
+      "unknown harvest preset '" + name +
+      "' (known: none, steady, bursty, closed-loop)");
+}
+
+std::vector<std::pair<std::string, std::string>> HarvestConfig::ListPresets() {
+  return {
+      {"none", "no harvesting: capacity stays as configured (default)"},
+      {"steady", "seeded reclaim: 8 slabs / ~5ms, held 20ms"},
+      {"bursty", "aggressive seeded reclaim: 16 slabs / ~2ms, held 50ms"},
+      {"closed-loop",
+       "supply/demand controller: capacity tracks the occupancy EWMA"},
+  };
+}
+
+}  // namespace canvas::remote

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -36,7 +38,36 @@ struct HarvestConfig {
   SimDuration hold = 0;
   std::uint64_t seed = 0x9e3779b97f4a7c15ull;
 
-  bool active() const { return period > 0 || !events.empty(); }
+  // --- closed-loop controller (DESIGN.md §15) ---
+  // Supply/demand control replacing the open-loop seeded schedule: the pool
+  // tracks an EWMA of its own occupancy (allocation pressure) and steers
+  // per-server capacity toward the [target_lo, target_hi] band — occupancy
+  // above target_hi returns harvested capacity to the tenants, occupancy
+  // below target_lo lets the producer reclaim more. No RNG is consumed, so
+  // churn runs stay bit-for-bit deterministic at any thread count.
+  /// Control-tick period; 0 disables the controller. When set, it replaces
+  /// the seeded generator above (explicit `events` still apply).
+  SimDuration control_period = 0;
+  /// EWMA smoothing factor for the occupancy signal, in (0, 1].
+  double ewma_alpha = 0.3;
+  /// Occupancy band the controller steers toward.
+  double target_lo = 0.45;
+  double target_hi = 0.75;
+  /// Capacity moved per control action (slabs).
+  std::uint64_t control_step_slabs = 4;
+  /// Floor the controller never harvests a server below (slabs).
+  std::uint64_t min_capacity_slabs = 16;
+
+  bool closed_loop() const { return control_period > 0; }
+  bool active() const {
+    return period > 0 || control_period > 0 || !events.empty();
+  }
+
+  /// Preset registry, matching the SystemConfig / PoolConfig / TierConfig
+  /// FromName convention (the harvest axis of canvasctl and the benches).
+  /// Throws std::invalid_argument on unknown names.
+  static HarvestConfig FromName(const std::string& name);
+  static std::vector<std::pair<std::string, std::string>> ListPresets();
 };
 
 }  // namespace canvas::remote

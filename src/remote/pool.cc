@@ -66,10 +66,7 @@ PoolConfig PoolConfig::FromName(const std::string& name) {
     PoolConfig p = MakePool(4);
     p.topology = name;
     for (ServerConfig& s : p.servers) s.capacity_slabs = 64;
-    p.harvest.period = 5 * kMillisecond;
-    p.harvest.jitter_frac = 0.25;
-    p.harvest.slabs = 8;
-    p.harvest.hold = 20 * kMillisecond;
+    p.harvest = HarvestConfig::FromName("steady");
     return p;
   }
   throw std::invalid_argument(
@@ -105,15 +102,50 @@ std::uint32_t ServerPool::RegisterPartition(std::uint64_t entries) {
   shard.entries = entries;
   shard.slabs.resize(
       std::size_t((entries + cfg_.slab_entries - 1) / cfg_.slab_entries));
+  if (!free_pids_.empty()) {
+    std::pop_heap(free_pids_.begin(), free_pids_.end(),
+                  std::greater<std::uint32_t>());
+    std::uint32_t pid = free_pids_.back();
+    free_pids_.pop_back();
+    partitions_[pid] = std::move(shard);
+    return pid;
+  }
   partitions_.push_back(std::move(shard));
   return std::uint32_t(partitions_.size() - 1);
+}
+
+std::uint64_t ServerPool::ReleasePartition(std::uint32_t pid) {
+  PartitionShard& part = partitions_.at(pid);
+  std::uint64_t returned = 0;
+  for (std::uint32_t s = 0; s < part.slabs.size(); ++s) {
+    SlabInfo& slab = part.slabs[s];
+    if (slab.home >= 0) {
+      RemovePlaced(slab.home, {pid, s});
+      --servers_[std::size_t(slab.home)].slabs_held;
+      ++returned;
+    }
+    // Disk-homed and unplaced slabs carry no server holdings; the disk
+    // backend's copy becomes garbage with the tenant's entries.
+    slab = SlabInfo{};
+  }
+  part.slabs.clear();
+  part.slabs.shrink_to_fit();
+  part.entries = 0;
+  free_pids_.push_back(pid);
+  std::push_heap(free_pids_.begin(), free_pids_.end(),
+                 std::greater<std::uint32_t>());
+  ++partitions_released_;
+  slabs_released_ += returned;
+  return returned;
 }
 
 void ServerPool::Start(std::function<bool()> active) {
   active_ = std::move(active);
   for (const HarvestEvent& e : cfg_.harvest.events)
     sim_.ScheduleAt(e.at, [this, e] { ApplyHarvest(e); });
-  if (cfg_.harvest.period > 0) ScheduleNextHarvest();
+  // The closed-loop controller replaces the open-loop seeded generator.
+  if (cfg_.harvest.closed_loop()) ScheduleControlTick();
+  else if (cfg_.harvest.period > 0) ScheduleNextHarvest();
 }
 
 ServerPool::SlabInfo& ServerPool::SlabFor(std::uint32_t pid,
@@ -373,6 +405,85 @@ void ServerPool::ScheduleNextHarvest() {
     }
     ScheduleNextHarvest();
   });
+}
+
+double ServerPool::Occupancy() const {
+  std::uint64_t held = 0, cap = 0;
+  for (const ServerState& s : servers_) {
+    if (s.cfg.capacity_slabs == 0 || s.down) continue;
+    held += s.slabs_held;
+    cap += s.capacity_slabs;
+  }
+  return cap ? double(held) / double(cap) : 0.0;
+}
+
+void ServerPool::ScheduleControlTick() {
+  sim_.ScheduleAt(sim_.Now() + cfg_.harvest.control_period,
+                  [this] { ControlTick(); });
+}
+
+void ServerPool::ControlTick() {
+  if (active_ && !active_()) return;  // workload drained: stop the loop
+  const HarvestConfig& h = cfg_.harvest;
+  ++control_ticks_;
+  double occ = Occupancy();
+  if (!ewma_primed_) {
+    util_ewma_ = occ;
+    ewma_primed_ = true;
+  } else {
+    util_ewma_ = h.ewma_alpha * occ + (1.0 - h.ewma_alpha) * util_ewma_;
+  }
+  if (util_ewma_ > h.target_hi) {
+    // Demand outstrips supply: give back harvested capacity to the most
+    // harvested server (smallest current capacity relative to configured;
+    // ties on the lowest id).
+    ServerId victim = kNoServer;
+    std::uint64_t best_deficit = 0;
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      const ServerState& s = servers_[i];
+      if (s.cfg.capacity_slabs == 0 || s.down) continue;
+      std::uint64_t deficit = s.cfg.capacity_slabs > s.capacity_slabs
+                                  ? s.cfg.capacity_slabs - s.capacity_slabs
+                                  : 0;
+      if (deficit > best_deficit) {
+        best_deficit = deficit;
+        victim = ServerId(i);
+      }
+    }
+    if (victim != kNoServer) {
+      ReturnCapacity(victim, std::min<std::uint64_t>(h.control_step_slabs,
+                                                     best_deficit));
+      ++control_returns_;
+    }
+  } else if (util_ewma_ < h.target_lo) {
+    // Supply exceeds demand: the producer reclaims from the emptiest
+    // server (largest free share; ties on the lowest id), never below the
+    // configured floor.
+    ServerId victim = kNoServer;
+    std::uint64_t best_free = 0;
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      const ServerState& s = servers_[i];
+      if (s.cfg.capacity_slabs == 0 || s.down) continue;
+      if (s.capacity_slabs <= h.min_capacity_slabs) continue;
+      std::uint64_t free_slabs = s.capacity_slabs > s.slabs_held
+                                     ? s.capacity_slabs - s.slabs_held
+                                     : 0;
+      if (free_slabs > best_free) {
+        best_free = free_slabs;
+        victim = ServerId(i);
+      }
+    }
+    if (victim != kNoServer) {
+      std::uint64_t headroom =
+          servers_[std::size_t(victim)].capacity_slabs - h.min_capacity_slabs;
+      std::uint64_t take = std::min(h.control_step_slabs, headroom);
+      if (take > 0) {
+        ApplyHarvest({sim_.Now(), victim, -std::int64_t(take)});
+        ++control_harvests_;
+      }
+    }
+  }
+  ScheduleControlTick();
 }
 
 void ServerPool::ReturnCapacity(ServerId id, std::uint64_t slabs) {

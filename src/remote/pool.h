@@ -76,7 +76,17 @@ class ServerPool {
   void SetSlabEvictedHandler(SlabEvictedHandler h) { on_evict_ = std::move(h); }
 
   /// Registers a swap partition of `entries` capacity; returns its pool id.
+  /// Ids released by ReleasePartition are recycled lowest-first, so under
+  /// tenant churn the partition table stays O(active tenants) and id
+  /// assignment is deterministic.
   std::uint32_t RegisterPartition(std::uint64_t entries);
+
+  /// Tenant retirement (DESIGN.md §15): every remote-homed slab of `pid`
+  /// is returned to its server (holdings and placement lists shrink),
+  /// disk-homed and unplaced slabs are forgotten, and the id becomes
+  /// eligible for reuse. The caller must have drained all requests for the
+  /// partition first. Returns the number of slabs returned to servers.
+  std::uint64_t ReleasePartition(std::uint32_t pid);
 
   /// Schedules the harvest plan. `active` gates the recurring generator so
   /// it stops once the workload drains (nullptr = always active).
@@ -134,6 +144,16 @@ class ServerPool {
   std::uint64_t evictions_to_disk() const { return evictions_to_disk_; }
   std::uint64_t harvest_events() const { return harvest_events_; }
   std::uint64_t unplaceable() const { return unplaceable_; }
+  std::uint64_t partitions_released() const { return partitions_released_; }
+  std::uint64_t slabs_released() const { return slabs_released_; }
+  /// Instantaneous pool occupancy: held / current capacity over finite,
+  /// reachable servers (0 when none).
+  double Occupancy() const;
+  /// The closed-loop controller's smoothed occupancy signal.
+  double occupancy_ewma() const { return util_ewma_; }
+  std::uint64_t control_ticks() const { return control_ticks_; }
+  std::uint64_t control_harvests() const { return control_harvests_; }
+  std::uint64_t control_returns() const { return control_returns_; }
   /// max(peak_slabs_held) * N / sum(peak_slabs_held): 1.0 = perfectly even
   /// peaks, N = one server absorbed everything.
   double PeakImbalance() const;
@@ -171,6 +191,12 @@ class ServerPool {
   void EvictSlabToDisk(ServerId src, SlabRef ref);
   void ScheduleNextHarvest();
   void ReturnCapacity(ServerId id, std::uint64_t slabs);
+  /// Closed-loop supply/demand controller (DESIGN.md §15): periodic tick
+  /// that EWMA-smooths Occupancy() and moves `control_step_slabs` of
+  /// capacity per action to steer it into the configured band. Root-LP
+  /// only; consumes no RNG.
+  void ScheduleControlTick();
+  void ControlTick();
 
   sim::Simulator& sim_;
   PoolConfig cfg_;
@@ -186,11 +212,22 @@ class ServerPool {
   SlabEvictedHandler on_evict_;
   std::function<bool()> active_;
 
+  /// Released partition ids as a min-heap (std::greater): RegisterPartition
+  /// reuses the lowest id first, deterministically.
+  std::vector<std::uint32_t> free_pids_;
+
   std::uint64_t slabs_placed_ = 0;
   std::uint64_t migrations_ = 0;
   std::uint64_t evictions_to_disk_ = 0;
   std::uint64_t harvest_events_ = 0;
   std::uint64_t unplaceable_ = 0;
+  std::uint64_t partitions_released_ = 0;
+  std::uint64_t slabs_released_ = 0;
+  double util_ewma_ = 0.0;
+  bool ewma_primed_ = false;
+  std::uint64_t control_ticks_ = 0;
+  std::uint64_t control_harvests_ = 0;
+  std::uint64_t control_returns_ = 0;
 };
 
 }  // namespace canvas::remote

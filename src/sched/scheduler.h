@@ -46,6 +46,14 @@ class DispatchScheduler : public rdma::RequestSource {
     return 0;
   }
 
+  /// Tenant retirement (DESIGN.md §15): drop every per-cgroup accounting
+  /// entry for `cg`. Only legal once the cgroup has nothing queued (the
+  /// swap system's reaper guarantees quiescence first). Cgroup ids are
+  /// recycled, so stale entries would both leak per-tenant-ever memory and
+  /// bleed counters into the id's next owner. Subclasses with per-cgroup
+  /// queues must override, clear them, and call the base.
+  virtual void ForgetCgroup(CgroupId cg) { drops_per_cg_.erase(cg); }
+
   /// Wire up the NIC after construction (scheduler and NIC reference each
   /// other; the NIC is built second).
   void AttachNic(rdma::Nic* nic) { nic_ = nic; }

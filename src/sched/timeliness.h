@@ -46,6 +46,10 @@ class TimelinessTracker {
 
   std::uint64_t samples(CgroupId cg) const;
 
+  /// Drop `cg`'s sample window (tenant retirement; ids are recycled, so a
+  /// new tenant must not inherit the previous owner's distribution).
+  void Forget(CgroupId cg) { states_.erase(cg); }
+
  private:
   struct State {
     std::vector<SimDuration> ring;

@@ -19,6 +19,7 @@
 // §6.3: vertical fairness plus Fastswap-style sync/async priority.
 #pragma once
 
+#include <cassert>
 #include <deque>
 #include <map>
 
@@ -61,6 +62,20 @@ class TwoDimScheduler : public DispatchScheduler {
   std::vector<rdma::RequestPtr> DrainMatching(
       const std::function<bool(const rdma::Request&)>& pred) override;
   std::size_t QueueDepth(CgroupId cg) const override;
+  /// Drops the cgroup's VQP (must be empty — enforced) and its timeliness
+  /// window along with the base drop counters. The shared virtual clock is
+  /// untouched: tags of other cgroups keep their rank.
+  void ForgetCgroup(CgroupId cg) override {
+    auto it = vqps_.find(cg);
+    if (it != vqps_.end()) {
+      assert(!it->second.Backlogged(rdma::Direction::kIngress) &&
+             !it->second.Backlogged(rdma::Direction::kEgress) &&
+             "retiring cgroup still has queued requests");
+      vqps_.erase(it);
+    }
+    timeliness_.Forget(cg);
+    DispatchScheduler::ForgetCgroup(cg);
+  }
   const char* name() const override { return "two-dim"; }
 
   TimelinessTracker& timeliness() { return timeliness_; }

@@ -13,7 +13,9 @@ ReservationManager::ReservationManager(sim::Simulator& sim,
 void ReservationManager::Start() {
   if (started_) return;
   started_ = true;
-  sim_.Schedule(cfg_.scan_period, [this] { Tick(); });
+  sim_.Schedule(cfg_.scan_period, [this, alive = alive_] {
+    if (*alive) Tick();
+  });
 }
 
 SwapEntryId ReservationManager::TakeReserved(mem::Page& page) {
@@ -64,7 +66,9 @@ bool ReservationManager::Cancel(mem::Page& page) {
 }
 
 void ReservationManager::Tick() {
-  sim_.Schedule(cfg_.scan_period, [this] { Tick(); });
+  sim_.Schedule(cfg_.scan_period, [this, alive = alive_] {
+    if (*alive) Tick();
+  });
   auto& alloc = partition_.allocator();
   if (alloc.Utilization() < cfg_.pressure_threshold) return;
   ++scans_;

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -54,6 +55,14 @@ class ReservationManager {
 
   /// Begin periodic scanning.
   void Start();
+
+  /// Tenant retirement (DESIGN.md §15): the manager may be destroyed while
+  /// a scan tick is still pending on the DES clock. The tick holds the
+  /// alive token and becomes a no-op once the manager is gone, so
+  /// destruction at reap time is safe without draining the event queue.
+  ~ReservationManager() {
+    if (alive_) *alive_ = false;
+  }
 
   /// Swap-out fast path: returns the reserved entry (lock-free) or
   /// kInvalidEntry if the page must take the allocation path.
@@ -110,6 +119,8 @@ class ReservationManager {
   std::uint64_t removals_ = 0;
   std::uint64_t scans_ = 0;
   bool started_ = false;
+  /// Liveness token captured by pending scan ticks (see ~ReservationManager).
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace canvas::swapalloc
