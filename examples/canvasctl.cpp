@@ -25,8 +25,8 @@
 //   canvasctl list-tiers                        hybrid local-tier presets
 //
 // Axis flags are unified across run/sweep/serve/churn: every plural form
-// (--systems= --topologies= --tiers= --arrivals= --harvests= --seeds=
-// --ratios= --scales=) is REPEATABLE — the first occurrence replaces the
+// (--systems= --topologies= --tiers= --granularities= --arrivals=
+// --harvests= --seeds= --ratios= --scales=) is REPEATABLE — the first occurrence replaces the
 // default, later occurrences append — and takes comma-separated lists.
 // The singular forms (--system= --topology= --tier= --arrival= --harvest=
 // --seed= --ratio= --scale=) are deprecated shims for the plural spelling
@@ -38,6 +38,9 @@
 //                    (default single)
 //   --tier=T         hybrid local-tier preset from `canvasctl list-tiers`
 //                    (default none = two-level hierarchy)
+//   --granularity=G  swap granularity: page | object (default page;
+//                    `object` enables behaviour-scheduled object fetching
+//                    for registry-aware workloads such as `chase`)
 //   --scale=S        workload scale factor (default 0.3)
 //   --ratio=R        local memory fraction of working set (default 0.25)
 //   --seed=N         workload seed (default 7)
@@ -63,6 +66,7 @@
 //   --topologies=T1,T2  server-topology axis (overrides --topology)
 //   --tiers=T1,T2    local-tier axis (overrides --tier; composes with the
 //                    topology axis as a full grid)
+//   --granularities=G1,G2  swap-granularity axis (page | object)
 //   --ratios=R1,R2   local-memory-ratio axis (overrides --ratio)
 //   --scales=S1,S2   scale axis (overrides --scale)
 //   --seeds=N1,N2    seed axis (overrides --seed)
@@ -86,6 +90,9 @@
 //   --slo-p99-us=N   per-window p99 fault-latency SLO, microseconds
 //   --slo-p999-us=N  per-window p99.9 SLO, microseconds
 //   --no-qos         disable the QoS/admission plane (observe-only SLOs)
+//   --qos-curve=F    per-window supply curve CSV (`time_ms,scale` rows,
+//                    serving/supply_curve.h) scaling every tenant's SLO
+//                    bounds each control tick
 //   (plus the sweep execution options: --jobs, --thread-budget, --out, ...)
 //
 // The pre-subcommand flat form (`canvasctl --system=... app ...`) was
@@ -115,6 +122,7 @@
 #include "remote/harvest.h"
 #include "remote/pool.h"
 #include "serving/harness.h"
+#include "serving/supply_curve.h"
 #include "tier/tier.h"
 #include "workload/apps.h"
 #include "workload/churn.h"
@@ -145,6 +153,7 @@ struct Options {
   Axis<std::string> systems = {"canvas"};
   Axis<std::string> topologies = {"single"};
   Axis<std::string> tiers = {"none"};
+  Axis<std::string> granularities = {"page"};
   Axis<std::string> harvests = {"closed-loop"};
   Axis<double> ratios = {0.25};
   Axis<double> scales = {0.3};
@@ -163,6 +172,8 @@ struct Options {
   // serve-only
   Axis<std::string> arrivals = {"poisson"};
   bool qos = true;
+  // serve-only: supply curve CSV (serving::SupplyCurve, `time_ms,scale`)
+  std::string qos_curve_path;
   double horizon_sec = 2.0;
   serving::SloConfig slo;
   std::vector<serving::TenantSpec> tenants;
@@ -182,6 +193,7 @@ int Usage(FILE* to, int code) {
       "                       app[:cores] ...\n"
       "       canvasctl serve [--arrivals=poisson,diurnal,flash]\n"
       "                       [--horizon=SEC] [--slo-p99-us=N] [--no-qos]\n"
+      "                       [--qos-curve=FILE]\n"
       "                       [sweep execution options]\n"
       "                       [tenant[:rate_rps[:mods]] ...]\n"
       "       canvasctl churn [--churn-kind=poisson|diurnal|trace]\n"
@@ -193,12 +205,14 @@ int Usage(FILE* to, int code) {
       "                       [template[:scale[:weight]] ...]\n"
       "       canvasctl list-apps | list-axes | list-systems |\n"
       "                 list-servers | list-tiers\n"
-      "options: --system=NAME --topology=T --tier=T --ratio=R --scale=S\n"
+      "options: --system=NAME --topology=T --tier=T --granularity=G\n"
+      "         --ratio=R --scale=S\n"
       "         --seed=N --format=table|csv|json --no-adaptive\n"
       "         --no-horizontal --prefetcher=none|readahead|leap|two-tier\n"
       "         --sim-threads=N --fault-plan=FILE\n"
       "axes:    every plural flag (--systems= --topologies= --tiers=\n"
-      "         --arrivals= --harvests= --seeds= --ratios= --scales=) is\n"
+      "         --granularities= --arrivals= --harvests= --seeds=\n"
+      "         --ratios= --scales=) is\n"
       "         repeatable and takes comma lists; values per axis in\n"
       "         `canvasctl list-axes`. Singular forms are deprecated\n"
       "         aliases.\n"
@@ -270,6 +284,10 @@ bool ParseAxis(const std::string& arg, Options& opt) {
     opt.tiers.Add(SplitCommas(value("--tiers=")));
   } else if (arg.rfind("--tier=", 0) == 0) {
     opt.tiers.Add(SplitCommas(value("--tier=")));
+  } else if (arg.rfind("--granularities=", 0) == 0) {
+    opt.granularities.Add(SplitCommas(value("--granularities=")));
+  } else if (arg.rfind("--granularity=", 0) == 0) {
+    opt.granularities.Add(SplitCommas(value("--granularity=")));
   } else if (arg.rfind("--harvests=", 0) == 0) {
     opt.harvests.Add(SplitCommas(value("--harvests=")));
   } else if (arg.rfind("--harvest=", 0) == 0) {
@@ -376,6 +394,8 @@ bool ParseServeOnly(const std::string& arg, Options& opt) {
     opt.slo.p999_ns = SimTime(std::atof(value("--slo-p999-us=").c_str()) * 1e3);
   } else if (arg == "--no-qos") {
     opt.qos = false;
+  } else if (arg.rfind("--qos-curve=", 0) == 0) {
+    opt.qos_curve_path = value("--qos-curve=");
   } else {
     return false;
   }
@@ -496,7 +516,8 @@ bool ParseApp(const std::string& arg, Options& opt) {
 
 int ListApps() {
   for (const std::string& n : workload::ManagedAppNames()) std::puts(n.c_str());
-  for (const char* n : {"xgboost", "snappy", "memcached"}) std::puts(n);
+  for (const char* n : {"xgboost", "snappy", "memcached", "chase"})
+    std::puts(n);
   return 0;
 }
 
@@ -549,6 +570,18 @@ tier::TierConfig ResolveTier(const std::string& name) {
   }
 }
 
+/// Map a --granularity value to SystemConfig::objects.enabled (exit 2 on
+/// an unknown name).
+bool ResolveGranularity(const std::string& name) {
+  auto enabled = orchestrator::GranularityFromName(name);
+  if (!enabled) {
+    std::fprintf(stderr, "unknown granularity '%s' (page | object)\n",
+                 name.c_str());
+    std::exit(2);
+  }
+  return *enabled;
+}
+
 remote::HarvestConfig ResolveHarvest(const std::string& name) {
   try {
     return remote::HarvestConfig::FromName(name);
@@ -571,6 +604,10 @@ int ListAxes() {
     t.AddRow({"--tiers", name, description});
   for (const auto& [name, description] : remote::HarvestConfig::ListPresets())
     t.AddRow({"--harvests", name, description});
+  t.AddRow({"--granularities", "page", "classic page-granular demand swap"});
+  t.AddRow({"--granularities", "object",
+            "behaviour-scheduled object fetching (DESIGN.md \xC2\xA7"
+            "16)"});
   for (const char* name : {"poisson", "diurnal", "flash"})
     t.AddRow({"--arrivals", name, "serving arrival process"});
   for (const char* name : {"poisson", "diurnal", "trace"})
@@ -583,6 +620,7 @@ int RunOne(const Options& opt) {
   auto cfg = ResolveSystem(opt.systems.front(), opt.overrides);
   cfg.remote = ResolveTopology(opt.topologies.front());
   cfg.tier = ResolveTier(opt.tiers.front());
+  cfg.objects.enabled = ResolveGranularity(opt.granularities.front());
   // An explicit --harvest overrides the topology preset's own schedule.
   if (opt.harvests.set)
     cfg.remote.harvest = ResolveHarvest(opt.harvests.front());
@@ -644,6 +682,7 @@ int RunSweep(const Options& opt) {
   scenario.systems = opt.systems;
   scenario.topologies = opt.topologies;
   scenario.tiers = opt.tiers;
+  scenario.granularities = opt.granularities;
   scenario.overrides = opt.overrides;
   scenario.ratios = opt.ratios;
   scenario.scales = opt.scales;
@@ -659,6 +698,7 @@ int RunSweep(const Options& opt) {
   for (const std::string& s : scenario.systems) ResolveSystem(s, {});
   for (const std::string& t : scenario.topologies) ResolveTopology(t);
   for (const std::string& t : scenario.tiers) ResolveTier(t);
+  for (const std::string& g : scenario.granularities) ResolveGranularity(g);
 
   orchestrator::SweepOptions sweep_opts;
   sweep_opts.jobs = opt.jobs;
@@ -704,9 +744,20 @@ int RunServe(const Options& opt) {
   scenario.seeds = opt.seeds;
   scenario.sim_threads = opt.sim_threads;
   scenario.qos_enabled = opt.qos;
+  if (!opt.qos_curve_path.empty()) {
+    std::string err;
+    auto curve = serving::SupplyCurve::LoadFile(opt.qos_curve_path, &err);
+    if (!curve) {
+      std::fprintf(stderr, "bad supply curve '%s': %s\n",
+                   opt.qos_curve_path.c_str(), err.c_str());
+      std::exit(2);
+    }
+    scenario.qos.supply = std::move(*curve);
+  }
   // `serve` defaults to the pool4 topology (the QoS plane's migration
   // lever needs a multi-server pool); --topology/--topologies override.
   scenario.topologies = opt.topologies;
+  scenario.granularities = opt.granularities;
 
   scenario.tenants = opt.tenants;
   if (scenario.tenants.empty()) {
@@ -729,6 +780,7 @@ int RunServe(const Options& opt) {
   }
   for (const std::string& s : scenario.systems) ResolveSystem(s, {});
   for (const std::string& t : scenario.topologies) ResolveTopology(t);
+  for (const std::string& g : scenario.granularities) ResolveGranularity(g);
   for (const std::string& a : scenario.arrivals) {
     if (!workload::ArrivalKindFromName(a)) {
       std::fprintf(stderr,

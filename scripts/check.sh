@@ -27,7 +27,9 @@ ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS"
 # under harvesting, the serving suite runs the open-loop QoS plane, the
 # tier suite promotes/demotes pages across the hybrid local tier, and the
 # churn suite retires and reaps tenants mid-run (where stale-slot
-# use-after-frees would hide), so they always also run under ASan+UBSan.
+# use-after-frees would hide), and the object suite churns the object
+# registry and pins/unpins behaviour read-sets through the cooperative
+# channel, so they always also run under ASan+UBSan.
 # Skipped when the main build is already sanitized.
 if [ -z "${CANVAS_SANITIZE:-}" ] && [ "${CANVAS_NO_ASAN_FAULT:-0}" != "1" ]; then
   SAN_BUILD="${SAN_BUILD_DIR:-$ROOT/build-asan}"
@@ -35,9 +37,9 @@ if [ -z "${CANVAS_SANITIZE:-}" ] && [ "${CANVAS_NO_ASAN_FAULT:-0}" != "1" ]; the
   cmake --build "$SAN_BUILD" -j"$JOBS" \
     --target fault_injection_test fault_property_test trace_test \
              orchestrator_test remote_test serving_test workload_test \
-             parallel_test tier_test churn_test
+             parallel_test tier_test churn_test object_test
   ctest --test-dir "$SAN_BUILD" \
-    -L 'fault|trace|orchestrator|remote|serving|tier|churn' \
+    -L 'fault|trace|orchestrator|remote|serving|tier|churn|object' \
     --output-on-failure -j"$JOBS"
 fi
 
@@ -50,6 +52,8 @@ fi
 # multi-job serving sweeps, the tier suite (label `tier`) adds the
 # tiered serial-vs-parallel byte-identity differentials, and the churn
 # suite (label `churn`) races churn sweeps across jobs and engine
+# threads with byte-identity differentials, and the object suite
+# (label `object`) replays cooperative chase runs at 1/2/8 engine
 # threads with byte-identity differentials. TSan cannot be combined
 # with ASan — separate build. CANVAS_NO_TSAN=1 skips it.
 if [ -z "${CANVAS_SANITIZE:-}" ] && [ "${CANVAS_NO_TSAN:-0}" != "1" ]; then
@@ -58,9 +62,9 @@ if [ -z "${CANVAS_SANITIZE:-}" ] && [ "${CANVAS_NO_TSAN:-0}" != "1" ]; then
   cmake --build "$TSAN_BUILD" -j"$JOBS" \
     --target orchestrator_test parallel_test sim_test determinism_test \
              fault_injection_test trace_test remote_test serving_test \
-             workload_test tier_test churn_test
+             workload_test tier_test churn_test object_test
   ctest --test-dir "$TSAN_BUILD" \
-    -L 'orchestrator|sim|parallel|determinism|serving|tier|churn' \
+    -L 'orchestrator|sim|parallel|determinism|serving|tier|churn|object' \
     --output-on-failure -j"$JOBS"
 fi
 
@@ -97,5 +101,14 @@ CANVAS_SERVING_JSON="${CANVAS_SERVING_JSON:-$BUILD/BENCH_serving.json}" \
 # byte-identical reports across engine thread counts).
 CANVAS_CLUSTER_JSON="${CANVAS_CLUSTER_JSON:-$BUILD/BENCH_cluster.json}" \
   "$BUILD/bench/cluster_day" "${HARNESS_ARGS[@]:-}"
+
+# Object-granularity showdown: page-demand vs cooperative-object on the
+# behaviour-structured pointer-chasing workload across {pool4,
+# pool4-harvest} x {none, cxl}, with hard checks (cooperative-object
+# beats page-demand on BOTH p99 fault-stall latency and demand-fault
+# count on every grid point, and serial vs sim-threads=3 reports stay
+# byte-identical).
+CANVAS_OBJECT_JSON="${CANVAS_OBJECT_JSON:-$BUILD/BENCH_object.json}" \
+  "$BUILD/bench/object_granularity" "${HARNESS_ARGS[@]:-}"
 
 echo "check.sh: all green"

@@ -96,6 +96,28 @@ struct SystemConfig {
   /// the preset registry ("none", "cxl", "nvm").
   tier::TierConfig tier;
 
+  // --- object-granularity cooperative swapping (DESIGN.md §16) ---
+  /// Behaviour-scheduled object fetching layered on the per-app
+  /// ObjectRegistry. Off (default) keeps every hook on its constant fast
+  /// path — no registry is attached, no pin is ever taken, and reports are
+  /// byte-identical to pre-object builds. Enabling it only changes
+  /// applications whose workload ships an object registry (e.g. "chase");
+  /// page-granular apps run unchanged either way.
+  struct ObjectConfig {
+    bool enabled = false;
+    /// Behaviours fetched ahead of the running one, per thread.
+    std::uint32_t lookahead = 2;
+    /// Per-cgroup cap on concurrently pinned pages across open behaviours
+    /// (0 = 1/4 of the cgroup's local memory). The front behaviour is
+    /// always admitted, so the cap gates lookahead only.
+    std::uint64_t max_pinned_pages = 0;
+    /// Registry quotas applied to each app's registry at admission
+    /// (0 = unbounded): live objects and total span pages per cgroup.
+    std::uint64_t max_objects = 0;
+    std::uint64_t max_object_pages = 0;
+  };
+  ObjectConfig objects;
+
   // --- parallel DES engine (DESIGN.md §12) ---
   /// Worker threads for one simulation run. 1 (default) = the serial
   /// engine, byte-identical to pre-parallel builds. With >1 and a

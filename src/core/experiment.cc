@@ -8,6 +8,7 @@ std::uint32_t PaperCores(const std::string& name) {
   if (name == "xgboost") return 16;
   if (name == "memcached") return 4;
   if (name == "snappy") return 1;
+  if (name == "chase") return 4;
   return 24;
 }
 

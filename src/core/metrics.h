@@ -53,6 +53,19 @@ struct AppMetrics {
   std::uint64_t tier_rejects = 0;    ///< admissions refused (capacity/quota)
   std::uint64_t tier_failovers = 0;  ///< remote -> local-tier transitions
 
+  // --- object-granularity cooperative swapping (DESIGN.md §16; all zero
+  // with the object registry off) ---
+  std::uint64_t behaviours_declared = 0;   ///< read-sets declared+pinned
+  std::uint64_t behaviours_dispatched = 0; ///< behaviours started running
+  std::uint64_t behaviours_completed = 0;  ///< behaviours retired (unpinned)
+  std::uint64_t object_fetches = 0;     ///< cooperative-channel page fetches
+  std::uint64_t object_fetch_hits = 0;  ///< read-set pages already local
+  std::uint64_t object_pins = 0;        ///< object pins taken (registry)
+  std::uint64_t object_unpins = 0;      ///< object pins released
+  std::uint64_t object_stale_handles = 0;  ///< generation-check failures
+  std::uint64_t behaviour_deferrals = 0;   ///< lookahead held by pin budget
+  SimDuration behaviour_stall = 0;  ///< thread time parked awaiting read-sets
+
   /// End-to-end fault stall latency distribution (one sample per fault
   /// episode, nanoseconds). Log-bucketed and always on — the report's
   /// p50/p90/p99/p999 columns come from here, independent of the trace

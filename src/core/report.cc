@@ -26,6 +26,13 @@ const char* kTierCsvColumns =
     ",tier_swapins,tier_swapouts,tier_promotions,tier_demotions,"
     "tier_rejects,tier_failovers,tier_p50_ns,tier_p99_ns";
 
+// Appended only under schema v5 (object subsystem active) — see
+// kObjectReportSchemaVersion.
+const char* kObjectCsvColumns =
+    ",behaviours_declared,behaviours_dispatched,behaviours_completed,"
+    "object_fetches,object_fetch_hits,object_pins,object_unpins,"
+    "object_stale_handles,behaviour_deferrals,behaviour_stall_ns";
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   for (char c : s) {
@@ -42,7 +49,8 @@ namespace {
 /// One CSV metrics row (shared by live and retired tenants; the latter pass
 /// their ledger-recorded NIC byte totals).
 void CsvRow(std::ostream& os, const std::string& label, const AppMetrics& m,
-            double ingress_bytes, double egress_bytes, bool tiered) {
+            double ingress_bytes, double egress_bytes, bool tiered,
+            bool objects) {
   os << label << ',' << m.name << ',' << m.finish_time << ','
        << m.accesses << ',' << m.faults << ',' << m.faults_major << ','
        << m.faults_minor << ',' << m.faults_minor_prefetched << ','
@@ -68,10 +76,17 @@ void CsvRow(std::ostream& os, const std::string& label, const AppMetrics& m,
          << m.tier_rejects << ',' << m.tier_failovers << ','
          << m.tier_latency.Percentile(50) << ','
          << m.tier_latency.Percentile(99);
+    if (objects)
+      os << ',' << m.behaviours_declared << ',' << m.behaviours_dispatched
+         << ',' << m.behaviours_completed << ',' << m.object_fetches << ','
+         << m.object_fetch_hits << ',' << m.object_pins << ','
+         << m.object_unpins << ',' << m.object_stale_handles << ','
+         << m.behaviour_deferrals << ',' << m.behaviour_stall;
     os << '\n';
 }
 
 int SchemaVersionFor(const SwapSystem& system) {
+  if (system.objects_active()) return kObjectReportSchemaVersion;
   if (system.lifecycle_active()) return kChurnReportSchemaVersion;
   return system.tier() ? kTierReportSchemaVersion : kReportSchemaVersion;
 }
@@ -81,9 +96,11 @@ int SchemaVersionFor(const SwapSystem& system) {
 void WriteCsv(std::ostream& os, const SwapSystem& system,
               const std::string& label, bool header) {
   bool tiered = system.tier() != nullptr;
+  bool objects = system.objects_active();
   if (header) {
     os << "# schema: v" << SchemaVersionFor(system) << '\n' << kCsvHeader;
     if (tiered) os << kTierCsvColumns;
+    if (objects) os << kObjectCsvColumns;
     os << '\n';
   }
   for (std::size_t i = 0; i < system.app_count(); ++i) {
@@ -91,13 +108,15 @@ void WriteCsv(std::ostream& os, const SwapSystem& system,
     CgroupId cg = system.cgroup_of(i);
     CsvRow(os, label, system.metrics(i),
            system.nic().cgroup_bytes(cg, rdma::Direction::kIngress),
-           system.nic().cgroup_bytes(cg, rdma::Direction::kEgress), tiered);
+           system.nic().cgroup_bytes(cg, rdma::Direction::kEgress), tiered,
+           objects);
   }
   // Retired tenants that saw traffic ride along (schema v4); idle arrivals
   // are elided to keep thousand-tenant churn reports bounded by work done.
   for (const RetiredAppRecord& r : system.retired())
     if (r.metrics.accesses > 0)
-      CsvRow(os, label, r.metrics, r.ingress_bytes, r.egress_bytes, tiered);
+      CsvRow(os, label, r.metrics, r.ingress_bytes, r.egress_bytes, tiered,
+             objects);
 }
 
 void WriteJson(std::ostream& os, const SwapSystem& system,
@@ -219,6 +238,43 @@ void WriteJson(std::ostream& os, const SwapSystem& system,
        << ",\n    \"device_p50_ns\": " << t->latency().Percentile(50)
        << ",\n    \"device_p99_ns\": " << t->latency().Percentile(99)
        << "\n  },\n";
+  }
+  // Object-granularity section (schema v5): present only when the
+  // cooperative subsystem attached to at least one tenant, so registry-off
+  // reports stay byte-identical.
+  if (system.objects_active()) {
+    AppMetrics agg;
+    auto fold = [&agg](const AppMetrics& m) {
+      agg.behaviours_declared += m.behaviours_declared;
+      agg.behaviours_dispatched += m.behaviours_dispatched;
+      agg.behaviours_completed += m.behaviours_completed;
+      agg.object_fetches += m.object_fetches;
+      agg.object_fetch_hits += m.object_fetch_hits;
+      agg.object_pins += m.object_pins;
+      agg.object_unpins += m.object_unpins;
+      agg.object_stale_handles += m.object_stale_handles;
+      agg.behaviour_deferrals += m.behaviour_deferrals;
+      agg.behaviour_stall += m.behaviour_stall;
+    };
+    for (std::size_t i = 0; i < system.app_count(); ++i)
+      if (system.app_alive(i)) fold(system.metrics(i));
+    for (const RetiredAppRecord& r : system.retired()) fold(r.metrics);
+    os << "  \"objects\": {\n"
+       << "    \"lookahead\": " << system.config().objects.lookahead
+       << ",\n    \"behaviours_declared\": " << agg.behaviours_declared
+       << ",\n    \"behaviours_dispatched\": " << agg.behaviours_dispatched
+       << ",\n    \"behaviours_completed\": " << agg.behaviours_completed
+       << ",\n    \"object_fetches\": " << agg.object_fetches
+       << ",\n    \"object_fetch_hits\": " << agg.object_fetch_hits
+       << ",\n    \"object_pins\": " << agg.object_pins
+       << ",\n    \"object_unpins\": " << agg.object_unpins
+       << ",\n    \"object_stale_handles\": " << agg.object_stale_handles
+       << ",\n    \"behaviour_deferrals\": " << agg.behaviour_deferrals
+       << ",\n    \"behaviour_stall_ns\": " << agg.behaviour_stall;
+    if (const prefetch::TwoTierPrefetcher* tt = system.two_tier())
+      os << ",\n    \"cooperative_batches\": " << tt->cooperative_batches()
+         << ",\n    \"cooperative_pages\": " << tt->cooperative_pages();
+    os << "\n  },\n";
   }
   // Tenant lifecycle section (schema v4): present only when churn touched
   // the run, so classic fixed-tenant reports stay byte-identical.

@@ -30,6 +30,12 @@ inline constexpr int kTierReportSchemaVersion = 3;
 /// v2/v3 byte-for-byte.
 inline constexpr int kChurnReportSchemaVersion = 4;
 
+/// Schema emitted when object-granularity cooperative swapping ran
+/// (DESIGN.md §16 — SwapSystem::objects_active()): the CSV gains behaviour/
+/// object counter columns and the JSON gains an "objects" section.
+/// Registry-off runs keep emitting v2/v3/v4 byte-for-byte.
+inline constexpr int kObjectReportSchemaVersion = 5;
+
 /// Write one CSV row per application with the full metric set. When
 /// `header` is true, a `# schema: vN` comment line plus a header row are
 /// emitted first. `label` tags the run (system name, scenario id, ...).

@@ -19,6 +19,31 @@ constexpr std::uint32_t kDirectReclaimBudget = 4;
 constexpr SimDuration kReapPollPeriod = 50 * kMicrosecond;
 }  // namespace
 
+/// CooperativePort implementation (DESIGN.md §16): the mechanism boundary
+/// the behaviour scheduler issues object-granular batches through.
+class SwapSystem::ObjectPort : public object::CooperativePort {
+ public:
+  ObjectPort(SwapSystem& sys, AppState& app) : sys_(sys), app_(app) {}
+  void FetchAndPin(const std::vector<PageId>& pages,
+                   std::function<void()> ready) override {
+    sys_.CooperativeFetchAndPin(app_, pages, std::move(ready));
+  }
+  void Release(const std::vector<PageId>& pages) override {
+    sys_.CooperativeRelease(app_, pages);
+  }
+
+ private:
+  SwapSystem& sys_;
+  AppState& app_;
+};
+
+/// In-flight state of one FetchAndPin batch. `pending` starts at 1 (a scan
+/// sentinel) so `ready` cannot fire while the issue loop is still running.
+struct SwapSystem::CoopBatch {
+  std::size_t pending = 1;
+  std::function<void()> ready;
+};
+
 SwapSystem::SwapSystem(sim::Simulator& sim, SystemConfig cfg,
                        std::vector<AppSpec> specs)
     : sim_(sim), cfg_(std::move(cfg)), tracer_(cfg_.trace) {
@@ -251,6 +276,30 @@ std::size_t SwapSystem::AddApp(AppSpec spec) {
   app->metrics.name = app->name;
   if (two_tier_)
     two_tier_->RegisterApp(app->cg, app->runtime.get(), app->managed);
+  // Object-granularity cooperative swapping (DESIGN.md §16): attach the
+  // workload's registry and a behaviour scheduler. Both gates must hold —
+  // the config switch AND a workload-shipped registry — so page-granular
+  // apps run unchanged even with the subsystem on.
+  if (cfg_.objects.enabled && spec.workload.objects) {
+    app->objects = spec.workload.objects;
+    if (cfg_.objects.max_objects || cfg_.objects.max_object_pages)
+      app->objects->SetQuota(object::RegistryConfig{
+          cfg_.objects.max_objects, cfg_.objects.max_object_pages});
+    app->object_port = std::make_unique<ObjectPort>(*this, *app);
+    object::SchedulerConfig sc;
+    sc.lookahead = std::max<std::uint32_t>(cfg_.objects.lookahead, 1);
+    sc.max_pinned_pages = cfg_.objects.max_pinned_pages
+                              ? cfg_.objects.max_pinned_pages
+                              : spec.cgroup.local_mem_pages / 4;
+    app->behaviours = std::make_unique<object::BehaviourScheduler>(
+        app->objects.get(), app->object_port.get(), sc);
+    app->behaviours->SetReadyCallback(
+        [this, a = app.get()](ThreadId tid) { OnBehaviourReady(*a, tid); });
+    // Read-sets arrive through the cooperative channel: the speculative
+    // tiers stand down for this cgroup.
+    if (two_tier_) two_tier_->SetCooperative(app->cg, true);
+    objects_active_ = true;
+  }
   if (two_dim_) two_dim_->RegisterCgroup(app->cg, spec.cgroup.rdma_weight);
   if (pool_ && app->owned_partition) {
     std::uint32_t pid =
@@ -518,6 +567,15 @@ void SwapSystem::ReapApp(AppState& app) {
   app.streams.clear();
   app.keepalive.clear();
   app.runtime.reset();
+  // Object subsystem teardown (DESIGN.md §16): every behaviour already
+  // unpinned at thread finish; Clear() bumps the registry generation so
+  // handles that outlive the tenant fail Find/Pin safely.
+  app.behaviours.reset();
+  app.object_port.reset();
+  if (app.objects) {
+    app.objects->Clear();
+    app.objects.reset();
+  }
   app.group_last_fault.clear();
   app.group_last_fault.shrink_to_fit();
   app.group_faults.clear();
@@ -1115,8 +1173,18 @@ void SwapSystem::RunThread(AppState& app, ThreadCtx& th) {
     FinishThread(app, th, 0);
     return;
   }
+  // Behaviour scheduling (DESIGN.md §16): before dispatching accesses,
+  // retire a finished behaviour and make sure the next one's read-set is
+  // pinned locally. True = the thread parked until the batch arrives.
+  if (app.behaviours && PumpBehaviours(app, th)) return;
   SimDuration elapsed = 0;
   for (int i = 0; i < kAccessBatch; ++i) {
+    if (app.behaviours && th.stream->NextBehaviour() != th.behaviour) {
+      // Behaviour boundary mid-batch: re-enter through the pump so the
+      // finished behaviour unpins and the next read-set is fetched.
+      sim_.Schedule(elapsed, [this, a = &app, t = &th] { RunThread(*a, *t); });
+      return;
+    }
     // Pass the instant this access will start executing so open-loop
     // streams can pace against their absolute arrival schedule.
     auto acc = th.stream->NextAt(sim_.Now() + elapsed);
@@ -1154,6 +1222,14 @@ void SwapSystem::FinishThread(AppState& app, ThreadCtx& th,
     t->finish = sim_.Now();
     ++a->threads_done;
     a->metrics.finish_time = std::max(a->metrics.finish_time, t->finish);
+    if (a->behaviours) {
+      // Unpin everything the thread still holds (open + lookahead
+      // behaviours) so the pages rejoin normal eviction and the tenant can
+      // quiesce for reap.
+      a->behaviours->ReleaseThread(t->tid);
+      t->behaviour = object::kNoBehaviour;
+      SyncObjectMetrics(*a);
+    }
   });
 }
 
@@ -1421,7 +1497,9 @@ void SwapSystem::DemandSwapIn(AppState& app, ThreadCtx& th,
           else if (!r.served_by_disk)
             MaybePromoteToTier(*a, page, pg2);
         }
-        CacheFor(*a, pg2).Unlock(a->cg, page);
+        // A pinned page stays cache-locked until its behaviour releases it
+        // (DESIGN.md §16); pins are always zero with the registry off.
+        if (pg2.pins == 0) CacheFor(*a, pg2).Unlock(a->cg, page);
         pg2.in_flight = false;
         sim_.Schedule(cfg_.map_cost, [this, a, t, page, acc, expected,
                                       resume] {
@@ -1541,7 +1619,7 @@ void SwapSystem::IssuePrefetches(AppState& app,
       if (pg.state != mem::PageState::kSwapCache || !pg.in_flight) return;
       CheckSwapInOracle(*a, pg, r);
       ++a->metrics.prefetch_completed;
-      a->cache->Unlock(a->cg, cand);
+      if (pg.pins == 0) a->cache->Unlock(a->cg, cand);
       pg.in_flight = false;
       pg.in_flight_prefetch = false;
       WakeWaiters(*a, cand);
@@ -1610,7 +1688,7 @@ void SwapSystem::IssueRescueDemand(AppState& app, PageId page) {
     CheckSwapInOracle(*a, pg, r);
     if (tier_ && r.served_by_tier)
       a->metrics.tier_latency.Add(std::uint64_t(r.completed - r.created));
-    a->cache->Unlock(a->cg, page);
+    if (pg.pins == 0) a->cache->Unlock(a->cg, page);
     pg.in_flight = false;
     pg.in_flight_prefetch = false;
     WakeWaiters(*a, page);
@@ -1627,6 +1705,283 @@ void SwapSystem::IssueRescueDemand(AppState& app, PageId page) {
         ReissueDemand(*a, std::move(r));
       };
     scheduler_->Enqueue(std::move(req));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Object-granularity cooperative swapping (DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+void SwapSystem::CoopDone(CoopBatch& batch) {
+  if (--batch.pending == 0 && batch.ready) batch.ready();
+}
+
+bool SwapSystem::PumpBehaviours(AppState& app, ThreadCtx& th) {
+  std::uint64_t next = th.stream->NextBehaviour();
+  if (th.behaviour != object::kNoBehaviour && th.behaviour != next) {
+    // The previous behaviour ran to completion: unpin its read-set.
+    app.behaviours->CompleteFront(th.tid);
+    th.behaviour = object::kNoBehaviour;
+  }
+  if (next == object::kNoBehaviour) {
+    // Unstructured (or drained) stream: plain page-granular execution.
+    SyncObjectMetrics(app);
+    return false;
+  }
+  if (th.behaviour == next) return false;  // still inside the behaviour
+  app.behaviours->Pump(
+      th.tid, [t = &th](std::size_t idx, std::vector<object::ObjectHandle>& out) {
+        return t->stream->PeekBehaviour(idx, out);
+      });
+  if (!app.behaviours->HasFront(th.tid)) {
+    // The scheduler declined to declare (no resolvable read-set): run the
+    // behaviour page-granular so the thread keeps making progress.
+    th.behaviour = next;
+    SyncObjectMetrics(app);
+    return false;
+  }
+  if (app.behaviours->FrontReady(th.tid)) {
+    app.behaviours->Dispatch(th.tid);
+    th.behaviour = next;
+    SyncObjectMetrics(app);
+    return false;
+  }
+  // Read-set still arriving: park until the batch's `ready` fires.
+  th.parked = true;
+  th.park_started = sim_.Now();
+  SyncObjectMetrics(app);
+  return true;
+}
+
+void SwapSystem::OnBehaviourReady(AppState& app, ThreadId tid) {
+  for (auto& th : app.threads) {
+    if (th.tid != tid) continue;
+    if (!th.parked || th.done) return;
+    th.parked = false;
+    app.metrics.behaviour_stall += sim_.Now() - th.park_started;
+    sim_.Schedule(0, [this, a = &app, t = &th] { RunThread(*a, *t); });
+    return;
+  }
+}
+
+void SwapSystem::CooperativeFetchAndPin(AppState& app,
+                                        const std::vector<PageId>& pages,
+                                        std::function<void()> ready) {
+  auto batch = std::make_shared<CoopBatch>();
+  batch->ready = std::move(ready);
+  if (two_tier_) two_tier_->NoteCooperativeBatch(app.cg, pages.size());
+  for (PageId page : pages) {
+    if (page >= app.pages.size()) continue;  // defensive clamp
+    mem::Page& p = app.pages[page];
+    ++p.pins;  // taken up front; CooperativeRelease balances
+    // "Already local" accounting happens here, before any stepping, so a
+    // page that arrives through its own cooperative fetch is not also
+    // counted as a hit by the post-completion re-step.
+    if (p.state == mem::PageState::kResident ||
+        p.state == mem::PageState::kUntouched ||
+        (p.state == mem::PageState::kSwapCache && !p.in_flight &&
+         !p.under_writeback))
+      ++app.metrics.object_fetch_hits;
+    ++batch->pending;
+    StepObjectPage(app, page, batch);
+  }
+  CoopDone(*batch);  // release the scan sentinel
+}
+
+void SwapSystem::StepObjectPage(AppState& app, PageId page,
+                                std::shared_ptr<CoopBatch> batch) {
+  if (app.reaped) {
+    CoopDone(*batch);
+    return;
+  }
+  mem::Page& p = app.pages[page];
+  switch (p.state) {
+    case mem::PageState::kUntouched: {
+      // MAP_POPULATE-style preparation: commit the zero-fill frame ahead
+      // of dispatch so the behaviour's first touch is a plain resident
+      // access instead of a direct-reclaim stall mid-behaviour. Any
+      // reclaim this triggers overlaps the previous behaviour's compute.
+      CoreId core = app.threads.empty() ? 0 : app.threads.front().core;
+      EnsureFrame(app, core, [this, a = &app, page, batch] {
+        if (a->reaped) {
+          CoopDone(*batch);
+          return;
+        }
+        mem::Page& pg = a->pages[page];
+        if (pg.state != mem::PageState::kUntouched) {
+          StepObjectPage(*a, page, batch);  // touched while we waited
+          return;
+        }
+        pg.state = mem::PageState::kResident;
+        pg.dirty = true;  // anonymous page with no backing store yet
+        ++pg.content_version;
+        ++a->metrics.first_touches;
+        cgroups_.Get(a->cg).ChargeResident();
+        a->lru->AddActive(page);
+        CoopDone(*batch);
+      });
+      return;
+    }
+    case mem::PageState::kResident:
+      // Local already.
+      CoopDone(*batch);
+      return;
+    case mem::PageState::kSwapCache:
+      if (p.in_flight || p.under_writeback) {
+        // A transfer owns the page: continue when it resolves. Registering
+        // as a waiter also keeps the §5.3 drop -> rescue conversion alive
+        // for any fetch already in flight.
+        waiters_[WaiterKey(app, page)].push_back(
+            [this, a = &app, page, batch] { StepObjectPage(*a, page, batch); });
+        return;
+      }
+      // Cached and idle: the pin keeps the entry locked against shrinking.
+      if (p.pins != 0) CacheFor(app, p).Lock(app.cg, page);
+      CoopDone(*batch);
+      return;
+    case mem::PageState::kRemote: {
+      // Blackout / failover / disk-homed / shared copies stay with the
+      // demand path, which routes them to the right backend — the
+      // content-version oracle and failover semantics are untouched. The
+      // pin still protects the page once it lands. (Tier-homed pages ARE
+      // fetched cooperatively: the tier backend never drops, so the batch
+      // continuation is safe there.)
+      if (app.retiring || p.shared || p.entry == kInvalidEntry ||
+          p.disk_backed ||
+          (injector_ &&
+           (injector_->ServerDown(sim_.Now()) ||
+            cgroups_.Get(app.cg).backend() != SwapBackend::kRemote))) {
+        CoopDone(*batch);
+        return;
+      }
+      CoreId core = app.threads.empty() ? 0 : app.threads.front().core;
+      EnsureFrame(app, core, [this, a = &app, page, batch] {
+        if (a->reaped) {
+          CoopDone(*batch);
+          return;
+        }
+        mem::Page& pg = a->pages[page];
+        if (pg.state != mem::PageState::kRemote || pg.in_flight) {
+          StepObjectPage(*a, page, batch);  // raced: re-examine from the top
+          return;
+        }
+        // Register the continuation *before* the request reaches the
+        // scheduler, so a drop sees a waiter and converts to a rescue
+        // demand (§5.3) whose completion wakes this batch.
+        waiters_[WaiterKey(*a, page)].push_back(
+            [this, a, page, batch] { StepObjectPage(*a, page, batch); });
+        IssueCooperativeFetch(*a, page);
+      });
+      return;
+    }
+  }
+}
+
+void SwapSystem::IssueCooperativeFetch(AppState& app, PageId page) {
+  // Caller (StepObjectPage) guarantees: kRemote, not in flight, entry
+  // valid, remote-backed, healthy fabric, batch waiter registered.
+  mem::Page& p = app.pages[page];
+  cgroups_.Get(app.cg).ChargeCache();
+  app.cache->Insert(app.cg, page, /*locked=*/true, /*prefetched=*/false,
+                    sim_.Now());
+  p.state = mem::PageState::kSwapCache;
+  p.in_flight = true;
+  p.in_flight_prefetch = true;  // async class: §5.3 rescue applies
+  p.prefetched_unused = false;  // declared, not speculative: accuracy clean
+  std::uint32_t expected = ++p.seq;
+  auto& pmeta = PartitionFor(app, p).meta(p.entry);
+  pmeta.prefetch_ts = sim_.Now();
+  pmeta.valid = true;
+  ++app.metrics.object_fetches;
+  // Reap-quiescence accounting; no max_inflight_prefetch cap — the pin
+  // budget already bounds cooperative in-flight pages.
+  ++app.prefetch_inflight;
+  tracer_.Instant(std::uint32_t(app.index), trace::kCgroupTrack,
+                  trace::Name::kPrefetchIssue, sim_.Now(), page);
+
+  auto req = std::make_unique<rdma::Request>();
+  req->op = rdma::Op::kPrefetchIn;
+  req->cooperative = true;
+  req->cgroup = app.cg;
+  req->page = page;
+  req->entry = p.entry;
+  req->owner_app = std::uint32_t(app.index);
+  req->created = sim_.Now();
+  StampPool(app, p, *req, /*place=*/false);
+  req->on_complete = [this, a = &app, page, expected](const rdma::Request& r) {
+    if (a->prefetch_inflight > 0) --a->prefetch_inflight;
+    mem::Page& pg = a->pages[page];
+    if (pg.seq != expected) return;  // page moved on (a rescue owns it)
+    if (pg.entry != kInvalidEntry) {
+      auto& m = PartitionFor(*a, pg).meta(pg.entry);
+      if (!m.valid) {
+        // A rescuing demand took over (§5.3): stale data discards itself.
+        m.valid = true;
+        ++a->metrics.prefetch_discarded;
+        return;
+      }
+    }
+    if (pg.state != mem::PageState::kSwapCache || !pg.in_flight) return;
+    CheckSwapInOracle(*a, pg, r);
+    if (tier_ && r.served_by_tier)
+      a->metrics.tier_latency.Add(std::uint64_t(r.completed - r.created));
+    if (pg.pins == 0) a->cache->Unlock(a->cg, page);
+    pg.in_flight = false;
+    pg.in_flight_prefetch = false;
+    WakeWaiters(*a, page);  // the batch continuation re-steps here
+    ShrinkCache(*a, a->cache->capacity());
+  };
+  req->on_drop = [this, a = &app, page, expected](const rdma::Request&) {
+    if (a->prefetch_inflight > 0) --a->prefetch_inflight;
+    mem::Page& pg = a->pages[page];
+    ++a->metrics.prefetch_dropped;
+    if (pg.seq != expected) return;
+    // The batch continuation is always a registered waiter, so a drop
+    // converts to a rescue demand rather than unwinding in-flight state.
+    pg.in_flight_prefetch = false;
+    if (pg.entry != kInvalidEntry)
+      PartitionFor(*a, pg).meta(pg.entry).prefetch_ts = kTimeNever;
+    IssueRescueDemand(*a, page);
+  };
+  if (tier_ && p.tier_backed) {
+    // The copy of record lives in the local slow tier: the cooperative
+    // batch reads it at slow-memory latency, never touching the fabric
+    // (the tier backend always completes, so on_drop stays unused).
+    ++app.metrics.tier_swapins;
+    tier_->Submit(std::move(req));
+  } else {
+    scheduler_->Enqueue(std::move(req));
+  }
+}
+
+void SwapSystem::CooperativeRelease(AppState& app,
+                                    const std::vector<PageId>& pages) {
+  if (app.reaped) return;
+  for (PageId page : pages) {
+    if (page >= app.pages.size()) continue;
+    mem::Page& p = app.pages[page];
+    if (p.pins == 0) continue;  // clamped at FetchAndPin: stay balanced
+    --p.pins;
+    if (p.pins != 0) continue;
+    // Last pin gone: a still-cached page rejoins the shrink LRU.
+    if (p.state == mem::PageState::kSwapCache && !p.in_flight &&
+        !p.under_writeback)
+      CacheFor(app, p).Unlock(app.cg, page);
+  }
+}
+
+void SwapSystem::SyncObjectMetrics(AppState& app) {
+  if (!app.behaviours) return;
+  const object::BehaviourStats& s = app.behaviours->stats();
+  AppMetrics& m = app.metrics;
+  m.behaviours_declared = s.declared;
+  m.behaviours_dispatched = s.dispatched;
+  m.behaviours_completed = s.completed;
+  m.object_stale_handles = s.stale_reads;
+  m.behaviour_deferrals = s.budget_deferrals;
+  if (app.objects) {
+    m.object_pins = app.objects->pins_issued();
+    m.object_unpins = app.objects->pins_released();
   }
 }
 

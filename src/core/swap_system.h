@@ -29,6 +29,7 @@
 #include "mem/lru.h"
 #include "mem/page.h"
 #include "mem/swap_cache.h"
+#include "object/behaviour.h"
 #include "prefetch/leap.h"
 #include "prefetch/readahead.h"
 #include "prefetch/two_tier.h"
@@ -138,6 +139,20 @@ class SwapSystem {
   /// True when EnableParallelServers attached a bridge.
   bool parallel_active() const { return bridge_ != nullptr; }
 
+  /// True when the object subsystem is live for at least one tenant this
+  /// run (SystemConfig::objects.enabled AND a workload shipped a registry).
+  /// Gates the report's object section so registry-off outputs keep the
+  /// previous schema byte-identically.
+  bool objects_active() const { return objects_active_; }
+  /// The tenant's object registry; null for page-granular apps or with the
+  /// subsystem off (test oracles: pin balance, generation checks).
+  const object::ObjectRegistry* objects(std::size_t app) const {
+    return apps_.at(app)->objects.get();
+  }
+  /// The two-tier prefetcher, when configured (cooperative stand-down
+  /// counters for the report); null for other prefetcher kinds.
+  const prefetch::TwoTierPrefetcher* two_tier() const { return two_tier_; }
+
   /// True when every thread of every app has drained its stream.
   bool AllFinished() const;
 
@@ -205,6 +220,12 @@ class SwapSystem {
     bool done = false;
     SimTime finish = 0;
     SimTime stall_started = 0;  // for fault_stall accounting
+    /// Object subsystem (DESIGN.md §16): the stream behaviour currently
+    /// dispatched to this thread (kNoBehaviour outside one), and park
+    /// state while the front behaviour's read-set batch is still arriving.
+    std::uint64_t behaviour = object::kNoBehaviour;
+    bool parked = false;
+    SimTime park_started = 0;
   };
 
   struct AppState {
@@ -243,6 +264,13 @@ class SwapSystem {
     bool reclaim_retry_scheduled = false;
     PageId strip_cursor = 0;
     std::uint32_t prefetch_inflight = 0;
+    /// Object-granularity cooperative swapping (DESIGN.md §16): registry,
+    /// port, and behaviour scheduler. All null unless
+    /// SystemConfig::objects.enabled and the workload ships a registry, so
+    /// the classic path never pays for them.
+    std::shared_ptr<object::ObjectRegistry> objects;
+    std::unique_ptr<object::CooperativePort> object_port;
+    std::unique_ptr<object::BehaviourScheduler> behaviours;
     /// Hybrid-tier policy state (sized only when the tier is enabled):
     /// per-page-group demand-fault heat for Memtrade-style cold detection
     /// (last fault instant) and hot-promotion (fault count since the group
@@ -277,6 +305,34 @@ class SwapSystem {
   void FinishThread(AppState& app, ThreadCtx& th, SimDuration elapsed);
   /// Background reclaim keeping a free-frame watermark (kswapd analogue).
   void KswapdTick(AppState& app);
+
+  // --- object-granularity cooperative swapping (DESIGN.md §16) ---
+  class ObjectPort;   // CooperativePort implementation over this system
+  struct CoopBatch;   // in-flight state of one FetchAndPin batch
+  /// Behaviour pump at dispatch: retire a finished behaviour, declare +
+  /// fetch lookahead read-sets, dispatch the front once its batch is
+  /// local. Returns true when the thread parked waiting for the batch
+  /// (OnBehaviourReady resumes it).
+  bool PumpBehaviours(AppState& app, ThreadCtx& th);
+  /// Scheduler ready callback: unpark `tid` if it waits on its front
+  /// behaviour, charging the wait to behaviour_stall.
+  void OnBehaviourReady(AppState& app, ThreadId tid);
+  /// CooperativePort mechanism: pin one behaviour's deduplicated page
+  /// batch and make every page local; `ready` fires once when done.
+  void CooperativeFetchAndPin(AppState& app, const std::vector<PageId>& pages,
+                              std::function<void()> ready);
+  /// Balance FetchAndPin: unpin, re-exposing the pages to eviction.
+  void CooperativeRelease(AppState& app, const std::vector<PageId>& pages);
+  /// Drive one pinned page toward residency (waiter-chained through
+  /// writeback/fetch completions); counts down the batch when local.
+  void StepObjectPage(AppState& app, PageId page,
+                      std::shared_ptr<CoopBatch> batch);
+  /// Issue one object-granular fetch through the cooperative channel
+  /// (async class; the §5.3 drop -> rescue conversion keeps it alive).
+  void IssueCooperativeFetch(AppState& app, PageId page);
+  void CoopDone(CoopBatch& batch);
+  /// Mirror scheduler/registry counters into AppMetrics.
+  void SyncObjectMetrics(AppState& app);
 
   // --- fault path ---
   void HandleFault(AppState& app, ThreadCtx& th, workload::Access acc,
@@ -403,6 +459,7 @@ class SwapSystem {
   bool started_ = false;
   bool lifecycle_active_ = false;
   bool reap_poll_scheduled_ = false;
+  bool objects_active_ = false;
 
   // Shared-mode resources (also used for shared pages in isolated mode).
   std::unique_ptr<swapalloc::SwapPartition> global_partition_;

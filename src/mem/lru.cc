@@ -86,7 +86,9 @@ PageId LruLists::EvictionCandidate() {
     PageId victim = inactive_.tail;
     if (victim == kInvalidPage) break;
     Page& p = pages_[victim];
-    if (p.referenced) {
+    if (p.referenced || p.pins != 0) {
+      // Second chance; cooperatively pinned pages cycle like referenced
+      // ones (a behaviour's read-set must stay resident, DESIGN.md §16).
       Unlink(inactive_, victim);
       p.referenced = false;
       PushHead(active_, LruList::kActive, victim);
@@ -95,8 +97,12 @@ PageId LruLists::EvictionCandidate() {
     }
     return victim;
   }
-  if (inactive_.tail != kInvalidPage) return inactive_.tail;
-  return active_.tail;  // last resort: evict from active
+  // Last resort: take the coldest unpinned tail page, inactive first.
+  for (PageId v = inactive_.tail; v != kInvalidPage; v = pages_[v].lru_prev)
+    if (pages_[v].pins == 0) return v;
+  for (PageId v = active_.tail; v != kInvalidPage; v = pages_[v].lru_prev)
+    if (pages_[v].pins == 0) return v;
+  return kInvalidPage;
 }
 
 void LruLists::ScanActiveHead(std::size_t n, std::vector<PageId>& out) const {

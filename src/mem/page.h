@@ -50,6 +50,12 @@ struct Page {
   /// exclusive with disk_backed (single-home invariant).
   bool tier_backed = false;
 
+  /// Cooperative pin count (object subsystem, DESIGN.md §16): while
+  /// non-zero the page belongs to an open behaviour's read-set — the LRU
+  /// skips it for eviction and its swap-cache entry stays locked. Always
+  /// zero with the object registry off.
+  std::uint16_t pins = 0;
+
   /// Swap entry holding the current (or last written) remote copy;
   /// kInvalidEntry if the page has no remote copy.
   SwapEntryId entry = kInvalidEntry;

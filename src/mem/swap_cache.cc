@@ -73,6 +73,12 @@ void SwapCache::Unlock(CgroupId app, PageId page) {
   }
 }
 
+void SwapCache::Lock(CgroupId app, PageId page) {
+  std::uint32_t* slot = index_.Find(PackAppPage(app, page));
+  if (!slot) return;
+  pool_[*slot].entry.locked = true;
+}
+
 bool SwapCache::Remove(CgroupId app, PageId page) {
   std::uint32_t* found = index_.Find(PackAppPage(app, page));
   if (!found) return false;

@@ -58,6 +58,10 @@ class SwapCache {
   /// Mark an in-flight page's data as arrived; refreshes LRU position.
   void Unlock(CgroupId app, PageId page);
 
+  /// Re-lock a present entry (cooperative pin, DESIGN.md §16): locked
+  /// entries are exempt from PopLruUnlocked shrinking. No-op if absent.
+  void Lock(CgroupId app, PageId page);
+
   /// Remove a page (mapped into the process, writeback finished, or
   /// released). Returns false if absent.
   bool Remove(CgroupId app, PageId page);

@@ -1,0 +1,120 @@
+#include "object/registry.h"
+
+#include <algorithm>
+
+namespace canvas::object {
+
+ObjectHandle ObjectRegistry::Register(PageId first, std::uint32_t pages) {
+  if (pages == 0 || first == kInvalidPage) return {};
+  if (cfg_.max_objects && spans_.size() >= cfg_.max_objects) {
+    ++rejected_quota_;
+    return {};
+  }
+  if (cfg_.max_pages && total_pages_ + pages > cfg_.max_pages) {
+    ++rejected_quota_;
+    return {};
+  }
+  // Overlap check against the ordered span map: the predecessor must end at
+  // or before `first`, the successor must start at or after the new end.
+  auto next = spans_.lower_bound(first);
+  if (next != spans_.end() && next->first < first + pages) {
+    ++rejected_overlap_;
+    return {};
+  }
+  if (next != spans_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second.span.pages > first) {
+      ++rejected_overlap_;
+      return {};
+    }
+  }
+  Entry e;
+  e.id = next_id_++;
+  e.span = ObjectSpan{first, pages};
+  spans_.emplace(first, e);
+  by_id_[e.id] = first;
+  total_pages_ += pages;
+  return ObjectHandle{e.id, generation_};
+}
+
+ObjectRegistry::Entry* ObjectRegistry::Resolve(ObjectHandle h) {
+  if (!h.valid() || h.generation != generation_) return nullptr;
+  PageId* first = by_id_.Find(h.id);
+  if (!first) return nullptr;
+  auto it = spans_.find(*first);
+  return it == spans_.end() ? nullptr : &it->second;
+}
+
+bool ObjectRegistry::Release(ObjectHandle h) {
+  if (!h.valid() || h.generation != generation_) return false;
+  PageId* firstp = by_id_.Find(h.id);
+  if (!firstp) return false;
+  PageId first = *firstp;
+  auto it = spans_.find(first);
+  if (it == spans_.end() || it->second.pins != 0) return false;
+  total_pages_ -= it->second.span.pages;
+  spans_.erase(it);
+  by_id_.Erase(h.id);
+  return true;
+}
+
+const ObjectSpan* ObjectRegistry::Find(ObjectHandle h) const {
+  const Entry* e = Resolve(h);
+  return e ? &e->span : nullptr;
+}
+
+ObjectHandle ObjectRegistry::At(PageId page) const {
+  if (spans_.empty() || page == kInvalidPage) return {};
+  auto it = spans_.upper_bound(page);
+  if (it == spans_.begin()) return {};
+  --it;
+  if (page >= it->first + it->second.span.pages) return {};
+  return ObjectHandle{it->second.id, generation_};
+}
+
+bool ObjectRegistry::Pin(ObjectHandle h) {
+  Entry* e = Resolve(h);
+  if (!e) return false;
+  if (e->pins++ == 0) pinned_pages_ += e->span.pages;
+  ++pins_issued_;
+  return true;
+}
+
+bool ObjectRegistry::Unpin(ObjectHandle h) {
+  Entry* e = Resolve(h);
+  if (!e || e->pins == 0) return false;
+  if (--e->pins == 0) pinned_pages_ -= e->span.pages;
+  ++pins_released_;
+  return true;
+}
+
+std::uint32_t ObjectRegistry::PinCount(ObjectHandle h) const {
+  const Entry* e = Resolve(h);
+  return e ? e->pins : 0;
+}
+
+void ObjectRegistry::Clear() {
+  spans_.clear();
+  by_id_.clear();
+  total_pages_ = 0;
+  pinned_pages_ = 0;
+  ++generation_;
+}
+
+std::size_t ObjectRegistry::ImportLargeArrays(
+    const runtime::RuntimeInfo& info, std::uint32_t split_pages) {
+  std::size_t registered = 0;
+  for (const auto& [start, len] : info.large_arrays()) {
+    if (split_pages == 0) {
+      if (Register(start, std::uint32_t(len)).valid()) ++registered;
+      continue;
+    }
+    for (PageId off = 0; off < len; off += split_pages) {
+      std::uint32_t chunk = std::uint32_t(std::min<PageId>(split_pages, len - off));
+      if (Register(start + off, chunk).valid()) ++registered;
+    }
+  }
+  return registered;
+}
+
+}  // namespace canvas::object

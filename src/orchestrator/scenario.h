@@ -62,6 +62,11 @@ struct AxisSpec {
   /// tier::TierConfig::FromName and composing with the topology axis. The
   /// default {"none"} disables the tier and leaves run labels unchanged.
   std::vector<std::string> tiers = {"none"};
+  /// Swap-granularity axis (DESIGN.md §16): "page" = classic demand paging,
+  /// "object" = SystemConfig::objects.enabled (behaviour-scheduled
+  /// object fetching for workloads that ship a registry, e.g. "chase").
+  /// The default {"page"} leaves config and run labels unchanged.
+  std::vector<std::string> granularities = {"page"};
   std::vector<std::uint64_t> seeds = {7};
   SimTime deadline = 600 * kSecond;
   /// Worker threads per single run (SystemConfig::sim_threads, DESIGN.md
@@ -72,8 +77,8 @@ struct AxisSpec {
 };
 
 /// The declarative experiment surface. Axes combine as a full grid in
-/// fixed nesting order: system (outer) -> topology -> tier -> ratio ->
-/// scale -> seed (inner).
+/// fixed nesting order: system (outer) -> topology -> tier -> granularity
+/// -> ratio -> scale -> seed (inner).
 struct ScenarioSpec : AxisSpec {
   /// Co-run template. Each AppBuild's ratio/scale/seed fields are
   /// overwritten by the axis values at expansion; name/cores/threads are
@@ -84,7 +89,8 @@ struct ScenarioSpec : AxisSpec {
 
   std::size_t RunCount() const {
     return systems.size() * topologies.size() * tiers.size() *
-           ratios.size() * scales.size() * seeds.size();
+           granularities.size() * ratios.size() * scales.size() *
+           seeds.size();
   }
 
   /// Expand the grid into RunSpecs, index-ordered. Throws
@@ -93,14 +99,16 @@ struct ScenarioSpec : AxisSpec {
 };
 
 /// Label for one grid point, e.g. "canvas/r0.25/s0.30/seed7". A
-/// non-default topology is appended as a trailing "/pool4" segment and a
-/// non-default tier as "/cxl" after it; the defaults ("single", "none")
-/// leave the label exactly as before, so existing sweep reports keep their
-/// keys. Used both for progress output and as the stable per-run key in
-/// sweep reports.
+/// non-default topology is appended as a trailing "/pool4" segment, a
+/// non-default tier as "/cxl" after it, and the non-default "object"
+/// granularity last; the defaults ("single", "none", "page") leave the
+/// label exactly as before, so existing sweep reports keep their keys.
+/// Used both for progress output and as the stable per-run key in sweep
+/// reports.
 std::string RunLabel(const std::string& system, const std::string& topology,
                      double ratio, double scale, std::uint64_t seed,
-                     const std::string& tier = "none");
+                     const std::string& tier = "none",
+                     const std::string& granularity = "page");
 
 /// Declarative serving-sweep surface (DESIGN.md §13): like ScenarioSpec but
 /// over serving::ServingSpecs, with an arrival-process axis instead of the
@@ -122,7 +130,7 @@ struct ServingScenarioSpec : AxisSpec {
 
   std::size_t RunCount() const {
     return systems.size() * topologies.size() * tiers.size() *
-           arrivals.size() * seeds.size();
+           granularities.size() * arrivals.size() * seeds.size();
   }
 
   /// Expand into index-ordered ServingSpecs. Throws std::invalid_argument
@@ -136,6 +144,11 @@ struct ServingScenarioSpec : AxisSpec {
 std::string ServingRunLabel(const std::string& system,
                             const std::string& topology,
                             const std::string& arrival, std::uint64_t seed,
-                            const std::string& tier = "none");
+                            const std::string& tier = "none",
+                            const std::string& granularity = "page");
+
+/// Resolve a granularity-axis name to the SystemConfig::objects.enabled
+/// setting: "page" -> false, "object" -> true; nullopt otherwise.
+std::optional<bool> GranularityFromName(const std::string& name);
 
 }  // namespace canvas::orchestrator

@@ -336,7 +336,18 @@ ChurnSweepResult SweepEngine::RunChurn(std::vector<ChurnRunSpec> specs) {
 }
 
 void SweepResult::WriteJson(std::ostream& os, bool include_timing) const {
-  os << "{\n  \"schema_version\": " << core::kReportSchemaVersion << ",\n"
+  // Object-granularity runs (DESIGN.md §16) widen every app row with the
+  // behaviour/object counters and bump the schema; sweeps that never
+  // enabled the registry keep emitting v2 byte-for-byte.
+  bool objects = false;
+  for (const RunResult& r : runs)
+    for (const AppResult& a : r.apps)
+      objects = objects || a.metrics.behaviours_declared ||
+                a.metrics.object_fetches;
+  os << "{\n  \"schema_version\": "
+     << (objects ? core::kObjectReportSchemaVersion
+                 : core::kReportSchemaVersion)
+     << ",\n"
      << "  \"kind\": \"sweep\",\n"
      << "  \"run_count\": " << runs.size() << ",\n"
      << "  \"all_ok\": " << (all_ok ? "true" : "false") << ",\n"
@@ -370,8 +381,17 @@ void SweepResult::WriteJson(std::ostream& os, bool include_timing) const {
            << ", \"ingress_bytes\": " << a.ingress_bytes
            << ", \"egress_bytes\": " << a.egress_bytes
            << ", \"fault_p50_ns\": " << m.fault_latency.Percentile(50)
-           << ", \"fault_p99_ns\": " << m.fault_latency.Percentile(99)
-           << "}";
+           << ", \"fault_p99_ns\": " << m.fault_latency.Percentile(99);
+        if (objects)
+          os << ", \"behaviours_completed\": " << m.behaviours_completed
+             << ", \"object_fetches\": " << m.object_fetches
+             << ", \"object_fetch_hits\": " << m.object_fetch_hits
+             << ", \"object_pins\": " << m.object_pins
+             << ", \"object_unpins\": " << m.object_unpins
+             << ", \"object_stale_handles\": " << m.object_stale_handles
+             << ", \"behaviour_deferrals\": " << m.behaviour_deferrals
+             << ", \"behaviour_stall_ns\": " << m.behaviour_stall;
+        os << "}";
       }
       os << "]";
     }

@@ -10,7 +10,7 @@ TwoTierPrefetcher::TwoTierPrefetcher(Config cfg)
 void TwoTierPrefetcher::RegisterApp(CgroupId app,
                                     const runtime::RuntimeInfo* info,
                                     bool managed) {
-  apps_[app] = AppState{info, managed, 0, false};
+  apps_[app] = AppState{info, managed, 0, false, false};
 }
 
 bool TwoTierPrefetcher::IsForwarding(CgroupId app) const {
@@ -18,8 +18,24 @@ bool TwoTierPrefetcher::IsForwarding(CgroupId app) const {
   return st && st->forwarding;
 }
 
+void TwoTierPrefetcher::SetCooperative(CgroupId app, bool on) {
+  if (AppState* st = apps_.Find(app)) st->cooperative = on;
+}
+
+bool TwoTierPrefetcher::IsCooperative(CgroupId app) const {
+  const AppState* st = apps_.Find(app);
+  return st && st->cooperative;
+}
+
+void TwoTierPrefetcher::NoteCooperativeBatch(CgroupId, std::size_t pages) {
+  ++coop_batches_;
+  coop_pages_ += pages;
+}
+
 void TwoTierPrefetcher::OnFault(const FaultInfo& fault,
                                 std::vector<PageId>& out) {
+  if (const AppState* pre = apps_.Find(fault.app); pre && pre->cooperative)
+    return;  // read-sets arrive cooperatively: speculation is redundant
   std::size_t before = out.size();
   kernel_tier_.OnFault(fault, out);
   std::size_t kernel_pages = out.size() - before;

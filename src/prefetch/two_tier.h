@@ -59,6 +59,17 @@ class TwoTierPrefetcher : public Prefetcher {
   void RegisterApp(CgroupId app, const runtime::RuntimeInfo* info,
                    bool managed);
 
+  /// Cooperative mode (DESIGN.md §16): the behaviour scheduler declares
+  /// this app's read-sets ahead of dispatch, so speculative prefetching is
+  /// redundant — both tiers stand down for the cgroup and the cooperative
+  /// channel's batches are recorded instead. Never set by default, keeping
+  /// classic runs byte-identical.
+  void SetCooperative(CgroupId app, bool on);
+  bool IsCooperative(CgroupId app) const;
+  /// Account one object-granular fetch batch injected through the
+  /// cooperative channel (pages = deduplicated batch size).
+  void NoteCooperativeBatch(CgroupId app, std::size_t pages);
+
   void OnFault(const FaultInfo& fault, std::vector<PageId>& out) override;
   void OnPrefetchUsed(CgroupId app, PageId page) override;
   void OnPrefetchWasted(CgroupId app, PageId page) override;
@@ -75,6 +86,8 @@ class TwoTierPrefetcher : public Prefetcher {
   std::uint64_t forwarded_faults() const { return forwarded_; }
   std::uint64_t thread_tier_prefetches() const { return thread_pf_; }
   std::uint64_t ref_tier_prefetches() const { return ref_pf_; }
+  std::uint64_t cooperative_batches() const { return coop_batches_; }
+  std::uint64_t cooperative_pages() const { return coop_pages_; }
 
  private:
   struct AppState {
@@ -82,6 +95,9 @@ class TwoTierPrefetcher : public Prefetcher {
     bool managed = false;
     std::uint32_t ineffective_streak = 0;
     bool forwarding = false;
+    /// Read-sets arrive through the cooperative channel; both prefetch
+    /// tiers stand down for this cgroup (DESIGN.md §16).
+    bool cooperative = false;
     // Accuracy tracking (decayed counters).
     double used = 0;
     double wasted = 0;
@@ -104,6 +120,8 @@ class TwoTierPrefetcher : public Prefetcher {
   std::uint64_t forwarded_ = 0;
   std::uint64_t thread_pf_ = 0;
   std::uint64_t ref_pf_ = 0;
+  std::uint64_t coop_batches_ = 0;
+  std::uint64_t coop_pages_ = 0;
 };
 
 }  // namespace canvas::prefetch

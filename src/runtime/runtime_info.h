@@ -58,6 +58,9 @@ class RuntimeInfo {
   void RegisterLargeArray(PageId start_page, PageId num_pages);
   bool InLargeArray(PageId page) const;
   std::size_t large_array_count() const { return arrays_.size(); }
+  /// The registered arrays as (start page -> length) in address order; the
+  /// object registry (src/object) layers its spans on this table.
+  const std::map<PageId, PageId>& large_arrays() const { return arrays_; }
 
  private:
   std::unordered_map<ThreadId, ThreadKind> threads_;

@@ -29,13 +29,18 @@ void QosPlane::Attach(sim::Simulator& sim, core::SwapSystem& sys) {
 
 void QosPlane::Tick() {
   ++ticks_;
+  // The supply curve rescales every tenant's SLO bounds for this window
+  // (1.0 with the default empty curve, leaving the verdicts untouched).
+  double scale = cfg_.supply.ScaleAt(sim_->Now());
+  last_scale_ = scale;
+  if (scale != 1.0) ++scaled_ticks_;
   // Judge every tenant's window (best-effort included, for reporting), then
   // act on protected violations. Judging first keeps each tracker's window
   // aligned to the tick even when several tenants violate at once.
   std::vector<bool> violated(tenants_.size(), false);
   for (std::size_t i = 0; i < tenants_.size(); ++i)
-    violated[i] =
-        trackers_[i].Observe(sys_->metrics(tenants_[i].app).fault_latency);
+    violated[i] = trackers_[i].Observe(
+        sys_->metrics(tenants_[i].app).fault_latency, scale);
   for (std::size_t i = 0; i < tenants_.size(); ++i) {
     if (tenants_[i].best_effort) continue;
     if (violated[i]) {

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "serving/slo.h"
+#include "serving/supply_curve.h"
 #include "workload/arrival.h"
 
 namespace canvas::core {
@@ -62,6 +63,12 @@ struct QosConfig {
   std::uint64_t heal_windows = 4;
   /// How far a violation pushes a still-waiting tenant's admission gate.
   SimDuration admission_defer = 100 * kMillisecond;
+  /// Optional per-window latency/supply curve (Memtrade cmanager_latency
+  /// style): each tick the current scale multiplies every tenant's SLO
+  /// bounds before the window is judged, so escalation thresholds track
+  /// the supply. The default empty curve scales by exactly 1.0 and keeps
+  /// the plane's behaviour byte-identical to a curve-free build.
+  SupplyCurve supply;
 };
 
 /// One application under QoS management.
@@ -105,6 +112,11 @@ class QosPlane {
   }
   std::size_t tenant_count() const { return tenants_.size(); }
   std::uint64_t ticks() const { return ticks_; }
+  /// Supply-curve scale applied at the most recent tick (1.0 before the
+  /// first tick or with an empty curve).
+  double last_scale() const { return last_scale_; }
+  /// Ticks whose windows were judged under a non-1.0 supply scale.
+  std::uint64_t scaled_ticks() const { return scaled_ticks_; }
 
  private:
   void Tick();
@@ -119,6 +131,8 @@ class QosPlane {
   std::vector<TenantStats> stats_;
   std::vector<double> base_weight_;
   std::uint64_t ticks_ = 0;
+  double last_scale_ = 1.0;
+  std::uint64_t scaled_ticks_ = 0;
 };
 
 }  // namespace canvas::serving

@@ -34,8 +34,12 @@ class SloTracker {
 
   /// Judge the window since the previous call against the bounds.
   /// `cumulative` is the tenant's always-on fault-latency histogram.
-  /// Returns true if this window violated the SLO.
-  bool Observe(const trace::LogHistogram& cumulative) {
+  /// `bound_scale` multiplies both bounds for this window only (the QoS
+  /// plane's supply curve, supply_curve.h); at the default 1.0 the
+  /// untouched integer bounds are compared, so pre-curve verdicts are
+  /// reproduced exactly. Returns true if this window violated the SLO.
+  bool Observe(const trace::LogHistogram& cumulative,
+               double bound_scale = 1.0) {
     trace::LogHistogram window = cumulative.Since(last_);
     last_ = cumulative;
     if (window.count() < cfg_.min_window_samples) {
@@ -43,8 +47,14 @@ class SloTracker {
       return false;
     }
     ++windows_judged_;
-    bool violated = window.Percentile(99.0) > std::uint64_t(cfg_.p99_ns) ||
-                    window.Percentile(99.9) > std::uint64_t(cfg_.p999_ns);
+    std::uint64_t p99_bound = std::uint64_t(cfg_.p99_ns);
+    std::uint64_t p999_bound = std::uint64_t(cfg_.p999_ns);
+    if (bound_scale != 1.0) {
+      p99_bound = std::uint64_t(double(p99_bound) * bound_scale);
+      p999_bound = std::uint64_t(double(p999_bound) * bound_scale);
+    }
+    bool violated = window.Percentile(99.0) > p99_bound ||
+                    window.Percentile(99.9) > p999_bound;
     if (violated) {
       ++windows_violated_;
       ++violation_run_;

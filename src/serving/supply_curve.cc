@@ -1,0 +1,74 @@
+#include "serving/supply_curve.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace canvas::serving {
+
+namespace {
+
+void SetError(std::string* err, int line_no, const std::string& line,
+              const char* what) {
+  if (err) {
+    std::ostringstream os;
+    os << "supply curve line " << line_no << ": " << what << ": " << line;
+    *err = os.str();
+  }
+}
+
+}  // namespace
+
+double SupplyCurve::ScaleAt(SimTime now) const {
+  auto it = std::upper_bound(
+      points.begin(), points.end(), now,
+      [](SimTime t, const Point& p) { return t < p.at; });
+  return it == points.begin() ? 1.0 : std::prev(it)->scale;
+}
+
+std::optional<SupplyCurve> SupplyCurve::Parse(const std::string& text,
+                                              std::string* err) {
+  SupplyCurve curve;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::replace(line.begin(), line.end(), ',', ' ');
+    std::istringstream ls(line);
+    double at_ms = 0;
+    if (!(ls >> at_ms)) continue;  // blank / comment-only line
+    double scale = 0;
+    if (!(ls >> scale) || scale <= 0) {
+      SetError(err, line_no, line, "bad scale");
+      return std::nullopt;
+    }
+    if (at_ms < 0) {
+      SetError(err, line_no, line, "negative time");
+      return std::nullopt;
+    }
+    SimTime at = SimTime(at_ms * double(kMillisecond));
+    if (!curve.points.empty() && at < curve.points.back().at) {
+      SetError(err, line_no, line, "time goes backwards");
+      return std::nullopt;
+    }
+    curve.points.push_back({at, scale});
+  }
+  return curve;
+}
+
+std::optional<SupplyCurve> SupplyCurve::LoadFile(const std::string& path,
+                                                 std::string* err) {
+  std::ifstream f(path);
+  if (!f) {
+    if (err) *err = "cannot open supply curve file: " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return Parse(buf.str(), err);
+}
+
+}  // namespace canvas::serving

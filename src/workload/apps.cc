@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "workload/behaviour_chase.h"
 #include "workload/patterns.h"
 
 namespace canvas::workload {
@@ -389,6 +390,7 @@ AppWorkload MakeByName(const std::string& name, AppParams p) {
   if (name == "xgboost") return MakeXgboost(p);
   if (name == "snappy") return MakeSnappy(p);
   if (name == "memcached") return MakeMemcached(p);
+  if (name == "chase") return MakeChase(p);
   throw std::invalid_argument("unknown application: " + name);
 }
 

@@ -1,0 +1,157 @@
+#include "workload/behaviour_chase.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace canvas::workload {
+
+namespace {
+
+/// Stateless full-avalanche mix (SplitMix64 finalizer) so behaviour
+/// read-sets are pure functions of (seed, behaviour, position).
+std::uint64_t Mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ObjectHeap::ObjectHeap(Region region, std::uint32_t object_pages,
+                       std::uint32_t out_degree, std::uint64_t seed,
+                       runtime::RuntimeInfo* info,
+                       object::ObjectRegistry* registry)
+    : region_(region),
+      object_pages_(object_pages),
+      out_degree_(out_degree),
+      seed_(seed) {
+  // Whole objects only: trim the region's tail remainder.
+  std::size_t count = object_pages ? region.len / object_pages : 0;
+  region_.len = PageId(count) * object_pages;
+  if (count == 0) return;
+
+  // The §16 layering: the heap enters the runtime's large-array table, and
+  // the registry imports that table split into object-sized spans.
+  info->RegisterLargeArray(region_.start, region_.len);
+  registry->ImportLargeArrays(*info, object_pages);
+  handles_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    handles_.push_back(registry->At(first_page(i)));
+
+  // Object-reference edges double as write-barrier ground truth in the
+  // summary graph, exactly like HeapGraph's page edges.
+  for (std::size_t i = 0; i < count; ++i)
+    for (std::uint32_t j = 0; j < out_degree_; ++j)
+      info->RecordReference(first_page(i), first_page(Neighbor(i, j)));
+}
+
+std::size_t ObjectHeap::Neighbor(std::size_t obj, std::uint32_t j) const {
+  return std::size_t(Mix(seed_ ^ (std::uint64_t(j) << 48), obj) %
+                     handles_.size());
+}
+
+BehaviourChaseStream::BehaviourChaseStream(Params p)
+    : p_(p), rng_(p.seed) {}
+
+void BehaviourChaseStream::ReadSetOf(std::uint64_t b,
+                                     std::vector<std::size_t>& out) const {
+  const ObjectHeap& h = *p_.heap;
+  out.clear();
+  if (h.object_count() == 0) return;
+  std::size_t root = std::size_t(Mix(p_.seed, b) % h.object_count());
+  out.push_back(root);
+  std::size_t level_begin = 0;
+  for (std::uint32_t level = 0; level < p_.depth; ++level) {
+    std::size_t level_end = out.size();
+    for (std::size_t i = level_begin; i < level_end; ++i) {
+      for (std::uint32_t j = 0; j < p_.fanout; ++j) {
+        std::size_t n = h.Neighbor(out[i], j % std::max(1u, h.out_degree()));
+        if (std::find(out.begin(), out.end(), n) == out.end())
+          out.push_back(n);
+        if (out.size() >= p_.max_objects) return;
+      }
+    }
+    level_begin = level_end;
+  }
+}
+
+bool BehaviourChaseStream::Ensure() {
+  while (true) {
+    if (!p_.heap || cur_ >= p_.behaviours) return false;
+    if (!materialized_) {
+      std::vector<std::size_t> objs;
+      ReadSetOf(cur_, objs);
+      pages_.clear();
+      pos_ = 0;
+      for (std::size_t o : objs)
+        for (std::uint32_t k = 0; k < p_.heap->object_pages(); ++k)
+          pages_.push_back(p_.heap->first_page(o) + k);
+      materialized_ = true;
+    }
+    if (pos_ < pages_.size()) return true;
+    ++cur_;
+    materialized_ = false;
+  }
+}
+
+std::optional<Access> BehaviourChaseStream::Next() {
+  if (!Ensure()) return std::nullopt;
+  Access a;
+  a.page = pages_[pos_++];
+  a.write = rng_.NextBool(p_.write_fraction);
+  a.compute_ns = p_.compute_ns;
+  return a;
+}
+
+std::uint64_t BehaviourChaseStream::NextBehaviour() {
+  return Ensure() ? cur_ : object::kNoBehaviour;
+}
+
+bool BehaviourChaseStream::PeekBehaviour(
+    std::size_t idx, std::vector<object::ObjectHandle>& out) {
+  if (!Ensure()) return false;  // anchor idx at the next access's behaviour
+  std::uint64_t b = cur_ + idx;
+  if (b >= p_.behaviours) return false;
+  std::vector<std::size_t> objs;
+  ReadSetOf(b, objs);
+  for (std::size_t o : objs) out.push_back(p_.heap->handle(o));
+  return true;
+}
+
+AppWorkload MakeChase(AppParams p) {
+  std::uint32_t workers = p.threads ? p.threads : 4;
+  PageId footprint = PageId(std::max(24576.0 * p.scale, 512.0));
+  AppWorkload w;
+  w.name = "chase";
+  w.managed = false;  // native graph store: thread-tier Leap sees noise
+  w.footprint_pages = footprint;
+  w.shared_fraction = 0.01;
+  w.runtime = std::make_shared<runtime::RuntimeInfo>();
+  w.objects = std::make_shared<object::ObjectRegistry>();
+  Rng seeds(p.seed ^ 0xC0FFEE);
+
+  Region heap{PageId(double(footprint) * 0.01), 0};
+  heap.len = footprint - heap.start;
+  // Object span == summary-graph page group, the §5.2 granularity.
+  auto oh = std::make_shared<ObjectHeap>(
+      heap, /*object_pages=*/runtime::RuntimeInfo::kGroupPages,
+      /*out_degree=*/4, seeds.Next(), w.runtime.get(), w.objects.get());
+  w.keepalive.push_back(oh);
+
+  for (std::uint32_t t = 0; t < workers; ++t) {
+    BehaviourChaseStream::Params cp;
+    cp.heap = oh.get();
+    cp.behaviours = std::uint64_t(std::max(360.0 * p.scale, 24.0));
+    cp.fanout = 3;
+    cp.depth = 2;
+    cp.compute_ns = 180;
+    cp.write_fraction = 0.1;
+    cp.seed = seeds.Next();
+    w.threads.push_back(std::make_unique<BehaviourChaseStream>(cp));
+    w.thread_kinds.push_back(runtime::ThreadKind::kApplication);
+  }
+  return w;
+}
+
+}  // namespace canvas::workload

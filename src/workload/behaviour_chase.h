@@ -1,0 +1,103 @@
+// Behaviour-scheduled pointer chasing (DESIGN.md §16).
+//
+// The workload class where page-granular demand swapping is weakest and
+// object-granular cooperative swapping is strongest: Neo4j/GraphX-style
+// graph traversal with near-zero spatial locality *across* objects. Work is
+// structured as behaviours — each one a bounded BFS over the object graph
+// from a seeded start object, with configurable fanout and depth — and the
+// read-set of every behaviour is a pure function of (seed, behaviour index),
+// so it can be peeked ahead of dispatch without consuming the stream.
+//
+// In page mode the same accesses demand-fault one dependent RTT at a time
+// (the object sequence is data-dependent, so readahead/Leap see noise); in
+// object mode the behaviour scheduler fetches each read-set as one batch
+// before dispatch, turning depth x fanout serial faults into ~one RTT.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "object/registry.h"
+#include "workload/apps.h"
+#include "workload/patterns.h"
+#include "workload/workload.h"
+
+namespace canvas::workload {
+
+/// A heap of fixed-size objects laid out contiguously over a page region,
+/// with a seeded random object-reference graph. Registered three ways:
+/// the region enters RuntimeInfo's large-array table, the registry imports
+/// that table split into object-sized spans (the §16 layering), and the
+/// object-to-object edges are recorded in the summary graph.
+class ObjectHeap {
+ public:
+  ObjectHeap(Region region, std::uint32_t object_pages,
+             std::uint32_t out_degree, std::uint64_t seed,
+             runtime::RuntimeInfo* info, object::ObjectRegistry* registry);
+
+  std::size_t object_count() const { return handles_.size(); }
+  std::uint32_t object_pages() const { return object_pages_; }
+  std::uint32_t out_degree() const { return out_degree_; }
+  object::ObjectHandle handle(std::size_t obj) const { return handles_[obj]; }
+  PageId first_page(std::size_t obj) const {
+    return region_.start + PageId(obj) * object_pages_;
+  }
+  /// j-th out-neighbour of `obj` (deterministic hash adjacency).
+  std::size_t Neighbor(std::size_t obj, std::uint32_t j) const;
+
+ private:
+  Region region_;
+  std::uint32_t object_pages_;
+  std::uint32_t out_degree_;
+  std::uint64_t seed_;
+  std::vector<object::ObjectHandle> handles_;
+};
+
+/// One thread's behaviour-structured traversal over an ObjectHeap.
+class BehaviourChaseStream : public ThreadStream {
+ public:
+  struct Params {
+    const ObjectHeap* heap = nullptr;
+    /// Behaviours this thread runs.
+    std::uint64_t behaviours = 0;
+    /// BFS expansion per object and level count below the root.
+    std::uint32_t fanout = 3;
+    std::uint32_t depth = 2;
+    /// Read-set cap (objects) per behaviour.
+    std::size_t max_objects = 24;
+    std::uint32_t compute_ns = 180;
+    double write_fraction = 0.1;
+    std::uint64_t seed = 1;
+  };
+
+  explicit BehaviourChaseStream(Params p);
+
+  std::optional<Access> Next() override;
+  bool PeekBehaviour(std::size_t idx,
+                     std::vector<object::ObjectHandle>& out) override;
+  std::uint64_t NextBehaviour() override;
+
+ private:
+  /// Read-set (object indices, BFS order) of behaviour `b` — stateless.
+  void ReadSetOf(std::uint64_t b, std::vector<std::size_t>& out) const;
+  /// Materialize the page list of the current behaviour if needed; returns
+  /// false when the stream is finished.
+  bool Ensure();
+
+  Params p_;
+  Rng rng_;
+  std::uint64_t cur_ = 0;           // current behaviour index
+  std::vector<PageId> pages_;       // current behaviour's access list
+  std::size_t pos_ = 0;
+  bool materialized_ = false;
+};
+
+/// Factory: the `chase` application (native, pointer-chasing, behaviour-
+/// structured). Page-granular systems run it demand-faulting; with
+/// SystemConfig::objects.enabled the core schedules its behaviours
+/// cooperatively. Registered in MakeByName as "chase".
+AppWorkload MakeChase(AppParams p = {});
+
+}  // namespace canvas::workload

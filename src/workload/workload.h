@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "object/registry.h"
 #include "runtime/runtime_info.h"
 
 namespace canvas::workload {
@@ -43,6 +44,25 @@ class ThreadStream {
   /// an absolute arrival schedule so a stalled service does not slow the
   /// arrival process (no coordinated omission).
   virtual std::optional<Access> NextAt(SimTime /*now*/) { return Next(); }
+
+  // --- cooperative behaviour protocol (DESIGN.md §16) ---
+  // Behaviour-structured streams group their accesses into behaviours with
+  // declared object read-sets, so the core can fetch+pin a behaviour's
+  // objects before dispatching it. The defaults leave page-granular streams
+  // untouched, and the core only consults these when the object subsystem
+  // is enabled.
+
+  /// Read-set of the `idx`-th behaviour counting from the one owning the
+  /// next access (idx 0 = that behaviour). Appends object handles to `out`
+  /// without advancing the access cursor; false when the stream is not
+  /// behaviour-structured or has fewer than idx+1 behaviours left.
+  virtual bool PeekBehaviour(std::size_t /*idx*/,
+                             std::vector<object::ObjectHandle>& /*out*/) {
+    return false;
+  }
+  /// Sequence number of the behaviour owning the access Next() would
+  /// return; object::kNoBehaviour when unstructured or finished.
+  virtual std::uint64_t NextBehaviour() { return object::kNoBehaviour; }
 };
 
 /// A complete application: its threads, footprint, and runtime model.
@@ -64,6 +84,12 @@ struct AppWorkload {
   /// Semantic ground truth for the app-tier prefetcher. Always present;
   /// for native apps it carries only the thread map.
   std::shared_ptr<runtime::RuntimeInfo> runtime;
+
+  /// Object registry for cooperative object-granularity swapping (DESIGN.md
+  /// §16); null for purely page-granular apps. The streams mint their
+  /// behaviour read-set handles from this registry, and the core pins
+  /// through it when SystemConfig::objects.enabled is set.
+  std::shared_ptr<object::ObjectRegistry> objects;
 
   /// Keeps shared structures (heap graphs etc.) alive as long as the
   /// streams that reference them.

@@ -2,7 +2,11 @@
 //
 // Covers the three layers of the serving stack:
 //   - SloTracker: windowed verdicts over LogHistogram::Since (skip thin
-//     windows, judge fat ones, violation/clean run bookkeeping);
+//     windows, judge fat ones, violation/clean run bookkeeping, supply
+//     scale moving the bounds);
+//   - SupplyCurve: CSV parsing and step lookup, plus the end-to-end
+//     guarantees that a constant-1.0 curve is byte-identical to no curve
+//     and a loosened curve suppresses QoS escalation;
 //   - RunServing end-to-end: deterministic repeats, QoS escalation under a
 //     violated SLO (weight boosts on the victim, shedding on best-effort
 //     co-tenants), and the observe-only qos_enabled=false mode;
@@ -19,6 +23,7 @@
 #include "orchestrator/sweep.h"
 #include "serving/harness.h"
 #include "serving/slo.h"
+#include "serving/supply_curve.h"
 #include "trace/histogram.h"
 
 namespace canvas {
@@ -85,6 +90,70 @@ TEST(SloTracker, PreWindowTailCannotContaminateLaterWindows) {
   for (int i = 0; i < 1000; ++i) cum.Add(1'000);  // steady state
   EXPECT_FALSE(trk.Observe(cum)) << "cumulative tail leaked into the window";
   EXPECT_LT(trk.last_window_p99(), 10'000u);
+}
+
+TEST(SloTracker, SupplyScaleMovesTheBounds) {
+  SloConfig cfg;
+  cfg.p99_ns = 10'000;
+  cfg.p999_ns = 100'000'000;
+  cfg.min_window_samples = 32;
+
+  trace::LogHistogram tail;  // windowed p99 around 100µs
+  for (int i = 0; i < 90; ++i) tail.Add(1'000);
+  for (int i = 0; i < 10; ++i) tail.Add(100'000);
+  EXPECT_TRUE(SloTracker(cfg).Observe(tail));          // 10µs bound: violated
+  EXPECT_FALSE(SloTracker(cfg).Observe(tail, 100.0));  // 1ms bound: clean
+
+  trace::LogHistogram quiet;  // windowed p99 around 1µs
+  for (int i = 0; i < 100; ++i) quiet.Add(1'000);
+  EXPECT_FALSE(SloTracker(cfg).Observe(quiet));        // clean at 1.0
+  EXPECT_TRUE(SloTracker(cfg).Observe(quiet, 0.001));  // 10ns bound: violated
+}
+
+// --- SupplyCurve ------------------------------------------------------------
+
+TEST(SupplyCurve, ParsesCsvAndStepsThroughTime) {
+  auto curve = serving::SupplyCurve::Parse(
+      "# latency headroom trace (Memtrade cmanager_latency shape)\n"
+      "0, 1.0\n"
+      "100, 2.0   # spot supply arrives: loosen the bounds\n"
+      "\n"
+      "250 0.5\n");
+  ASSERT_TRUE(curve.has_value());
+  ASSERT_EQ(curve->points.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve->ScaleAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(curve->ScaleAt(99 * kMillisecond), 1.0);
+  EXPECT_DOUBLE_EQ(curve->ScaleAt(100 * kMillisecond), 2.0);
+  EXPECT_DOUBLE_EQ(curve->ScaleAt(249 * kMillisecond), 2.0);
+  EXPECT_DOUBLE_EQ(curve->ScaleAt(10 * kSecond), 0.5);
+}
+
+TEST(SupplyCurve, ScalesByOneOutsideTheCurve) {
+  serving::SupplyCurve empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_DOUBLE_EQ(empty.ScaleAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(empty.ScaleAt(5 * kSecond), 1.0);
+  // A curve whose first step starts late scales by 1.0 until that edge.
+  auto late = serving::SupplyCurve::Parse("200,3.0\n");
+  ASSERT_TRUE(late.has_value());
+  EXPECT_DOUBLE_EQ(late->ScaleAt(100 * kMillisecond), 1.0);
+  EXPECT_DOUBLE_EQ(late->ScaleAt(200 * kMillisecond), 3.0);
+}
+
+TEST(SupplyCurve, RejectsMalformedRows) {
+  std::string err;
+  EXPECT_FALSE(serving::SupplyCurve::Parse("10, 0\n", &err).has_value());
+  EXPECT_NE(err.find("bad scale"), std::string::npos);
+  EXPECT_FALSE(serving::SupplyCurve::Parse("10\n", &err).has_value());
+  EXPECT_FALSE(serving::SupplyCurve::Parse("-5, 1.0\n", &err).has_value());
+  EXPECT_NE(err.find("negative time"), std::string::npos);
+  EXPECT_FALSE(
+      serving::SupplyCurve::Parse("100,1.0\n50,2.0\n", &err).has_value());
+  EXPECT_NE(err.find("backwards"), std::string::npos);
+  EXPECT_FALSE(
+      serving::SupplyCurve::LoadFile("/nonexistent/curve.csv", &err)
+          .has_value());
+  EXPECT_NE(err.find("cannot open"), std::string::npos);
 }
 
 // --- end-to-end serving runs ------------------------------------------------
@@ -168,6 +237,45 @@ TEST(ServingRun, ImpossibleSloEscalatesProtectedAndShedsBestEffort) {
   EXPECT_EQ(batch.offered, batch.served + batch.shed);
   // The protected tenant itself is never shed.
   EXPECT_EQ(fe.shed, 0u);
+}
+
+TEST(ServingRun, ConstantUnitSupplyCurveIsByteIdenticalToDefault) {
+  // A constant-1.0 curve must reproduce the curve-free run byte for byte:
+  // at scale 1.0 the tracker compares the untouched integer bounds, so
+  // wiring the curve through the plane cannot perturb any verdict.
+  ServingSpec curved = TwoTenantSpec();
+  auto one = serving::SupplyCurve::Parse("0, 1.0\n");
+  ASSERT_TRUE(one.has_value());
+  curved.qos.supply = *one;
+  ServingResult a = serving::RunServing(TwoTenantSpec());
+  ServingResult b = serving::RunServing(curved);
+  ASSERT_EQ(a.status, ServingResult::Status::kOk);
+  EXPECT_EQ(DeterministicJson(a), DeterministicJson(b));
+  EXPECT_EQ(a.sim_events, b.sim_events);
+}
+
+TEST(ServingRun, LooseSupplyCurveSuppressesEscalation) {
+  // An impossible SLO violates every window at scale 1.0; a curve that
+  // loosens the bounds from t=0 (plentiful supply) keeps every window
+  // clean, so the QoS ladder never engages.
+  ServingSpec spec = TwoTenantSpec();
+  spec.tenants[0].slo.p99_ns = 1;
+  spec.tenants[0].slo.min_window_samples = 8;
+  ServingSpec eased = spec;
+  auto loose = serving::SupplyCurve::Parse("0, 1000000000\n");
+  ASSERT_TRUE(loose.has_value());
+  eased.qos.supply = *loose;
+
+  ServingResult hard = serving::RunServing(spec);
+  ServingResult soft = serving::RunServing(eased);
+  ASSERT_EQ(hard.status, ServingResult::Status::kOk);
+  ASSERT_EQ(soft.status, ServingResult::Status::kOk);
+  EXPECT_GT(hard.tenants[0].windows_violated, 0u);
+  EXPECT_GT(hard.tenants[0].weight_boosts, 0u);
+  EXPECT_EQ(soft.tenants[0].windows_violated, 0u);
+  EXPECT_EQ(soft.tenants[0].weight_boosts, 0u);
+  EXPECT_EQ(soft.tenants[1].shed_steps, 0u);
+  EXPECT_EQ(soft.tenants[1].shed, 0u);
 }
 
 TEST(ServingRun, QosDisabledObservesNothingAndActsNowhere) {
